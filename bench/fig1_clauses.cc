@@ -1,0 +1,72 @@
+// Reproduces Fig. 1 of the paper: reordering the clauses of a predicate by
+// decreasing p/c minimizes the expected cost of a first solution. The
+// numbers are pure model computations and must match the paper EXACTLY:
+// original expected cost 130.24, reordered 49.64.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "markov/chain.h"
+
+namespace {
+
+int CheckNear(const char* what, double got, double want) {
+  bool ok = std::fabs(got - want) < 1e-9;
+  std::printf("  %-38s %10.4f  (paper: %.4f)  %s\n", what, got, want,
+              ok ? "MATCH" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1: reordering a predicate's clauses ===\n");
+  std::printf("clauses: p = {0.7, 0.8, 0.5, 0.9}, c = {100, 80, 100, 40}\n\n");
+
+  const std::vector<double> p = {0.7, 0.8, 0.5, 0.9};
+  const std::vector<double> c = {100, 80, 100, 40};
+
+  int failures = 0;
+  double original = prore::markov::FirstSuccessCost(p, c);
+  failures += CheckNear("expected single-solution cost (orig)", original,
+                        130.24);
+
+  auto order = prore::markov::OrderByRatioDesc(p, c);
+  std::printf("\n  p/c ratios: ");
+  for (size_t i = 0; i < p.size(); ++i) std::printf("%.4f ", p[i] / c[i]);
+  std::printf("\n  order by decreasing p/c: ");
+  for (size_t i : order) std::printf("clause%zu ", i + 1);
+  std::printf("(paper: clause4 clause2 clause1 clause3)\n\n");
+
+  std::vector<double> p2, c2;
+  for (size_t i : order) {
+    p2.push_back(p[i]);
+    c2.push_back(c[i]);
+  }
+  double reordered = prore::markov::FirstSuccessCost(p2, c2);
+  failures += CheckNear("expected single-solution cost (new)", reordered,
+                        49.64);
+  std::printf("\n  improvement ratio: %.3fx\n", original / reordered);
+
+  // Sanity: the ratio order is optimal over all 24 permutations.
+  std::vector<size_t> perm = {0, 1, 2, 3};
+  double best = reordered;
+  do {
+    std::vector<double> pp, cp;
+    for (size_t i : perm) {
+      pp.push_back(p[i]);
+      cp.push_back(c[i]);
+    }
+    double cost = prore::markov::FirstSuccessCost(pp, cp);
+    if (cost < best - 1e-12) best = cost;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  std::printf("  exhaustive check over 4! permutations: best = %.4f %s\n",
+              best, best >= reordered - 1e-12 ? "(ratio order optimal)"
+                                              : "(RATIO ORDER NOT OPTIMAL!)");
+  if (best < reordered - 1e-12) ++failures;
+
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,68 @@
+// Reproduces Fig. 2 of the paper: reordering the goals of a clause by
+// decreasing q/c minimizes the expected cost of a failure. Exact numbers:
+// original 98.928, reordered 78.968.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "markov/chain.h"
+
+namespace {
+
+int CheckNear(const char* what, double got, double want) {
+  bool ok = std::fabs(got - want) < 1e-9;
+  std::printf("  %-38s %10.4f  (paper: %.4f)  %s\n", what, got, want,
+              ok ? "MATCH" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 2: reordering a clause's goals ===\n");
+  std::printf("goals: q = {0.8, 0.1, 0.3, 0.6}, c = {70, 100, 100, 60}\n\n");
+
+  const std::vector<double> q = {0.8, 0.1, 0.3, 0.6};
+  const std::vector<double> c = {70, 100, 100, 60};
+
+  int failures = 0;
+  double original = prore::markov::SequentialFailureCost(q, c);
+  failures += CheckNear("expected failure cost (original)", original, 98.928);
+
+  auto order = prore::markov::OrderByRatioDesc(q, c);
+  std::printf("\n  q/c ratios: ");
+  for (size_t i = 0; i < q.size(); ++i) std::printf("%.5f ", q[i] / c[i]);
+  std::printf("\n  order by decreasing q/c: ");
+  for (size_t i : order) std::printf("goal%zu ", i + 1);
+  std::printf("(paper: goal1 goal4 goal3 goal2)\n\n");
+
+  std::vector<double> q2, c2;
+  for (size_t i : order) {
+    q2.push_back(q[i]);
+    c2.push_back(c[i]);
+  }
+  double reordered = prore::markov::SequentialFailureCost(q2, c2);
+  failures += CheckNear("expected failure cost (reordered)", reordered,
+                        78.968);
+  std::printf("\n  improvement ratio: %.3fx\n", original / reordered);
+
+  std::vector<size_t> perm = {0, 1, 2, 3};
+  double best = reordered;
+  do {
+    std::vector<double> qp, cp;
+    for (size_t i : perm) {
+      qp.push_back(q[i]);
+      cp.push_back(c[i]);
+    }
+    best = std::min(best, prore::markov::SequentialFailureCost(qp, cp));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  std::printf("  exhaustive check over 4! permutations: best = %.4f %s\n",
+              best, best >= reordered - 1e-12 ? "(ratio order optimal)"
+                                              : "(RATIO ORDER NOT OPTIMAL!)");
+  if (best < reordered - 1e-12) ++failures;
+
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,107 @@
+// Reproduces §VI-A of the paper: the clause body `k :- a, b, c, d` as an
+// absorbing Markov chain (Figs. 4 and 5). Prints the transition matrix P_k,
+// the fundamental-matrix results (visit counts, success probability, costs)
+// and verifies the closed-form all-solutions formula ("tidy form") against
+// the matrix computation.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "markov/chain.h"
+#include "markov/matrix.h"
+
+using prore::markov::AllSolutionsTransitionMatrix;
+using prore::markov::AnalyzeClauseBody;
+using prore::markov::ClosedFormAllVisits;
+using prore::markov::GoalStats;
+using prore::markov::Matrix;
+using prore::markov::SingleSolutionTransitionMatrix;
+
+namespace {
+
+void PrintMatrix(const char* title, const Matrix& m,
+                 const std::vector<std::string>& labels) {
+  std::printf("%s\n      ", title);
+  for (const auto& l : labels) std::printf("%7s", l.c_str());
+  std::printf("\n");
+  for (size_t r = 0; r < m.rows(); ++r) {
+    std::printf("%5s ", labels[r].c_str());
+    for (size_t c = 0; c < m.cols(); ++c) std::printf("%7.2f", m.At(r, c));
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section VI-A: k :- a, b, c, d as a Markov chain ===\n");
+  // The probabilities from the paper's running example (Fig. 1 values).
+  std::vector<GoalStats> goals = {{0.7, 1}, {0.8, 1}, {0.5, 1}, {0.9, 1}};
+  std::printf("p = {0.7, 0.8, 0.5, 0.9}, unit costs\n\n");
+
+  PrintMatrix("Single-solution chain P_k (Fig. 4; states S, F, a, b, c, d):",
+              SingleSolutionTransitionMatrix(goals),
+              {"S", "F", "a", "b", "c", "d"});
+  std::printf("\n");
+  PrintMatrix("All-solutions chain P_k (Fig. 5; states F, a, b, c, d, S):",
+              AllSolutionsTransitionMatrix(goals),
+              {"F", "a", "b", "c", "d", "S"});
+
+  auto analysis = AnalyzeClauseBody(goals);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 analysis.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  std::printf("\nFundamental-matrix results:\n");
+  std::printf("  p_body (success probability)    = %.6f\n",
+              analysis->success_prob);
+  std::printf("  c_single (one solution/failure) = %.6f\n",
+              analysis->cost_single);
+  std::printf("  c_all (exhaust the body)        = %.6f\n",
+              analysis->cost_all_solutions);
+  std::printf("  expected solutions v_S          = %.6f\n",
+              analysis->expected_solutions);
+  std::printf("  c_multiple (per solution)       = %.6f\n",
+              analysis->cost_per_solution);
+  std::printf("  visits (single-solution chain)  = ");
+  for (double v : analysis->visits_single) std::printf("%.4f ", v);
+  std::printf("\n  visits (all-solutions chain)    = ");
+  for (double v : analysis->visits_all) std::printf("%.4f ", v);
+  std::printf("\n");
+
+  // Closed form vs matrix (the paper's "tidy form for the v_i").
+  auto closed = ClosedFormAllVisits(goals);
+  int failures = 0;
+  std::printf("\nClosed-form check (v_i = prod p_j / prod (1-p_j)):\n");
+  for (size_t i = 0; i < closed.size(); ++i) {
+    double matrix_v = analysis->visits_all[i];
+    bool ok = std::fabs(matrix_v - closed[i]) < 1e-6 * (1.0 + closed[i]);
+    std::printf("  state %zu: matrix %.6f  closed %.6f  %s\n", i, matrix_v,
+                closed[i], ok ? "MATCH" : "MISMATCH");
+    if (!ok) ++failures;
+  }
+
+  // Also verify p_body by first-step analysis recursion.
+  // h_i = p_i h_{i+1} + (1-p_i) h_{i-1}; h_0 = 0 (F), h_5 = 1 (S).
+  {
+    // Solve the 4-state linear recurrence by simple Gaussian elimination
+    // over the chain states (small, do it by brute force iteration).
+    std::vector<double> h(6, 0.0);
+    h[5] = 1.0;
+    for (int iter = 0; iter < 100000; ++iter) {
+      for (int i = 1; i <= 4; ++i) {
+        double p = goals[i - 1].success_prob;
+        h[i] = p * h[i + 1] + (1 - p) * h[i - 1];
+      }
+    }
+    bool ok = std::fabs(h[1] - analysis->success_prob) < 1e-6;
+    std::printf("\nFirst-step-analysis cross-check of p_body: %.6f  %s\n",
+                h[1], ok ? "MATCH" : "MISMATCH");
+    if (!ok) ++failures;
+  }
+
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

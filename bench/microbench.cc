@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks for the substrates: matrix inversion,
+// chain analysis, unification-heavy solving, parsing and the full
+// reordering pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "core/reorderer.h"
+#include "engine/database.h"
+#include "engine/machine.h"
+#include "markov/chain.h"
+#include "markov/matrix.h"
+#include "programs/programs.h"
+#include "reader/parser.h"
+#include "term/store.h"
+
+namespace {
+
+void BM_MatrixInverse(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  prore::markov::Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      m.At(i, j) = (i == j) ? 2.0 : (j == i + 1 || i == j + 1 ? -0.5 : 0.0);
+    }
+  }
+  for (auto _ : state) {
+    auto inv = m.Inverse();
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_MatrixInverse)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ChainAnalysis(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<prore::markov::GoalStats> goals(n);
+  for (size_t i = 0; i < n; ++i) {
+    goals[i].success_prob = 0.3 + 0.05 * static_cast<double>(i % 10);
+    goals[i].cost = 1.0 + static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    auto r = prore::markov::AnalyzeClauseBody(goals);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ChainAnalysis)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_ClosedFormAllSolutions(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<prore::markov::GoalStats> goals(n);
+  for (size_t i = 0; i < n; ++i) {
+    goals[i].success_prob = 0.5;
+    goals[i].cost = 2.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prore::markov::ClosedFormAllSolutionsCost(goals));
+  }
+}
+BENCHMARK(BM_ClosedFormAllSolutions)->Arg(6)->Arg(12);
+
+void BM_ParseFamilyTree(benchmark::State& state) {
+  const std::string& src = prore::programs::FamilyTree().source;
+  for (auto _ : state) {
+    prore::term::TermStore store;
+    auto p = prore::reader::ParseProgramText(&store, src);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ParseFamilyTree);
+
+void BM_SolveNaiveReverse(benchmark::State& state) {
+  // The classic LIPS-style workload: naive reverse of a 30-element list.
+  prore::term::TermStore store;
+  auto p = prore::reader::ParseProgramText(&store, R"(
+    nrev([], []).
+    nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+    app([], L, L).
+    app([H|T], L, [H|R]) :- app(T, L, R).
+  )");
+  auto db = prore::engine::Database::Build(&store, *p);
+  std::string list = "[";
+  for (int i = 0; i < 30; ++i) list += (i ? "," : "") + std::to_string(i);
+  list += "]";
+  for (auto _ : state) {
+    prore::engine::Machine m(&store, &db.value());
+    auto q = prore::reader::ParseQueryText(&store, "nrev(" + list + ", R).");
+    auto r = m.Solve(q->term);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SolveNaiveReverse);
+
+void BM_SolveFamilyQuery(benchmark::State& state) {
+  prore::term::TermStore store;
+  auto p = prore::reader::ParseProgramText(
+      &store, prore::programs::FamilyTree().source);
+  auto db = prore::engine::Database::Build(&store, *p);
+  for (auto _ : state) {
+    prore::engine::Machine m(&store, &db.value());
+    auto q = prore::reader::ParseQueryText(&store, "cousins(X, Y).");
+    auto r = m.Solve(q->term);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SolveFamilyQuery);
+
+void BM_ReorderPipelineFamilyTree(benchmark::State& state) {
+  const std::string& src = prore::programs::FamilyTree().source;
+  for (auto _ : state) {
+    prore::term::TermStore store;
+    auto p = prore::reader::ParseProgramText(&store, src);
+    prore::core::Reorderer reorderer(&store);
+    auto r = reorderer.Run(*p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ReorderPipelineFamilyTree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Reproduces the paper's §I-E account of Warren's experiment: conjunctive
+// queries over a geography database, written in English word order, gain
+// large factors from reordering ("speedups up to several hundred times";
+// the magnitude scales with database size — our database is ~55 countries
+// vs his ~150, so tens rather than hundreds, the same scaling the paper
+// notes about its own smaller database).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "programs/programs.h"
+
+int main() {
+  const auto& geo = prore::programs::Geography();
+  auto rows = prore::bench::RunProgramWorkloads(geo);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  prore::bench::PrintHeader(
+      "Warren's conjunctive geography queries (paper SI-E)");
+  prore::bench::PrintRows(*rows);
+  bool ok = true;
+  double best = 0;
+  for (const auto& row : *rows) {
+    ok = ok && row.set_equivalent;
+    if (row.Ratio() > best) best = row.Ratio();
+  }
+  std::printf(
+      "\nBest ratio %.1fx on a 56-country database (Warren reported up to\n"
+      "several hundred on ~150 countries; gains scale with domain sizes).\n",
+      best);
+  return ok && best > 5.0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,196 @@
+#include "analysis/body.h"
+
+#include "term/symbol.h"
+
+namespace prore::analysis {
+
+using term::SymbolTable;
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+namespace {
+
+bool IsSetPredName(const std::string& name, uint32_t arity) {
+  return arity == 3 &&
+         (name == "findall" || name == "bagof" || name == "setof");
+}
+
+prore::Result<std::unique_ptr<BodyNode>> Parse(const TermStore& store,
+                                               TermRef t) {
+  t = store.Deref(t);
+  auto node = std::make_unique<BodyNode>();
+  node->goal = t;
+  switch (store.tag(t)) {
+    case Tag::kVar:
+      return prore::Status::Unsupported(
+          "variable goal in clause body (forbidden for reordering)");
+    case Tag::kInt:
+    case Tag::kFloat:
+      return prore::Status::TypeError("number as goal");
+    case Tag::kAtom: {
+      term::Symbol s = store.symbol(t);
+      if (s == SymbolTable::kTrue) {
+        node->kind = BodyKind::kTrue;
+      } else if (s == SymbolTable::kFail ||
+                 store.symbols().Name(s) == "false") {
+        node->kind = BodyKind::kFail;
+      } else if (s == SymbolTable::kCut) {
+        node->kind = BodyKind::kCut;
+      } else {
+        node->kind = BodyKind::kCall;
+      }
+      return node;
+    }
+    case Tag::kStruct:
+      break;
+  }
+  term::Symbol s = store.symbol(t);
+  uint32_t arity = store.arity(t);
+  const std::string& name = store.symbols().Name(s);
+
+  if (s == SymbolTable::kComma && arity == 2) {
+    node->kind = BodyKind::kConj;
+    // Flatten nested conjunctions into one child list.
+    TermRef cur = t;
+    while (true) {
+      cur = store.Deref(cur);
+      if (store.tag(cur) == Tag::kStruct &&
+          store.symbol(cur) == SymbolTable::kComma &&
+          store.arity(cur) == 2) {
+        PRORE_ASSIGN_OR_RETURN(auto child, Parse(store, store.arg(cur, 0)));
+        node->children.push_back(std::move(child));
+        cur = store.arg(cur, 1);
+      } else {
+        PRORE_ASSIGN_OR_RETURN(auto child, Parse(store, cur));
+        node->children.push_back(std::move(child));
+        break;
+      }
+    }
+    return node;
+  }
+  if (s == SymbolTable::kSemicolon && arity == 2) {
+    TermRef left = store.Deref(store.arg(t, 0));
+    if (store.tag(left) == Tag::kStruct &&
+        store.symbol(left) == SymbolTable::kArrow &&
+        store.arity(left) == 2) {
+      node->kind = BodyKind::kIfThenElse;
+      PRORE_ASSIGN_OR_RETURN(auto cond, Parse(store, store.arg(left, 0)));
+      PRORE_ASSIGN_OR_RETURN(auto then_n, Parse(store, store.arg(left, 1)));
+      PRORE_ASSIGN_OR_RETURN(auto else_n, Parse(store, store.arg(t, 1)));
+      node->children.push_back(std::move(cond));
+      node->children.push_back(std::move(then_n));
+      node->children.push_back(std::move(else_n));
+      return node;
+    }
+    node->kind = BodyKind::kDisj;
+    PRORE_ASSIGN_OR_RETURN(auto l, Parse(store, store.arg(t, 0)));
+    PRORE_ASSIGN_OR_RETURN(auto r, Parse(store, store.arg(t, 1)));
+    node->children.push_back(std::move(l));
+    node->children.push_back(std::move(r));
+    return node;
+  }
+  if (s == SymbolTable::kArrow && arity == 2) {
+    // Bare if-then == (C -> T ; fail).
+    node->kind = BodyKind::kIfThenElse;
+    PRORE_ASSIGN_OR_RETURN(auto cond, Parse(store, store.arg(t, 0)));
+    PRORE_ASSIGN_OR_RETURN(auto then_n, Parse(store, store.arg(t, 1)));
+    node->children.push_back(std::move(cond));
+    node->children.push_back(std::move(then_n));
+    auto fail_node = std::make_unique<BodyNode>();
+    fail_node->kind = BodyKind::kFail;
+    node->children.push_back(std::move(fail_node));
+    return node;
+  }
+  if ((s == SymbolTable::kNot || name == "not") && arity == 1) {
+    node->kind = BodyKind::kNeg;
+    PRORE_ASSIGN_OR_RETURN(auto inner, Parse(store, store.arg(t, 0)));
+    node->children.push_back(std::move(inner));
+    return node;
+  }
+  if (s == SymbolTable::kCall && arity == 1) {
+    TermRef inner = store.Deref(store.arg(t, 0));
+    if (store.tag(inner) == Tag::kVar) {
+      return prore::Status::Unsupported(
+          "call/1 with variable argument (forbidden for reordering)");
+    }
+    return Parse(store, inner);
+  }
+  if (IsSetPredName(name, arity)) {
+    node->kind = BodyKind::kSetPred;
+    // The second argument is the inner conjunction (strip ^/2 wrappers).
+    TermRef inner = store.Deref(store.arg(t, 1));
+    while (store.tag(inner) == Tag::kStruct && store.arity(inner) == 2 &&
+           store.symbols().Name(store.symbol(inner)) == "^") {
+      inner = store.Deref(store.arg(inner, 1));
+    }
+    if (store.tag(inner) == Tag::kVar) {
+      return prore::Status::Unsupported(
+          "set-predicate with variable goal argument");
+    }
+    PRORE_ASSIGN_OR_RETURN(auto child, Parse(store, inner));
+    node->children.push_back(std::move(child));
+    return node;
+  }
+  node->kind = BodyKind::kCall;
+  return node;
+}
+
+}  // namespace
+
+prore::Result<std::unique_ptr<BodyNode>> ParseBody(const TermStore& store,
+                                                   TermRef body) {
+  return Parse(store, body);
+}
+
+void CollectCalledGoals(const TermStore& store, const BodyNode& node,
+                        std::vector<TermRef>* out) {
+  switch (node.kind) {
+    case BodyKind::kCall:
+      out->push_back(node.goal);
+      return;
+    case BodyKind::kTrue:
+    case BodyKind::kFail:
+    case BodyKind::kCut:
+      return;
+    case BodyKind::kSetPred:
+      out->push_back(node.goal);  // the findall/bagof/setof call itself
+      [[fallthrough]];
+    case BodyKind::kConj:
+    case BodyKind::kDisj:
+    case BodyKind::kIfThenElse:
+    case BodyKind::kNeg:
+      for (const auto& child : node.children) {
+        CollectCalledGoals(store, *child, out);
+      }
+      return;
+  }
+}
+
+bool ContainsClauseCut(const BodyNode& node) {
+  switch (node.kind) {
+    case BodyKind::kCut:
+      return true;
+    case BodyKind::kCall:
+    case BodyKind::kTrue:
+    case BodyKind::kFail:
+      return false;
+    case BodyKind::kNeg:
+    case BodyKind::kSetPred:
+      return false;  // cuts inside are local
+    case BodyKind::kConj:
+    case BodyKind::kDisj:
+      for (const auto& child : node.children) {
+        if (ContainsClauseCut(*child)) return true;
+      }
+      return false;
+    case BodyKind::kIfThenElse:
+      // A cut in the condition is local (ISO); cuts in then/else cut the
+      // clause.
+      return ContainsClauseCut(*node.children[1]) ||
+             ContainsClauseCut(*node.children[2]);
+  }
+  return false;
+}
+
+}  // namespace prore::analysis

@@ -1,0 +1,55 @@
+#ifndef PRORE_ANALYSIS_BODY_H_
+#define PRORE_ANALYSIS_BODY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "term/store.h"
+
+namespace prore::analysis {
+
+/// Structural classification of one node of a clause body (paper §IV-D):
+/// the control constructs are what restrict goal mobility, so the reorderer
+/// works on this tree rather than on the raw term.
+enum class BodyKind {
+  kCall,        ///< An ordinary goal (user predicate or built-in).
+  kTrue,        ///< true/0 (no-op).
+  kFail,        ///< fail/0, false/0.
+  kCut,         ///< !/0 — freezes everything before it (§IV-D.1).
+  kConj,        ///< ','/2 sequence, flattened (children in order).
+  kDisj,        ///< ';'/2 — "semipermeable barrier" (§IV-D.2).
+  kIfThenElse,  ///< (C -> T ; E) — premise immobile (§IV-D.3).
+  kNeg,         ///< \+/1 or not/1 — semifixed wrapper (§IV-D.5).
+  kSetPred,     ///< findall/bagof/setof — semifixed wrapper (§IV-D.6).
+};
+
+/// Parsed body tree. kCall/kCut/kTrue/kFail are leaves; kConj has N
+/// children; kDisj has 2 (left, right); kIfThenElse has 3 (cond, then,
+/// else); kNeg has 1 (the negated conjunction); kSetPred has 1 (the inner
+/// conjunction) and keeps `goal` as the whole findall/bagof/setof term.
+struct BodyNode {
+  BodyKind kind = BodyKind::kTrue;
+  term::TermRef goal = term::kNullTerm;
+  std::vector<std::unique_ptr<BodyNode>> children;
+};
+
+/// Parses a clause body term into a BodyNode tree. Variable goals and
+/// call/1 with a variable argument are Unsupported (the paper forbids
+/// variable goals, §I-C). call/1 with a nonvariable argument is unwrapped.
+prore::Result<std::unique_ptr<BodyNode>> ParseBody(const term::TermStore& store,
+                                                   term::TermRef body);
+
+/// Appends every callable goal the body may execute, including goals inside
+/// negation, set-predicates, disjunctions and conditions — the call-graph
+/// view of the body.
+void CollectCalledGoals(const term::TermStore& store, const BodyNode& node,
+                        std::vector<term::TermRef>* out);
+
+/// True if the subtree contains a cut (at any depth that cuts this clause:
+/// cuts inside negation/set-predicates are local and do not count).
+bool ContainsClauseCut(const BodyNode& node);
+
+}  // namespace prore::analysis
+
+#endif  // PRORE_ANALYSIS_BODY_H_

@@ -1,0 +1,151 @@
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+
+#include "analysis/body.h"
+#include "engine/builtins.h"
+
+namespace prore::analysis {
+
+using term::PredId;
+using term::TermRef;
+using term::TermStore;
+
+namespace {
+
+/// Tarjan SCC over the user-predicate call graph.
+class SccFinder {
+ public:
+  SccFinder(const std::vector<PredId>& preds,
+            const std::unordered_map<PredId, std::vector<PredId>,
+                                     term::PredIdHash>& edges)
+      : preds_(preds), edges_(edges),
+        defined_(preds.begin(), preds.end()) {}
+
+  std::vector<std::vector<PredId>> Run() {
+    for (const PredId& p : preds_) {
+      if (index_.find(p) == index_.end()) Visit(p);
+    }
+    return sccs_;  // Tarjan emits SCCs callees-first (reverse topological).
+  }
+
+ private:
+  void Visit(const PredId& v) {
+    index_[v] = next_index_;
+    lowlink_[v] = next_index_;
+    ++next_index_;
+    stack_.push_back(v);
+    on_stack_.insert(v);
+    auto it = edges_.find(v);
+    if (it != edges_.end()) {
+      for (const PredId& w : it->second) {
+        if (defined_.count(w) == 0) continue;  // callee not in the program
+        if (index_.find(w) == index_.end()) {
+          Visit(w);
+          lowlink_[v] = std::min(lowlink_[v], lowlink_[w]);
+        } else if (on_stack_.count(w) > 0) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+      }
+    }
+    if (lowlink_[v] == index_[v]) {
+      std::vector<PredId> scc;
+      while (true) {
+        PredId w = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs_.push_back(std::move(scc));
+    }
+  }
+
+  const std::vector<PredId>& preds_;
+  const std::unordered_map<PredId, std::vector<PredId>, term::PredIdHash>&
+      edges_;
+  PredSet defined_;
+  std::unordered_map<PredId, int, term::PredIdHash> index_;
+  std::unordered_map<PredId, int, term::PredIdHash> lowlink_;
+  std::vector<PredId> stack_;
+  PredSet on_stack_;
+  int next_index_ = 0;
+  std::vector<std::vector<PredId>> sccs_;
+};
+
+}  // namespace
+
+prore::Result<CallGraph> CallGraph::Build(const TermStore& store,
+                                          const reader::Program& program) {
+  CallGraph g;
+  g.preds_ = program.pred_order();
+  PredSet defined(g.preds_.begin(), g.preds_.end());
+
+  for (const PredId& caller : g.preds_) {
+    PredSet seen_user, seen_builtin;
+    std::vector<PredId>& user_out = g.callees_[caller];
+    std::vector<PredId>& builtin_out = g.builtin_callees_[caller];
+    for (const reader::Clause& clause : program.ClausesOf(caller)) {
+      PRORE_ASSIGN_OR_RETURN(auto body, ParseBody(store, clause.body));
+      std::vector<TermRef> goals;
+      CollectCalledGoals(store, *body, &goals);
+      for (TermRef goal : goals) {
+        PredId id = store.pred_id(store.Deref(goal));
+        bool is_user = defined.count(id) > 0;
+        if (!is_user &&
+            engine::LookupBuiltin(store.symbols().Name(id.name), id.arity) !=
+                nullptr) {
+          if (seen_builtin.insert(id).second) builtin_out.push_back(id);
+          continue;
+        }
+        // Library predicates and genuinely-unknown predicates are treated
+        // as user callees; the engine's library is pure Prolog.
+        if (seen_user.insert(id).second) user_out.push_back(id);
+      }
+    }
+  }
+
+  // Entry points: defined predicates never called by another program pred.
+  PredSet called;
+  for (const auto& [caller, callees] : g.callees_) {
+    for (const PredId& c : callees) {
+      if (!(c == caller)) called.insert(c);
+    }
+  }
+  for (const PredId& p : g.preds_) {
+    if (called.count(p) == 0) g.entries_.push_back(p);
+  }
+
+  // SCCs and recursion.
+  SccFinder finder(g.preds_, g.callees_);
+  g.sccs_ = finder.Run();
+  for (const auto& scc : g.sccs_) {
+    if (scc.size() > 1) {
+      for (const PredId& p : scc) g.recursive_.insert(p);
+    } else {
+      const PredId& p = scc[0];
+      auto it = g.callees_.find(p);
+      if (it != g.callees_.end() &&
+          std::find(it->second.begin(), it->second.end(), p) !=
+              it->second.end()) {
+        g.recursive_.insert(p);
+      }
+    }
+  }
+  return g;
+}
+
+const std::vector<PredId>& CallGraph::Callees(const PredId& caller) const {
+  static const auto& kEmpty = *new std::vector<PredId>();
+  auto it = callees_.find(caller);
+  return it == callees_.end() ? kEmpty : it->second;
+}
+
+const std::vector<PredId>& CallGraph::BuiltinCallees(
+    const PredId& caller) const {
+  static const auto& kEmpty = *new std::vector<PredId>();
+  auto it = builtin_callees_.find(caller);
+  return it == builtin_callees_.end() ? kEmpty : it->second;
+}
+
+}  // namespace prore::analysis

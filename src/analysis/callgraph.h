@@ -1,0 +1,66 @@
+#ifndef PRORE_ANALYSIS_CALLGRAPH_H_
+#define PRORE_ANALYSIS_CALLGRAPH_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::analysis {
+
+using PredSet = std::unordered_set<term::PredId, term::PredIdHash>;
+
+/// Static call graph of a program: which user predicates call which, which
+/// built-ins appear where, entry points, and the SCC decomposition that
+/// yields the recursive-predicate set (paper §IV-D.7: "we can easily detect
+/// recursion automatically ... traverse the program top-down").
+class CallGraph {
+ public:
+  /// Builds the graph. Bodies that the body parser rejects (variable goals)
+  /// make the whole build fail — the paper excludes such programs.
+  static prore::Result<CallGraph> Build(const term::TermStore& store,
+                                        const reader::Program& program);
+
+  /// User predicates `caller` calls directly (built-ins excluded).
+  const std::vector<term::PredId>& Callees(const term::PredId& caller) const;
+
+  /// Built-in predicates `caller` calls directly.
+  const std::vector<term::PredId>& BuiltinCallees(
+      const term::PredId& caller) const;
+
+  /// Predicates of the program not called by any other program predicate
+  /// (the paper's "entry or top-level" predicates).
+  const std::vector<term::PredId>& EntryPoints() const { return entries_; }
+
+  /// Predicates involved in recursion: self-recursive or in a cycle.
+  const PredSet& RecursivePreds() const { return recursive_; }
+  bool IsRecursive(const term::PredId& id) const {
+    return recursive_.count(id) > 0;
+  }
+
+  /// Strongly connected components in reverse topological order (callees
+  /// before callers) — the order bottom-up cost propagation wants.
+  const std::vector<std::vector<term::PredId>>& SccsBottomUp() const {
+    return sccs_;
+  }
+
+  /// All predicates defined by the program, in source order.
+  const std::vector<term::PredId>& Preds() const { return preds_; }
+
+ private:
+  std::vector<term::PredId> preds_;
+  std::unordered_map<term::PredId, std::vector<term::PredId>, term::PredIdHash>
+      callees_;
+  std::unordered_map<term::PredId, std::vector<term::PredId>, term::PredIdHash>
+      builtin_callees_;
+  std::vector<term::PredId> entries_;
+  PredSet recursive_;
+  std::vector<std::vector<term::PredId>> sccs_;
+};
+
+}  // namespace prore::analysis
+
+#endif  // PRORE_ANALYSIS_CALLGRAPH_H_

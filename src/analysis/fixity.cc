@@ -1,0 +1,339 @@
+#include "analysis/fixity.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "analysis/body.h"
+#include "analysis/mode_inference.h"
+
+namespace prore::analysis {
+
+using term::PredId;
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+bool IsSideEffectBuiltin(std::string_view name, uint32_t arity) {
+  // I/O predicates of the DEC-10/C-Prolog family (paper §IV-B). We list
+  // the classic set even though this engine implements only the write
+  // family; the analysis must stay correct if the engine grows.
+  if (arity == 0) {
+    return name == "nl" || name == "told" || name == "seen" || name == "ttynl";
+  }
+  if (arity == 1) {
+    return name == "write" || name == "print" || name == "writeln" ||
+           name == "read" || name == "get" || name == "get0" ||
+           name == "put" || name == "tab" || name == "see" ||
+           name == "tell" || name == "display" ||
+           name == "write_canonical" || name == "assert" ||
+           name == "asserta" || name == "assertz" || name == "retract" ||
+           name == "abolish";
+  }
+  return false;
+}
+
+std::vector<bool> SemifixedArgsOfBuiltin(std::string_view name,
+                                         uint32_t arity) {
+  if (arity == 1 &&
+      (name == "var" || name == "nonvar" || name == "atom" ||
+       name == "atomic" || name == "integer" || name == "float" ||
+       name == "number" || name == "compound" || name == "callable" ||
+       name == "ground" || name == "is_list")) {
+    return {true};
+  }
+  if (arity == 2 && (name == "==" || name == "\\==" || name == "\\=" ||
+                     name == "@<" || name == "@>" || name == "@=<" ||
+                     name == "@>=")) {
+    return {true, true};
+  }
+  if (arity == 3 && name == "compare") {
+    return {false, true, true};
+  }
+  return {};
+}
+
+namespace {
+
+/// Head-argument instantiation shapes used by the semifixity heuristic.
+bool HeadArgIsNonVar(const TermStore& store, TermRef head, uint32_t i) {
+  return store.tag(store.Deref(store.arg(head, i))) != Tag::kVar;
+}
+
+}  // namespace
+
+prore::Result<FixityResult> AnalyzeFixity(const TermStore& store,
+                                          const reader::Program& program,
+                                          const CallGraph& graph) {
+  FixityResult result;
+
+  // ---- Fixity seeds: clauses calling side-effect built-ins. ----
+  for (const PredId& pred : graph.Preds()) {
+    for (const PredId& b : graph.BuiltinCallees(pred)) {
+      if (IsSideEffectBuiltin(store.symbols().Name(b.name), b.arity)) {
+        result.fixed.insert(pred);
+        break;
+      }
+    }
+  }
+
+  // ---- Propagate to ancestors: worklist over reverse edges. ----
+  // Build reverse adjacency once.
+  std::unordered_map<PredId, std::vector<PredId>, term::PredIdHash> callers;
+  for (const PredId& caller : graph.Preds()) {
+    for (const PredId& callee : graph.Callees(caller)) {
+      callers[callee].push_back(caller);
+    }
+  }
+  std::deque<PredId> work(result.fixed.begin(), result.fixed.end());
+  while (!work.empty()) {
+    PredId p = work.front();
+    work.pop_front();
+    auto it = callers.find(p);
+    if (it == callers.end()) continue;
+    for (const PredId& caller : it->second) {
+      if (result.fixed.insert(caller).second) work.push_back(caller);
+    }
+  }
+
+  // ---- Semifixity (paper §IV-C heuristic). ----
+  // A predicate is semifixed in position k if some cut-bearing clause has
+  // a non-variable head argument at k while the clause set is not uniform
+  // there: instantiation of k then decides which clause the cut commits to.
+  for (const PredId& pred : graph.Preds()) {
+    const auto& clauses = program.ClausesOf(pred);
+    if (clauses.size() < 2 || pred.arity == 0) continue;
+    std::vector<bool> culprit(pred.arity, false);
+    bool any = false;
+    for (const reader::Clause& clause : clauses) {
+      PRORE_ASSIGN_OR_RETURN(auto body, ParseBody(store, clause.body));
+      if (!ContainsClauseCut(*body)) continue;
+      for (uint32_t i = 0; i < pred.arity; ++i) {
+        if (!HeadArgIsNonVar(store, store.Deref(clause.head), i)) continue;
+        // Uniformity check: does any other clause differ at position i?
+        for (const reader::Clause& other : clauses) {
+          if (&other == &clause) continue;
+          TermRef a = store.Deref(store.arg(store.Deref(clause.head), i));
+          TermRef b = store.Deref(store.arg(store.Deref(other.head), i));
+          if (!store.Equal(a, b)) {
+            culprit[i] = true;
+            any = true;
+            break;
+          }
+        }
+      }
+    }
+    if (any) result.semifixed_args.emplace(pred, std::move(culprit));
+  }
+
+  // ---- Propagate semifixity to ancestors (paper: "semifixity propagates
+  // to ancestors if a culprit variable also appears in the head"). ----
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const PredId& caller : graph.Preds()) {
+      for (const reader::Clause& clause : program.ClausesOf(caller)) {
+        PRORE_ASSIGN_OR_RETURN(auto body, ParseBody(store, clause.body));
+        std::vector<TermRef> goals;
+        CollectCalledGoals(store, *body, &goals);
+        TermRef head = store.Deref(clause.head);
+        for (TermRef goal : goals) {
+          goal = store.Deref(goal);
+          PredId callee = store.pred_id(goal);
+          auto it = result.semifixed_args.find(callee);
+          if (it == result.semifixed_args.end()) continue;
+          // Which caller head positions feed a culprit position?
+          for (uint32_t ci = 0; ci < callee.arity; ++ci) {
+            if (!it->second[ci]) continue;
+            std::vector<TermRef> culprit_vars;
+            store.CollectVars(store.arg(goal, ci), &culprit_vars);
+            for (TermRef v : culprit_vars) {
+              for (uint32_t hi = 0; hi < caller.arity; ++hi) {
+                std::vector<TermRef> head_vars;
+                store.CollectVars(store.arg(head, hi), &head_vars);
+                for (TermRef hv : head_vars) {
+                  if (hv != v) continue;
+                  auto& flags = result.semifixed_args[caller];
+                  if (flags.empty()) flags.assign(caller.arity, false);
+                  if (!flags[hi]) {
+                    flags[hi] = true;
+                    changed = true;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+std::vector<TermRef> ModeSensitiveVars(const TermStore& store,
+                                       const BodyNode& node,
+                                       const FixityResult& fixity) {
+  std::vector<TermRef> out;
+  auto add_vars_of = [&](TermRef t) {
+    std::vector<TermRef> vars;
+    store.CollectVars(t, &vars);
+    for (TermRef v : vars) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
+      }
+    }
+  };
+  switch (node.kind) {
+    case BodyKind::kTrue:
+    case BodyKind::kFail:
+    case BodyKind::kCut:
+      return out;
+    case BodyKind::kNeg:
+    case BodyKind::kSetPred:
+      add_vars_of(node.goal);
+      return out;
+    case BodyKind::kConj:
+    case BodyKind::kDisj:
+    case BodyKind::kIfThenElse:
+      for (const auto& child : node.children) {
+        for (TermRef v : ModeSensitiveVars(store, *child, fixity)) {
+          if (std::find(out.begin(), out.end(), v) == out.end()) {
+            out.push_back(v);
+          }
+        }
+      }
+      return out;
+    case BodyKind::kCall: {
+      TermRef goal = store.Deref(node.goal);
+      PredId id = store.pred_id(goal);
+      std::vector<bool> positions = SemifixedArgsOfBuiltin(
+          store.symbols().Name(id.name), id.arity);
+      if (positions.empty()) {
+        const std::vector<bool>* user = fixity.CulpritArgs(id);
+        if (user != nullptr) positions = *user;
+      }
+      for (uint32_t i = 0; i < id.arity && i < positions.size(); ++i) {
+        if (positions[i]) add_vars_of(store.arg(goal, i));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One semifix-seeding walk over a clause body (original order, weakest
+/// input mode): marks head positions whose variables feed a mode-sensitive
+/// goal while not yet certainly ground. Returns true if new positions were
+/// marked.
+bool SeedClause(const TermStore& store, const reader::Clause& clause,
+                const PredId& pred, LegalityOracle* oracle,
+                FixityResult* result) {
+  auto body = ParseBody(store, clause.body);
+  if (!body.ok()) return false;
+  TermRef head = store.Deref(clause.head);
+  // Head variables per position.
+  std::vector<std::vector<TermRef>> head_vars(pred.arity);
+  for (uint32_t i = 0; i < pred.arity; ++i) {
+    store.CollectVars(store.arg(head, i), &head_vars[i]);
+  }
+  bool changed = false;
+  AbstractEnv env =
+      EnvFromHead(store, clause.head, Mode(pred.arity, ModeItem::kMinus));
+
+  auto check_culprits = [&](const BodyNode& node, const AbstractEnv& e) {
+    for (TermRef v : ModeSensitiveVars(store, node, *result)) {
+      if (e.Get(store.var_id(v)) == VarState::kGround) continue;
+      for (uint32_t i = 0; i < pred.arity; ++i) {
+        if (std::find(head_vars[i].begin(), head_vars[i].end(), v) ==
+            head_vars[i].end()) {
+          continue;
+        }
+        auto& flags = result->semifixed_args[pred];
+        if (flags.empty()) flags.assign(pred.arity, false);
+        if (!flags[i]) {
+          flags[i] = true;
+          changed = true;
+        }
+      }
+    }
+  };
+
+  std::function<void(const BodyNode&, AbstractEnv*)> walk =
+      [&](const BodyNode& node, AbstractEnv* e) {
+        // Leaves check their culprits at their own execution point;
+        // sequences and branches only recurse (a conjunction's culprits
+        // must be judged against the environment each child actually sees).
+        switch (node.kind) {
+          case BodyKind::kConj:
+            for (const auto& child : node.children) walk(*child, e);
+            return;  // walk already advanced e child by child
+          case BodyKind::kDisj: {
+            AbstractEnv l = *e, r = *e;
+            walk(*node.children[0], &l);
+            walk(*node.children[1], &r);
+            *e = AbstractEnv::Join(l, r);
+            return;
+          }
+          case BodyKind::kIfThenElse: {
+            AbstractEnv t = *e, el = *e;
+            walk(*node.children[0], &t);
+            walk(*node.children[1], &t);
+            walk(*node.children[2], &el);
+            *e = AbstractEnv::Join(t, el);
+            return;
+          }
+          case BodyKind::kNeg: {
+            check_culprits(node, *e);
+            AbstractEnv scratch = *e;
+            walk(*node.children[0], &scratch);
+            return;
+          }
+          case BodyKind::kSetPred: {
+            check_culprits(node, *e);
+            AbstractEnv scratch = *e;
+            walk(*node.children[0], &scratch);
+            AdvanceEnvOverNode(store, node, oracle, e);
+            return;
+          }
+          default:
+            check_culprits(node, *e);
+            AdvanceEnvOverNode(store, node, oracle, e);
+            return;
+        }
+      };
+  walk(**body, &env);
+  return changed;
+}
+
+}  // namespace
+
+prore::Status RefineSemifixity(const TermStore& store,
+                               const reader::Program& program,
+                               const CallGraph& graph,
+                               LegalityOracle* oracle, FixityResult* result) {
+  // Iterate to a fixpoint: marking one predicate semifixed can make its
+  // callers semifixed in turn (bounded by total argument positions).
+  bool changed = true;
+  size_t guard = 0;
+  while (changed && guard++ < 1000) {
+    changed = false;
+    for (const PredId& pred : graph.Preds()) {
+      for (const reader::Clause& clause : program.ClausesOf(pred)) {
+        if (SeedClause(store, clause, pred, oracle, result)) changed = true;
+      }
+    }
+  }
+  // Drop all-false entries so IsSemifixed stays meaningful.
+  for (auto it = result->semifixed_args.begin();
+       it != result->semifixed_args.end();) {
+    bool any = std::any_of(it->second.begin(), it->second.end(),
+                           [](bool b) { return b; });
+    it = any ? std::next(it) : result->semifixed_args.erase(it);
+  }
+  return prore::Status::OK();
+}
+
+}  // namespace prore::analysis

@@ -1,0 +1,82 @@
+#ifndef PRORE_ANALYSIS_FIXITY_H_
+#define PRORE_ANALYSIS_FIXITY_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "common/result.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::analysis {
+
+/// Results of the side-effect analysis (paper §IV-B, §IV-C).
+struct FixityResult {
+  /// Predicates with side-effects, directly or through any descendant:
+  /// "predicates are responsible for the actions of their descendants".
+  /// Goals calling these are immobile; clauses containing them are fixed
+  /// within their predicate.
+  PredSet fixed;
+
+  /// Semifixed predicates: for each, a per-argument flag marking culprit
+  /// positions (the §IV-C example: `a(X,Y,b) :- !.` makes position 3 a
+  /// culprit — reordering must not change whether that argument is
+  /// instantiated at call time).
+  std::unordered_map<term::PredId, std::vector<bool>, term::PredIdHash>
+      semifixed_args;
+
+  bool IsFixed(const term::PredId& id) const { return fixed.count(id) > 0; }
+  bool IsSemifixed(const term::PredId& id) const {
+    return semifixed_args.count(id) > 0;
+  }
+  const std::vector<bool>* CulpritArgs(const term::PredId& id) const {
+    auto it = semifixed_args.find(id);
+    return it == semifixed_args.end() ? nullptr : &it->second;
+  }
+};
+
+/// True if the named built-in has a side-effect that backtracking cannot
+/// undo (I/O). These are the fixity seeds.
+bool IsSideEffectBuiltin(std::string_view name, uint32_t arity);
+
+/// Per-argument culprit flags for mode-sensitive built-ins (var/1,
+/// nonvar/1, ==/2, \==/2, \=/2, the type tests): their outcome depends on
+/// the instantiation state of the flagged arguments, so reordering must
+/// preserve that state (§IV-C). Empty vector for mode-insensitive
+/// built-ins.
+std::vector<bool> SemifixedArgsOfBuiltin(std::string_view name,
+                                         uint32_t arity);
+
+/// Runs the fixity and semifixity analyses over a program.
+prore::Result<FixityResult> AnalyzeFixity(const term::TermStore& store,
+                                          const reader::Program& program,
+                                          const CallGraph& graph);
+
+class LegalityOracle;  // mode_inference.h
+struct BodyNode;       // body.h
+
+/// The variables whose instantiation state `node`'s outcome depends on:
+/// culprit-position variables of mode-sensitive built-ins (var/1, \==/2,
+/// ...) and of semifixed user predicates, and every variable of a negation
+/// or set-predicate (§IV-C, §IV-D.5/6).
+std::vector<term::TermRef> ModeSensitiveVars(const term::TermStore& store,
+                                             const BodyNode& node,
+                                             const FixityResult& fixity);
+
+/// Second semifixity pass, run once mode inference is available: a
+/// predicate whose clause uses a mode-sensitive goal on a variable that
+/// (a) reaches the clause head and (b) is not already ground at that goal
+/// under even the weakest input mode, is itself semifixed in the head
+/// positions carrying that variable. Iterates with the caller-propagation
+/// rule to a fixpoint. (This is what keeps `male(X) :- \+ female(X)` from
+/// being called before its argument is bound.)
+prore::Status RefineSemifixity(const term::TermStore& store,
+                               const reader::Program& program,
+                               const CallGraph& graph,
+                               LegalityOracle* oracle, FixityResult* result);
+
+}  // namespace prore::analysis
+
+#endif  // PRORE_ANALYSIS_FIXITY_H_

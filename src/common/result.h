@@ -1,0 +1,67 @@
+#ifndef PRORE_COMMON_RESULT_H_
+#define PRORE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace prore {
+
+/// Either a value of type T or a failure Status. Analogous to
+/// arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<Program> r = Parse(text);
+///   if (!r.ok()) return r.status();
+///   Program p = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Success. Implicit so `return value;` works.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Failure. Implicit so `return Status::...;` works. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ engaged.
+  std::optional<T> value_;
+};
+
+/// Unwraps a Result into `lhs`, propagating failure.
+#define PRORE_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto PRORE_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!PRORE_CONCAT_(_res_, __LINE__).ok())          \
+    return PRORE_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(PRORE_CONCAT_(_res_, __LINE__)).value()
+
+#define PRORE_CONCAT_(a, b) PRORE_CONCAT_IMPL_(a, b)
+#define PRORE_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace prore
+
+#endif  // PRORE_COMMON_RESULT_H_

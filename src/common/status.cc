@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace prore {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kInstantiationError:
+      return "InstantiationError";
+    case StatusCode::kExistenceError:
+      return "ExistenceError";
+    case StatusCode::kModeError:
+      return "ModeError";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace prore

@@ -1,0 +1,89 @@
+#ifndef PRORE_COMMON_STATUS_H_
+#define PRORE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace prore {
+
+/// Error category for a failed operation. The categories mirror the stages
+/// of the reordering pipeline so a caller can tell a syntax error in the
+/// input program apart from, say, an illegal mode discovered during search.
+enum class StatusCode {
+  kOk = 0,
+  kParseError,       ///< Malformed Prolog source text.
+  kTypeError,        ///< A term had the wrong shape (e.g. non-callable goal).
+  kInstantiationError,  ///< A built-in demanded a bound argument.
+  kExistenceError,   ///< Unknown predicate, symbol, or file.
+  kModeError,        ///< A call violated the legal-mode table.
+  kInvalidArgument,  ///< Bad argument to a library function.
+  kResourceExhausted,  ///< Step/solution limits exceeded.
+  kInternal,         ///< Invariant violation inside the library.
+  kUnsupported,      ///< Construct outside the supported Prolog subset.
+};
+
+/// Returns a stable human-readable name, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type describing success or failure of an operation.
+///
+/// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+/// (or a Result<T>, see result.h) instead of throwing. The success path
+/// stores no string and is trivially cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status InstantiationError(std::string m) {
+    return Status(StatusCode::kInstantiationError, std::move(m));
+  }
+  static Status ExistenceError(std::string m) {
+    return Status(StatusCode::kExistenceError, std::move(m));
+  }
+  static Status ModeError(std::string m) {
+    return Status(StatusCode::kModeError, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define PRORE_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::prore::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace prore
+
+#endif  // PRORE_COMMON_STATUS_H_

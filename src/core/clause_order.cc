@@ -1,0 +1,104 @@
+#include "core/clause_order.h"
+
+#include <algorithm>
+
+#include "analysis/body.h"
+#include "core/restrictions.h"
+#include "markov/chain.h"
+
+namespace prore::core {
+
+using analysis::BodyNode;
+using term::PredId;
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+prore::Result<ClauseOrderResult> OrderClauses(
+    const TermStore& store, const reader::Program& program, const PredId& id,
+    const analysis::Mode& mode, cost::CostModel* costs,
+    const analysis::FixityResult& fixity) {
+  const auto& clauses = program.ClausesOf(id);
+  ClauseOrderResult result;
+  result.order.resize(clauses.size());
+  for (size_t i = 0; i < clauses.size(); ++i) result.order[i] = i;
+  if (clauses.size() < 2) return result;
+
+  std::vector<double> p(clauses.size()), c(clauses.size());
+  std::vector<bool> barrier(clauses.size(), false);
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    const reader::Clause& clause = clauses[i];
+    double match = costs->HeadMatchProb(id, clause.head, mode);
+    TermRef body = store.Deref(clause.body);
+    bool is_fact = store.tag(body) == Tag::kAtom &&
+                   store.symbol(body) == term::SymbolTable::kTrue;
+    double p_body = 1.0, c_body = 0.0;
+    if (!is_fact) {
+      PRORE_ASSIGN_OR_RETURN(auto tree, analysis::ParseBody(store, body));
+      if (analysis::ContainsClauseCut(*tree) ||
+          IsImmobile(store, *tree, fixity)) {
+        barrier[i] = true;
+      }
+      analysis::AbstractEnv env =
+          analysis::EnvFromHead(store, clause.head, mode);
+      std::vector<const BodyNode*> seq;
+      if (tree->kind == analysis::BodyKind::kConj) {
+        for (const auto& child : tree->children) seq.push_back(child.get());
+      } else {
+        seq.push_back(tree.get());
+      }
+      auto eval = costs->EvaluateSequence(seq, env);
+      if (eval.ok()) {
+        p_body = eval->chain.success_prob;
+        c_body = eval->chain.cost_single;
+      }
+    }
+    p[i] = std::min(1.0, match * p_body);
+    // Small floor so a zero-cost fact still sorts by probability.
+    c[i] = std::max(0.01, match * c_body + 0.01);
+  }
+
+  result.original_cost = markov::FirstSuccessCost(p, c);
+
+  // Reorder within maximal runs of non-barrier clauses by decreasing p/c.
+  std::vector<size_t> new_order;
+  size_t run_start = 0;
+  auto flush_run = [&](size_t end) {  // [run_start, end)
+    if (end > run_start) {
+      std::vector<double> rp, rc;
+      std::vector<size_t> run;
+      for (size_t k = run_start; k < end; ++k) {
+        run.push_back(k);
+        rp.push_back(p[k]);
+        rc.push_back(c[k]);
+      }
+      for (size_t pos : markov::OrderByRatioDesc(rp, rc)) {
+        new_order.push_back(run[pos]);
+      }
+    }
+  };
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (barrier[i]) {
+      flush_run(i);
+      new_order.push_back(i);
+      run_start = i + 1;
+    }
+  }
+  flush_run(clauses.size());
+
+  std::vector<double> np, nc;
+  for (size_t k : new_order) {
+    np.push_back(p[k]);
+    nc.push_back(c[k]);
+  }
+  result.new_cost = markov::FirstSuccessCost(np, nc);
+  if (result.new_cost + 1e-12 < result.original_cost) {
+    result.changed = new_order != result.order;
+    result.order = new_order;
+  } else {
+    result.new_cost = result.original_cost;
+  }
+  return result;
+}
+
+}  // namespace prore::core

@@ -1,0 +1,35 @@
+#ifndef PRORE_CORE_CLAUSE_ORDER_H_
+#define PRORE_CORE_CLAUSE_ORDER_H_
+
+#include <vector>
+
+#include "analysis/fixity.h"
+#include "analysis/modes.h"
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::core {
+
+struct ClauseOrderResult {
+  /// Permutation: new position k holds original clause order[k].
+  std::vector<size_t> order;
+  bool changed = false;
+  /// Expected first-success cost before/after (the Fig. 1 objective).
+  double original_cost = 0.0;
+  double new_cost = 0.0;
+};
+
+/// Reorders the clauses of `id` for calls in `mode` by decreasing p/c
+/// (Li & Wah, §III-A), under the §IV restrictions: clauses containing a
+/// clause-level cut or a fixed (side-effecting) goal are barriers — they
+/// keep their positions and nothing moves across them.
+prore::Result<ClauseOrderResult> OrderClauses(
+    const term::TermStore& store, const reader::Program& program,
+    const term::PredId& id, const analysis::Mode& mode,
+    cost::CostModel* costs, const analysis::FixityResult& fixity);
+
+}  // namespace prore::core
+
+#endif  // PRORE_CORE_CLAUSE_ORDER_H_

@@ -1,0 +1,273 @@
+#include "core/disjunction.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/body.h"
+#include "analysis/callgraph.h"
+#include "analysis/fixity.h"
+#include "term/symbol.h"
+
+namespace prore::core {
+
+using analysis::BodyKind;
+using term::PredId;
+using term::SymbolTable;
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+namespace {
+
+std::vector<TermRef> Conjuncts(const TermStore& store, TermRef body) {
+  std::vector<TermRef> out;
+  TermRef cur = store.Deref(body);
+  while (store.tag(cur) == Tag::kStruct &&
+         store.symbol(cur) == SymbolTable::kComma && store.arity(cur) == 2) {
+    out.push_back(store.Deref(store.arg(cur, 0)));
+    cur = store.Deref(store.arg(cur, 1));
+  }
+  out.push_back(cur);
+  return out;
+}
+
+TermRef BuildConj(TermStore* store, const std::vector<TermRef>& goals) {
+  if (goals.empty()) return store->MakeAtom(SymbolTable::kTrue);
+  TermRef body = goals.back();
+  for (size_t i = goals.size() - 1; i-- > 0;) {
+    const TermRef args[] = {goals[i], body};
+    body = store->MakeStruct(SymbolTable::kComma, args);
+  }
+  return body;
+}
+
+bool IsTrueAtom(const TermStore& store, TermRef t) {
+  t = store.Deref(t);
+  return store.tag(t) == Tag::kAtom &&
+         store.symbol(t) == SymbolTable::kTrue;
+}
+
+/// Mobile for factoring purposes: not a cut, not a control construct, not
+/// a fixed goal.
+bool MobileGoal(const TermStore& store, TermRef goal,
+                const analysis::FixityResult& fixity) {
+  goal = store.Deref(goal);
+  if (!store.IsCallable(goal)) return false;
+  term::Symbol sym = store.symbol(goal);
+  if (sym == SymbolTable::kCut || sym == SymbolTable::kComma ||
+      sym == SymbolTable::kSemicolon || sym == SymbolTable::kArrow) {
+    return false;
+  }
+  PredId id = store.pred_id(goal);
+  if (fixity.IsFixed(id)) return false;
+  if (analysis::IsSideEffectBuiltin(store.symbols().Name(id.name),
+                                    id.arity)) {
+    return false;
+  }
+  return true;
+}
+
+/// α-equivalence of two terms, building a variable bijection.
+bool VariantMatch(const TermStore& store, TermRef a, TermRef b,
+                  std::unordered_map<uint32_t, TermRef>* b_to_a,
+                  std::unordered_map<uint32_t, uint32_t>* a_taken) {
+  a = store.Deref(a);
+  b = store.Deref(b);
+  Tag ta = store.tag(a), tb = store.tag(b);
+  if (ta != tb) return false;
+  switch (ta) {
+    case Tag::kVar: {
+      uint32_t bid = store.var_id(b);
+      uint32_t aid = store.var_id(a);
+      auto it = b_to_a->find(bid);
+      if (it != b_to_a->end()) {
+        return store.Deref(it->second) == a;
+      }
+      // Bijection: a must not already be the image of another b-var.
+      auto taken = a_taken->find(aid);
+      if (taken != a_taken->end() && taken->second != bid) return false;
+      b_to_a->emplace(bid, a);
+      a_taken->emplace(aid, bid);
+      return true;
+    }
+    case Tag::kAtom:
+      return store.symbol(a) == store.symbol(b);
+    case Tag::kInt:
+      return store.int_value(a) == store.int_value(b);
+    case Tag::kFloat:
+      return store.float_value(a) == store.float_value(b);
+    case Tag::kStruct: {
+      if (store.symbol(a) != store.symbol(b) ||
+          store.arity(a) != store.arity(b)) {
+        return false;
+      }
+      for (uint32_t i = 0; i < store.arity(a); ++i) {
+        if (!VariantMatch(store, store.arg(a, i), store.arg(b, i), b_to_a,
+                          a_taken)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Substitutes variables per `map` (var id -> replacement term).
+TermRef Substitute(TermStore* store, TermRef t,
+                   const std::unordered_map<uint32_t, TermRef>& map) {
+  t = store->Deref(t);
+  switch (store->tag(t)) {
+    case Tag::kVar: {
+      auto it = map.find(store->var_id(t));
+      return it == map.end() ? t : it->second;
+    }
+    case Tag::kAtom:
+    case Tag::kInt:
+    case Tag::kFloat:
+      return t;
+    case Tag::kStruct: {
+      std::vector<TermRef> args(store->arity(t));
+      bool changed = false;
+      for (uint32_t i = 0; i < store->arity(t); ++i) {
+        args[i] = Substitute(store, store->arg(t, i), map);
+        if (args[i] != store->Deref(store->arg(t, i))) changed = true;
+      }
+      if (!changed) return t;
+      return store->MakeStruct(store->symbol(t), args);
+    }
+  }
+  return t;
+}
+
+/// Hoists shared prefix/suffix goals out of disjunctions within one body
+/// term. Recurses into nested bodies.
+TermRef HoistInBody(TermStore* store, TermRef body,
+                    const analysis::FixityResult& fixity,
+                    FactorStats* stats) {
+  body = store->Deref(body);
+  if (store->tag(body) != Tag::kStruct) return body;
+  term::Symbol sym = store->symbol(body);
+  uint32_t arity = store->arity(body);
+
+  if (sym == SymbolTable::kComma && arity == 2) {
+    std::vector<TermRef> goals = Conjuncts(*store, body);
+    for (TermRef& g : goals) g = HoistInBody(store, g, fixity, stats);
+    return BuildConj(store, goals);
+  }
+  if (sym == SymbolTable::kSemicolon && arity == 2) {
+    TermRef left = store->Deref(store->arg(body, 0));
+    TermRef right = store->Deref(store->arg(body, 1));
+    // If-then-else is not a plain disjunction; recurse only.
+    if (store->tag(left) == Tag::kStruct &&
+        store->symbol(left) == SymbolTable::kArrow) {
+      return body;
+    }
+    left = HoistInBody(store, left, fixity, stats);
+    right = HoistInBody(store, right, fixity, stats);
+    std::vector<TermRef> lg = Conjuncts(*store, left);
+    std::vector<TermRef> rg = Conjuncts(*store, right);
+
+    std::vector<TermRef> prefix, suffix;
+    // Shared mobile prefix with identical terms (same variables).
+    while (!lg.empty() && !rg.empty() && store->Equal(lg.front(), rg.front()) &&
+           MobileGoal(*store, lg.front(), fixity)) {
+      prefix.push_back(lg.front());
+      lg.erase(lg.begin());
+      rg.erase(rg.begin());
+      ++stats->hoisted_prefix;
+    }
+    // Shared mobile suffix.
+    while (!lg.empty() && !rg.empty() && store->Equal(lg.back(), rg.back()) &&
+           MobileGoal(*store, lg.back(), fixity)) {
+      suffix.insert(suffix.begin(), lg.back());
+      lg.pop_back();
+      rg.pop_back();
+      ++stats->hoisted_suffix;
+    }
+    if (prefix.empty() && suffix.empty()) {
+      const TermRef args[] = {BuildConj(store, lg), BuildConj(store, rg)};
+      return store->MakeStruct(SymbolTable::kSemicolon, args);
+    }
+    const TermRef disj_args[] = {BuildConj(store, lg), BuildConj(store, rg)};
+    TermRef inner = store->MakeStruct(SymbolTable::kSemicolon, disj_args);
+    std::vector<TermRef> out = prefix;
+    out.push_back(inner);
+    out.insert(out.end(), suffix.begin(), suffix.end());
+    return BuildConj(store, out);
+  }
+  return body;
+}
+
+}  // namespace
+
+prore::Result<reader::Program> FactorDisjunctions(TermStore* store,
+                                                  const reader::Program&
+                                                      program,
+                                                  FactorStats* stats) {
+  FactorStats local;
+  if (stats == nullptr) stats = &local;
+  PRORE_ASSIGN_OR_RETURN(auto graph,
+                         analysis::CallGraph::Build(*store, program));
+  PRORE_ASSIGN_OR_RETURN(auto fixity,
+                         analysis::AnalyzeFixity(*store, program, graph));
+
+  reader::Program out;
+  for (const PredId& pred : program.pred_order()) {
+    const auto& clauses = program.ClausesOf(pred);
+    std::vector<reader::Clause> merged;
+    for (size_t i = 0; i < clauses.size(); ++i) {
+      reader::Clause current = clauses[i];
+      // Try merging with following adjacent variant-headed clauses.
+      while (i + 1 < clauses.size() && !fixity.IsFixed(pred)) {
+        const reader::Clause& next = clauses[i + 1];
+        std::unordered_map<uint32_t, TermRef> b_to_a;
+        std::unordered_map<uint32_t, uint32_t> a_taken;
+        if (!VariantMatch(*store, current.head, next.head, &b_to_a,
+                          &a_taken)) {
+          break;
+        }
+        // Cut-free on both sides.
+        auto tree1 = analysis::ParseBody(*store, current.body);
+        auto tree2 = analysis::ParseBody(*store, next.body);
+        if (!tree1.ok() || !tree2.ok() ||
+            analysis::ContainsClauseCut(**tree1) ||
+            analysis::ContainsClauseCut(**tree2)) {
+          break;
+        }
+        std::vector<TermRef> g1 = Conjuncts(*store, current.body);
+        TermRef body2 = Substitute(store, next.body, b_to_a);
+        std::vector<TermRef> g2 = Conjuncts(*store, body2);
+        // Shared mobile prefix?
+        size_t shared = 0;
+        while (shared < g1.size() && shared < g2.size() &&
+               store->Equal(g1[shared], g2[shared]) &&
+               MobileGoal(*store, g1[shared], fixity)) {
+          ++shared;
+        }
+        if (shared == 0 || IsTrueAtom(*store, g1[0])) break;
+        // Build: head :- shared..., ( rest1 ; rest2 ).
+        std::vector<TermRef> rest1(g1.begin() + shared, g1.end());
+        std::vector<TermRef> rest2(g2.begin() + shared, g2.end());
+        const TermRef disj_args[] = {BuildConj(store, rest1),
+                                     BuildConj(store, rest2)};
+        TermRef disj = store->MakeStruct(SymbolTable::kSemicolon, disj_args);
+        std::vector<TermRef> new_body(g1.begin(), g1.begin() + shared);
+        new_body.push_back(disj);
+        current.body = BuildConj(store, new_body);
+        ++stats->merged_clauses;
+        ++i;  // consumed the next clause
+      }
+      // Hoist shared goals out of any disjunctions in the body.
+      current.body = HoistInBody(store, current.body, fixity, stats);
+      merged.push_back(current);
+    }
+    for (const reader::Clause& clause : merged) {
+      out.AddClause(*store, clause);
+    }
+  }
+  for (TermRef d : program.directives()) out.AddDirective(d);
+  return out;
+}
+
+}  // namespace prore::core

@@ -1,0 +1,41 @@
+#ifndef PRORE_CORE_DISJUNCTION_H_
+#define PRORE_CORE_DISJUNCTION_H_
+
+#include "common/result.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::core {
+
+/// Statistics of one factoring run.
+struct FactorStats {
+  size_t hoisted_prefix = 0;  ///< goals pulled out before a disjunction
+  size_t hoisted_suffix = 0;  ///< goals pulled out after a disjunction
+  size_t merged_clauses = 0;  ///< clause pairs merged into a disjunction
+};
+
+/// The paper's §IV-D.2 disjunction transformations:
+///
+///  1. *Hoisting*: "if we can move duplicate mobile goals in each half to
+///     the front or back of their halves, we can replace them with one
+///     goal outside the disjunction" — `(g, A ; g, B)` becomes
+///     `g, (A ; B)` when `g` is structurally identical in both halves
+///     (same variables), mobile, and not a cut.
+///
+///  2. *Clause merging*: "we can also, side-effects permitting, make two
+///     clauses that share initial goals into a single disjunctive clause,
+///     so that the initial goals run only once" — adjacent clauses with
+///     identical heads and a shared mobile prefix become one clause with
+///     a disjunction of the remainders. (Only applied to cut-free,
+///     side-effect-free clause pairs; preserves answer order, hence
+///     set-equivalence.)
+///
+/// Both transformations reduce repeated work by themselves and expose more
+/// mobility to the reorderer. Returns a new program over the same store.
+prore::Result<reader::Program> FactorDisjunctions(
+    term::TermStore* store, const reader::Program& program,
+    FactorStats* stats = nullptr);
+
+}  // namespace prore::core
+
+#endif  // PRORE_CORE_DISJUNCTION_H_

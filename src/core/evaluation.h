@@ -1,0 +1,72 @@
+#ifndef PRORE_CORE_EVALUATION_H_
+#define PRORE_CORE_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "engine/machine.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::core {
+
+/// Measured outcome of running the same workload against the original and
+/// the reordered program (the paper's Tables II–IV methodology).
+struct ComparisonResult {
+  uint64_t original_calls = 0;
+  uint64_t reordered_calls = 0;
+  size_t original_answers = 0;
+  size_t reordered_answers = 0;
+  /// Same multiset of answers (set-equivalence, §II)?
+  bool set_equivalent = true;
+  uint64_t queries_run = 0;
+
+  double Ratio() const {
+    return reordered_calls == 0
+               ? 1.0
+               : static_cast<double>(original_calls) /
+                     static_cast<double>(reordered_calls);
+  }
+};
+
+/// Runs workloads against an original/reordered program pair, counting
+/// predicate calls and checking set-equivalence of the answer multisets.
+class Evaluator {
+ public:
+  Evaluator(term::TermStore* store, const reader::Program& original,
+            const reader::Program& reordered,
+            engine::SolveOptions solve_options = engine::SolveOptions());
+
+  prore::Status Init();
+
+  /// Runs one query (text without the trailing dot) to exhaustion on both
+  /// programs.
+  prore::Result<ComparisonResult> CompareQuery(const std::string& query_text);
+
+  /// Runs a batch of queries, accumulating calls and answers.
+  prore::Result<ComparisonResult> CompareQueries(
+      const std::vector<std::string>& goals);
+
+  /// Table II methodology: calls name/arity in the given mode string
+  /// (e.g. "(+,-)"), one query per combination of `universe` constants in
+  /// the '+' positions — mode (-,-) is 1 call, (+,-) is |U| calls, (+,+)
+  /// is |U|^2 calls.
+  prore::Result<ComparisonResult> CompareMode(
+      const std::string& name, uint32_t arity, const std::string& mode,
+      const std::vector<std::string>& universe);
+
+ private:
+  term::TermStore* store_;
+  const reader::Program& original_;
+  const reader::Program& reordered_;
+  engine::SolveOptions solve_options_;
+  engine::Database original_db_;
+  engine::Database reordered_db_;
+  bool initialized_ = false;
+};
+
+}  // namespace prore::core
+
+#endif  // PRORE_CORE_EVALUATION_H_

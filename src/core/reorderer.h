@@ -1,0 +1,95 @@
+#ifndef PRORE_CORE_REORDERER_H_
+#define PRORE_CORE_REORDERER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/mode_inference.h"
+#include "analysis/modes.h"
+#include "common/result.h"
+#include "core/goal_order.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::core {
+
+/// Configuration of the whole reordering system (paper Fig. 3).
+struct ReorderOptions {
+  GoalOrderOptions goal_search;
+  analysis::InferenceOptions inference;
+  /// Reorder clauses within predicates by decreasing p/c (§III-A).
+  bool reorder_clauses = true;
+  /// Reorder goals within clause bodies (§III-B, §VI).
+  bool reorder_goals = true;
+  /// Generate one version of each predicate per calling mode, with a
+  /// var/nonvar dispatcher under the original name (§VII, Fig. 7).
+  bool specialize_modes = true;
+  /// §V-D run-time tests: when a clause would reorder better under the
+  /// assumption that its head arguments are instantiated, emit
+  /// `( ground(A1), ... -> reordered ; original )` — "if the variables
+  /// pass the tests, we use the new order and gain efficiency; if they
+  /// fail, we use the original order and lose only the cost of the
+  /// tests". Most useful with specialize_modes off.
+  bool runtime_guards = false;
+  /// Emit a guard only when the optimistic order is predicted at least
+  /// this much cheaper (ratio of all-solutions costs).
+  double guard_min_gain = 1.15;
+  /// Reorder recursive predicates only when the user declared their legal
+  /// modes (`:- legal_mode(...)`), the paper's §IV-D.7 position: "we assume
+  /// for now that the programmer declares a predicate recursive and
+  /// provides necessary information".
+  bool reorder_recursive_only_if_declared = true;
+  /// Dispatchers enumerate 2^arity branches; skip beyond this arity.
+  uint32_t max_dispatch_arity = 6;
+  /// Cap on generated versions per predicate.
+  size_t max_versions_per_pred = 64;
+};
+
+/// Per-(predicate, mode) account of what the reorderer did.
+struct PredModeReport {
+  term::PredId pred;
+  analysis::Mode mode;
+  std::string version_name;
+  bool clauses_changed = false;
+  bool goals_changed = false;
+  /// Model-predicted all-solutions cost of the predicate's bodies before
+  /// and after (sums over clauses; heuristic units of "calls").
+  double predicted_original_cost = 0.0;
+  double predicted_new_cost = 0.0;
+};
+
+struct ReorderResult {
+  reader::Program program;  ///< transformed program (versions + dispatchers)
+  std::vector<PredModeReport> reports;
+  analysis::ModeAnalysis modes;  ///< the inference results used
+  std::vector<std::string> notes;  ///< human-readable diagnostics
+};
+
+/// The reordering system: ties together the restriction analyses (§IV),
+/// the legal-mode machinery (§V) and the Markov-chain order search (§VI)
+/// into a source-to-source transformation preserving set-equivalence.
+class Reorderer {
+ public:
+  explicit Reorderer(term::TermStore* store,
+                     ReorderOptions options = ReorderOptions())
+      : store_(store), options_(options) {}
+
+  /// Transforms `original`. The result program answers the same queries
+  /// (same answer sets, possibly different order); queries must go through
+  /// the original predicate names, which become dispatchers when
+  /// specialization is on.
+  prore::Result<ReorderResult> Run(const reader::Program& original);
+
+  /// Name of the specialized version of `id` for `mode`, e.g. aunt_iu.
+  static std::string VersionName(const term::TermStore& store,
+                                 const term::PredId& id,
+                                 const analysis::Mode& mode);
+
+ private:
+  term::TermStore* store_;
+  ReorderOptions options_;
+};
+
+}  // namespace prore::core
+
+#endif  // PRORE_CORE_REORDERER_H_

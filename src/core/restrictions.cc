@@ -1,0 +1,154 @@
+#include "core/restrictions.h"
+
+#include <deque>
+
+namespace prore::core {
+
+using analysis::BodyKind;
+using analysis::BodyNode;
+using analysis::CallGraph;
+using analysis::FixityResult;
+using analysis::PredSet;
+using term::PredId;
+using term::TermRef;
+using term::TermStore;
+
+bool IsImmobile(const TermStore& store, const BodyNode& node,
+                const FixityResult& fixity) {
+  switch (node.kind) {
+    case BodyKind::kTrue:
+    case BodyKind::kFail:
+      return false;
+    case BodyKind::kCut:
+      return true;
+    case BodyKind::kCall: {
+      PredId id = store.pred_id(store.Deref(node.goal));
+      if (fixity.IsFixed(id)) return true;
+      return analysis::IsSideEffectBuiltin(store.symbols().Name(id.name),
+                                           id.arity);
+    }
+    case BodyKind::kNeg:
+    case BodyKind::kSetPred:
+      // Mobile as a unit unless something inside has side-effects.
+      return IsImmobile(store, *node.children[0], fixity);
+    case BodyKind::kConj:
+    case BodyKind::kDisj:
+    case BodyKind::kIfThenElse:
+      for (const auto& child : node.children) {
+        if (IsImmobile(store, *child, fixity)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+prore::Result<ClausePlan> PlanClause(const TermStore& store,
+                                     const BodyNode& body,
+                                     const FixityResult& fixity,
+                                     const CallGraph& graph) {
+  (void)graph;
+  ClausePlan plan;
+  std::vector<const BodyNode*> sequence;
+  if (body.kind == BodyKind::kConj) {
+    for (const auto& child : body.children) sequence.push_back(child.get());
+  } else {
+    sequence.push_back(&body);
+  }
+
+  // Find the last top-level cut: everything up to it is frozen.
+  size_t freeze_until = 0;  // number of leading elements that are frozen
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    if (sequence[i]->kind == BodyKind::kCut) {
+      plan.has_cut = true;
+      freeze_until = i + 1;
+    }
+  }
+
+  if (freeze_until > 0) {
+    Segment frozen;
+    frozen.frozen = true;
+    for (size_t i = 0; i + 1 < freeze_until; ++i) {
+      frozen.elements.push_back(sequence[i]);
+    }
+    frozen.barrier = sequence[freeze_until - 1];  // the cut itself
+    plan.segments.push_back(std::move(frozen));
+  }
+
+  Segment current;
+  for (size_t i = freeze_until; i < sequence.size(); ++i) {
+    const BodyNode* node = sequence[i];
+    if (IsImmobile(store, *node, fixity)) {
+      current.barrier = node;
+      plan.segments.push_back(std::move(current));
+      current = Segment();
+    } else {
+      current.elements.push_back(node);
+    }
+  }
+  if (!current.elements.empty() || plan.segments.empty()) {
+    plan.segments.push_back(std::move(current));
+  }
+  return plan;
+}
+
+prore::Result<PredSet> FrozenDescendants(const TermStore& store,
+                                         const reader::Program& program,
+                                         const CallGraph& graph) {
+  PredSet seeds;
+  for (const PredId& pred : graph.Preds()) {
+    for (const reader::Clause& clause : program.ClausesOf(pred)) {
+      PRORE_ASSIGN_OR_RETURN(auto body, analysis::ParseBody(store,
+                                                            clause.body));
+      // Collect user-predicate goals occurring before a top-level cut and
+      // inside if-then-else conditions (also committed regions).
+      std::vector<const BodyNode*> sequence;
+      if (body->kind == BodyKind::kConj) {
+        for (const auto& child : body->children) {
+          sequence.push_back(child.get());
+        }
+      } else {
+        sequence.push_back(body.get());
+      }
+      size_t last_cut = 0;
+      for (size_t i = 0; i < sequence.size(); ++i) {
+        if (sequence[i]->kind == BodyKind::kCut) last_cut = i + 1;
+      }
+      auto seed_goals = [&](const BodyNode& node) {
+        std::vector<TermRef> goals;
+        analysis::CollectCalledGoals(store, node, &goals);
+        for (TermRef g : goals) {
+          seeds.insert(store.pred_id(store.Deref(g)));
+        }
+      };
+      if (last_cut > 0) {
+        // Elements before the last cut (the cut is at index last_cut - 1).
+        for (size_t i = 0; i + 1 < last_cut; ++i) seed_goals(*sequence[i]);
+      }
+      // If-then-else conditions commit like cuts.
+      std::deque<const BodyNode*> work;
+      work.push_back(body.get());
+      while (!work.empty()) {
+        const BodyNode* n = work.front();
+        work.pop_front();
+        if (n->kind == BodyKind::kIfThenElse) {
+          seed_goals(*n->children[0]);
+        }
+        for (const auto& child : n->children) work.push_back(child.get());
+      }
+    }
+  }
+  // Close over descendants.
+  PredSet frozen;
+  std::deque<PredId> work(seeds.begin(), seeds.end());
+  while (!work.empty()) {
+    PredId p = work.front();
+    work.pop_front();
+    if (!frozen.insert(p).second) continue;
+    for (const PredId& callee : graph.Callees(p)) {
+      if (frozen.count(callee) == 0) work.push_back(callee);
+    }
+  }
+  return frozen;
+}
+
+}  // namespace prore::core

@@ -1,0 +1,59 @@
+#ifndef PRORE_CORE_RESTRICTIONS_H_
+#define PRORE_CORE_RESTRICTIONS_H_
+
+#include <memory>
+#include <vector>
+
+#include "analysis/body.h"
+#include "analysis/callgraph.h"
+#include "analysis/fixity.h"
+#include "common/result.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::core {
+
+/// A maximal run of mutually-permutable body elements, ending at an
+/// immobile barrier (Table I): a fixed goal, a cut, or the end of the
+/// clause. Elements inside `frozen` segments keep their source order
+/// (goals before a cut, premises of if-then-else).
+struct Segment {
+  std::vector<const analysis::BodyNode*> elements;  ///< permutable, in order
+  const analysis::BodyNode* barrier = nullptr;  ///< immobile element after
+                                                ///< the run (may be null)
+  bool frozen = false;  ///< order must be preserved even inside the run
+};
+
+/// The mobility structure of one clause body's top-level sequence.
+struct ClausePlan {
+  std::vector<Segment> segments;
+  bool has_cut = false;  ///< clause carries a (clause-level) cut
+};
+
+/// Splits the top-level sequence of `body` into segments (paper §IV):
+///  - goals calling fixed predicates and side-effect built-ins are
+///    barriers (they keep their position; nothing crosses them);
+///  - everything up to and including the last top-level cut is frozen;
+///  - other elements (calls, negations, disjunctions, if-then-elses,
+///    set-predicates) are mobile within their segment.
+prore::Result<ClausePlan> PlanClause(const term::TermStore& store,
+                                     const analysis::BodyNode& body,
+                                     const analysis::FixityResult& fixity,
+                                     const analysis::CallGraph& graph);
+
+/// True if `node` must act as a barrier: a call to a fixed predicate or a
+/// side-effect built-in, or a control construct containing one.
+bool IsImmobile(const term::TermStore& store, const analysis::BodyNode& node,
+                const analysis::FixityResult& fixity);
+
+/// Predicates whose *internal* order must not change because a goal that
+/// (transitively) calls them appears before a cut somewhere in the program:
+/// reordering them could change the first answer the cut commits to
+/// (§IV-D.1 — preserving set-equivalence).
+prore::Result<analysis::PredSet> FrozenDescendants(
+    const term::TermStore& store, const reader::Program& program,
+    const analysis::CallGraph& graph);
+
+}  // namespace prore::core
+
+#endif  // PRORE_CORE_RESTRICTIONS_H_

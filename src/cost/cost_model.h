@@ -1,0 +1,140 @@
+#ifndef PRORE_COST_COST_MODEL_H_
+#define PRORE_COST_COST_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/body.h"
+#include "analysis/callgraph.h"
+#include "analysis/mode_inference.h"
+#include "analysis/modes.h"
+#include "common/result.h"
+#include "markov/chain.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::cost {
+
+/// Everything the Markov-chain reorderer needs to know about calling a
+/// predicate in a particular mode (paper §VI-A.4 and §VI-B.2: "probabilities
+/// and costs ... declared or inferred").
+struct PredModeStats {
+  /// P(at least one solution).
+  double success_prob = 0.5;
+  /// Expected number of solutions over full backtracking.
+  double expected_solutions = 1.0;
+  /// Expected calls until the first solution or failure.
+  double cost_single = 1.0;
+  /// Expected calls to exhaust the predicate.
+  double cost_all = 1.0;
+};
+
+/// Expected cost of calling a predicate once, trying clauses in order until
+/// one succeeds, *including* the all-fail path:
+///   sum_k [prod_{j<k}(1-p_j)] p_k C_k  +  [prod_j (1-p_j)] C_n,
+/// with C_k the cumulative cost of the first k clauses. This extends the
+/// paper's Fig. 1 formula (which conditions on success) with the failure
+/// residual so it can serve as a call cost.
+double ExpectedSingleCallCost(const std::vector<double>& success_prob,
+                              const std::vector<double>& cost);
+
+/// Result of evaluating one candidate ordering of body elements.
+struct BlockEval {
+  bool legal = true;                 ///< every call satisfied its demands
+  markov::ChainAnalysis chain;       ///< chain over the elements, in order
+  analysis::AbstractEnv env_after;   ///< abstract bindings after the block
+  std::vector<markov::GoalStats> goal_stats;  ///< per element, in order
+};
+
+/// Cost/probability database for a program: Warren-style statistics for
+/// fact predicates, a hand-written table for built-ins, Markov-chain
+/// propagation for rules (bottom-up over the SCC condensation), `:- prob` /
+/// `:- cost` declarations for recursive predicates that resist analysis.
+///
+/// The reorderer overrides a predicate's stats after improving it, so
+/// callers higher in the call graph are costed against the reordered
+/// version (paper Fig. 3's upward information flow).
+class CostModel {
+ public:
+  CostModel(const term::TermStore* store, const reader::Program* program,
+            const analysis::CallGraph* graph,
+            const analysis::Declarations* decls,
+            analysis::LegalityOracle* oracle);
+
+  /// Stats for calling `id` in `call_mode`. Never fails: unknown
+  /// predicates get defaults; infinities are clamped.
+  PredModeStats StatsFor(const term::PredId& id, const analysis::Mode& mode);
+
+  /// Pins the stats of (id, mode), e.g. after the predicate was reordered.
+  void SetOverride(const term::PredId& id, const analysis::Mode& mode,
+                   const PredModeStats& stats);
+
+  /// Stats for one body element (call / negation / disjunction / ...)
+  /// under `env`. For kCall this is StatsFor of the callee in the goal's
+  /// current mode; control constructs combine their children.
+  PredModeStats NodeStats(const analysis::BodyNode& node,
+                          const analysis::AbstractEnv& env);
+
+  /// Evaluates a sequence of body elements in the given order starting
+  /// from `start`: legality of each call, the absorbing-chain analysis of
+  /// the sequence, and the abstract environment after it.
+  prore::Result<BlockEval> EvaluateSequence(
+      const std::vector<const analysis::BodyNode*>& order,
+      const analysis::AbstractEnv& start);
+
+  /// Warren-style head-match probability: for each '+' call position whose
+  /// head argument is nonvariable, multiply by 1/|domain of that position|
+  /// (domain = distinct principal functors across the predicate's clauses).
+  double HeadMatchProb(const term::PredId& id, term::TermRef head,
+                       const analysis::Mode& call_mode);
+
+  /// Expected number of clause-head matches for a call in `mode`
+  /// (Warren's "number of alternatives" factor, §I-E).
+  double ExpectedMatches(const term::PredId& id, const analysis::Mode& mode);
+
+  /// Applies a node's effect on the abstract environment (bindings) —
+  /// public so the reorderer can thread environments through emission.
+  void AdvanceEnv(const analysis::BodyNode& node, analysis::AbstractEnv* env) {
+    ApplyNode(node, env);
+  }
+
+ private:
+  struct Domains {
+    /// Distinct ground keys per argument position; 0 means "some clause
+    /// has a variable there" (matches everything).
+    std::vector<size_t> distinct;
+    std::vector<bool> any_var;
+    size_t num_clauses = 0;
+  };
+
+  const Domains& DomainsFor(const term::PredId& id);
+  PredModeStats ComputePredStats(const term::PredId& id,
+                                 const analysis::Mode& mode);
+  PredModeStats BuiltinStats(const std::string& name, uint32_t arity,
+                             const analysis::Mode& mode);
+  /// Applies a node's effect on the abstract environment (bindings).
+  void ApplyNode(const analysis::BodyNode& node, analysis::AbstractEnv* env);
+  /// True if every call in the node is legal under env (recursing into
+  /// control constructs with the appropriate sub-environments).
+  bool NodeLegal(const analysis::BodyNode& node,
+                 const analysis::AbstractEnv& env);
+
+  std::string Key(const term::PredId& id, const analysis::Mode& mode) const;
+
+  const term::TermStore* store_;
+  const reader::Program* program_;
+  const analysis::CallGraph* graph_;
+  const analysis::Declarations* decls_;
+  analysis::LegalityOracle* oracle_;
+
+  std::unordered_map<std::string, PredModeStats> memo_;
+  std::unordered_set<std::string> in_progress_;
+  std::unordered_map<term::PredId, Domains, term::PredIdHash> domains_;
+};
+
+}  // namespace prore::cost
+
+#endif  // PRORE_COST_COST_MODEL_H_

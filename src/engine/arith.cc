@@ -1,0 +1,152 @@
+#include "engine/arith.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace prore::engine {
+
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+namespace {
+
+prore::Status ZeroDivisor() {
+  return prore::Status::TypeError("arithmetic: zero divisor");
+}
+
+}  // namespace
+
+prore::Result<Number> EvalArith(const TermStore& store, TermRef expr) {
+  expr = store.Deref(expr);
+  switch (store.tag(expr)) {
+    case Tag::kVar:
+      return prore::Status::InstantiationError(
+          "arithmetic: unbound variable in expression");
+    case Tag::kInt:
+      return Number::Int(store.int_value(expr));
+    case Tag::kFloat:
+      return Number::Float(store.float_value(expr));
+    case Tag::kAtom:
+      return prore::Status::TypeError(prore::StrFormat(
+          "arithmetic: atom '%s' is not a number",
+          store.symbols().Name(store.symbol(expr)).c_str()));
+    case Tag::kStruct:
+      break;
+  }
+  const std::string& name = store.symbols().Name(store.symbol(expr));
+  uint32_t n = store.arity(expr);
+  if (n == 1) {
+    PRORE_ASSIGN_OR_RETURN(Number a, EvalArith(store, store.arg(expr, 0)));
+    if (name == "-") {
+      return a.is_float ? Number::Float(-a.f) : Number::Int(-a.i);
+    }
+    if (name == "+") return a;
+    if (name == "abs") {
+      return a.is_float ? Number::Float(std::fabs(a.f))
+                        : Number::Int(a.i < 0 ? -a.i : a.i);
+    }
+    if (name == "sign") {
+      double v = a.AsDouble();
+      return Number::Int(v < 0 ? -1 : (v > 0 ? 1 : 0));
+    }
+    if (name == "float") return Number::Float(a.AsDouble());
+    if (name == "integer" || name == "truncate") {
+      return Number::Int(static_cast<int64_t>(a.AsDouble()));
+    }
+    if (name == "sqrt") return Number::Float(std::sqrt(a.AsDouble()));
+    if (name == "log") return Number::Float(std::log(a.AsDouble()));
+    if (name == "exp") return Number::Float(std::exp(a.AsDouble()));
+    return prore::Status::TypeError(
+        prore::StrFormat("arithmetic: unknown function %s/1", name.c_str()));
+  }
+  if (n == 2) {
+    PRORE_ASSIGN_OR_RETURN(Number a, EvalArith(store, store.arg(expr, 0)));
+    PRORE_ASSIGN_OR_RETURN(Number b, EvalArith(store, store.arg(expr, 1)));
+    bool fl = a.is_float || b.is_float;
+    if (name == "+") {
+      return fl ? Number::Float(a.AsDouble() + b.AsDouble())
+                : Number::Int(a.i + b.i);
+    }
+    if (name == "-") {
+      return fl ? Number::Float(a.AsDouble() - b.AsDouble())
+                : Number::Int(a.i - b.i);
+    }
+    if (name == "*") {
+      return fl ? Number::Float(a.AsDouble() * b.AsDouble())
+                : Number::Int(a.i * b.i);
+    }
+    if (name == "/") {
+      if (!fl) {
+        if (b.i == 0) return ZeroDivisor();
+        if (a.i % b.i == 0) return Number::Int(a.i / b.i);
+        return Number::Float(static_cast<double>(a.i) /
+                             static_cast<double>(b.i));
+      }
+      if (b.AsDouble() == 0.0) return ZeroDivisor();
+      return Number::Float(a.AsDouble() / b.AsDouble());
+    }
+    if (name == "//") {
+      if (fl) {
+        return prore::Status::TypeError("arithmetic: '//' needs integers");
+      }
+      if (b.i == 0) return ZeroDivisor();
+      return Number::Int(a.i / b.i);
+    }
+    if (name == "mod") {
+      if (fl) {
+        return prore::Status::TypeError("arithmetic: 'mod' needs integers");
+      }
+      if (b.i == 0) return ZeroDivisor();
+      int64_t m = a.i % b.i;
+      if (m != 0 && ((m < 0) != (b.i < 0))) m += b.i;  // floor semantics
+      return Number::Int(m);
+    }
+    if (name == "rem") {
+      if (fl) {
+        return prore::Status::TypeError("arithmetic: 'rem' needs integers");
+      }
+      if (b.i == 0) return ZeroDivisor();
+      return Number::Int(a.i % b.i);
+    }
+    if (name == "min") {
+      return a.AsDouble() <= b.AsDouble() ? a : b;
+    }
+    if (name == "max") {
+      return a.AsDouble() >= b.AsDouble() ? a : b;
+    }
+    if (name == ">>" || name == "<<" || name == "/\\" || name == "\\/") {
+      if (fl) {
+        return prore::Status::TypeError("arithmetic: bit ops need integers");
+      }
+      if (name == ">>") return Number::Int(a.i >> b.i);
+      if (name == "<<") return Number::Int(a.i << b.i);
+      if (name == "/\\") return Number::Int(a.i & b.i);
+      return Number::Int(a.i | b.i);
+    }
+    if (name == "^" || name == "**") {
+      if (!fl && b.i >= 0) {
+        int64_t r = 1;
+        for (int64_t k = 0; k < b.i; ++k) r *= a.i;
+        return Number::Int(r);
+      }
+      return Number::Float(std::pow(a.AsDouble(), b.AsDouble()));
+    }
+    return prore::Status::TypeError(
+        prore::StrFormat("arithmetic: unknown function %s/2", name.c_str()));
+  }
+  return prore::Status::TypeError(prore::StrFormat(
+      "arithmetic: unknown function %s/%u", name.c_str(), n));
+}
+
+prore::Result<int64_t> EvalArithInt(const TermStore& store, TermRef expr) {
+  PRORE_ASSIGN_OR_RETURN(Number v, EvalArith(store, expr));
+  if (v.is_float) {
+    return prore::Status::TypeError("arithmetic: integer expected");
+  }
+  return v.i;
+}
+
+}  // namespace prore::engine

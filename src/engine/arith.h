@@ -1,0 +1,43 @@
+#ifndef PRORE_ENGINE_ARITH_H_
+#define PRORE_ENGINE_ARITH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "term/store.h"
+
+namespace prore::engine {
+
+/// An arithmetic value: integer or double, mirroring the two numeric term
+/// tags. Integer operations stay exact; any float operand promotes.
+struct Number {
+  bool is_float = false;
+  int64_t i = 0;
+  double f = 0.0;
+
+  static Number Int(int64_t v) { return Number{false, v, 0.0}; }
+  static Number Float(double v) { return Number{true, 0, v}; }
+
+  double AsDouble() const { return is_float ? f : static_cast<double>(i); }
+
+  /// The corresponding term.
+  term::TermRef ToTerm(term::TermStore* store) const {
+    return is_float ? store->MakeFloat(f) : store->MakeInt(i);
+  }
+};
+
+/// Evaluates an arithmetic expression term: +, -, *, /, //, mod, rem,
+/// min/2, max/2, abs/1, sign/1, unary -, unary +, bit ops, ^/**.
+/// / yields a float unless both operands are integers that divide evenly.
+/// Fails with InstantiationError on unbound variables and TypeError on
+/// non-numeric leaves.
+prore::Result<Number> EvalArith(const term::TermStore& store,
+                                term::TermRef expr);
+
+/// As EvalArith but demands an integer result (e.g. tab/1).
+prore::Result<int64_t> EvalArithInt(const term::TermStore& store,
+                                    term::TermRef expr);
+
+}  // namespace prore::engine
+
+#endif  // PRORE_ENGINE_ARITH_H_

@@ -1,0 +1,761 @@
+#include "engine/builtins.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "engine/arith.h"
+#include "engine/machine.h"
+#include "reader/writer.h"
+
+namespace prore::engine {
+
+namespace {
+
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+TermRef Arg(Machine* m, TermRef goal, uint32_t i) {
+  return m->store().Deref(m->store().arg(goal, i));
+}
+
+/// Converts a proper list to a vector; false if not a proper list.
+bool ListToVector(const TermStore& store, TermRef list,
+                  std::vector<TermRef>* out) {
+  list = store.Deref(list);
+  while (true) {
+    if (store.IsNil(list)) return true;
+    if (!store.IsCons(list)) return false;
+    list = store.Deref(list);
+    out->push_back(store.arg(list, 0));
+    list = store.Deref(store.arg(list, 1));
+  }
+}
+
+// ---- Unification and comparison -------------------------------------------
+
+prore::Status BiUnify(Machine* m, TermRef g, bool* success) {
+  *success = m->Unify(Arg(m, g, 0), Arg(m, g, 1));
+  return prore::Status::OK();
+}
+
+prore::Status BiNotUnify(Machine* m, TermRef g, bool* success) {
+  size_t mark = m->TrailMark();
+  bool unifies = m->Unify(Arg(m, g, 0), Arg(m, g, 1));
+  m->TrailUndo(mark);
+  *success = !unifies;
+  return prore::Status::OK();
+}
+
+prore::Status BiStructEq(Machine* m, TermRef g, bool* success) {
+  *success = m->store().Equal(Arg(m, g, 0), Arg(m, g, 1));
+  return prore::Status::OK();
+}
+
+prore::Status BiStructNeq(Machine* m, TermRef g, bool* success) {
+  *success = !m->store().Equal(Arg(m, g, 0), Arg(m, g, 1));
+  return prore::Status::OK();
+}
+
+template <int Lo, int Hi>
+prore::Status BiTermOrder(Machine* m, TermRef g, bool* success) {
+  int c = m->store().Compare(Arg(m, g, 0), Arg(m, g, 1));
+  *success = c >= Lo && c <= Hi;
+  return prore::Status::OK();
+}
+
+prore::Status BiCompare(Machine* m, TermRef g, bool* success) {
+  int c = m->store().Compare(Arg(m, g, 1), Arg(m, g, 2));
+  const char* rel = c < 0 ? "<" : (c == 0 ? "=" : ">");
+  *success = m->Unify(Arg(m, g, 0), m->store().MakeAtom(rel));
+  return prore::Status::OK();
+}
+
+// ---- Type tests ------------------------------------------------------------
+
+prore::Status BiVar(Machine* m, TermRef g, bool* success) {
+  *success = m->store().tag(Arg(m, g, 0)) == Tag::kVar;
+  return prore::Status::OK();
+}
+
+prore::Status BiNonvar(Machine* m, TermRef g, bool* success) {
+  *success = m->store().tag(Arg(m, g, 0)) != Tag::kVar;
+  return prore::Status::OK();
+}
+
+prore::Status BiAtom(Machine* m, TermRef g, bool* success) {
+  *success = m->store().tag(Arg(m, g, 0)) == Tag::kAtom;
+  return prore::Status::OK();
+}
+
+prore::Status BiInteger(Machine* m, TermRef g, bool* success) {
+  *success = m->store().tag(Arg(m, g, 0)) == Tag::kInt;
+  return prore::Status::OK();
+}
+
+prore::Status BiFloat(Machine* m, TermRef g, bool* success) {
+  *success = m->store().tag(Arg(m, g, 0)) == Tag::kFloat;
+  return prore::Status::OK();
+}
+
+prore::Status BiNumber(Machine* m, TermRef g, bool* success) {
+  Tag t = m->store().tag(Arg(m, g, 0));
+  *success = t == Tag::kInt || t == Tag::kFloat;
+  return prore::Status::OK();
+}
+
+prore::Status BiAtomic(Machine* m, TermRef g, bool* success) {
+  Tag t = m->store().tag(Arg(m, g, 0));
+  *success = t == Tag::kAtom || t == Tag::kInt || t == Tag::kFloat;
+  return prore::Status::OK();
+}
+
+prore::Status BiCompound(Machine* m, TermRef g, bool* success) {
+  *success = m->store().tag(Arg(m, g, 0)) == Tag::kStruct;
+  return prore::Status::OK();
+}
+
+prore::Status BiCallable(Machine* m, TermRef g, bool* success) {
+  *success = m->store().IsCallable(Arg(m, g, 0));
+  return prore::Status::OK();
+}
+
+prore::Status BiGround(Machine* m, TermRef g, bool* success) {
+  *success = m->store().IsGround(Arg(m, g, 0));
+  return prore::Status::OK();
+}
+
+prore::Status BiIsList(Machine* m, TermRef g, bool* success) {
+  std::vector<TermRef> ignored;
+  *success = ListToVector(m->store(), Arg(m, g, 0), &ignored);
+  return prore::Status::OK();
+}
+
+// ---- Arithmetic ------------------------------------------------------------
+
+prore::Status BiIs(Machine* m, TermRef g, bool* success) {
+  PRORE_ASSIGN_OR_RETURN(Number v, EvalArith(m->store(), Arg(m, g, 1)));
+  *success = m->Unify(Arg(m, g, 0), v.ToTerm(&m->store()));
+  return prore::Status::OK();
+}
+
+template <typename Cmp>
+prore::Status BiArithCompare(Machine* m, TermRef g, bool* success, Cmp cmp) {
+  PRORE_ASSIGN_OR_RETURN(Number a, EvalArith(m->store(), Arg(m, g, 0)));
+  PRORE_ASSIGN_OR_RETURN(Number b, EvalArith(m->store(), Arg(m, g, 1)));
+  if (!a.is_float && !b.is_float) {
+    *success = cmp(a.i, b.i);  // exact integer comparison
+  } else {
+    *success = cmp(a.AsDouble(), b.AsDouble());
+  }
+  return prore::Status::OK();
+}
+
+prore::Status BiLt(Machine* m, TermRef g, bool* success) {
+  return BiArithCompare(m, g, success, [](auto a, auto b) { return a < b; });
+}
+prore::Status BiGt(Machine* m, TermRef g, bool* success) {
+  return BiArithCompare(m, g, success, [](auto a, auto b) { return a > b; });
+}
+prore::Status BiLe(Machine* m, TermRef g, bool* success) {
+  return BiArithCompare(m, g, success, [](auto a, auto b) { return a <= b; });
+}
+prore::Status BiGe(Machine* m, TermRef g, bool* success) {
+  return BiArithCompare(m, g, success, [](auto a, auto b) { return a >= b; });
+}
+prore::Status BiArithEq(Machine* m, TermRef g, bool* success) {
+  return BiArithCompare(m, g, success, [](auto a, auto b) { return a == b; });
+}
+prore::Status BiArithNeq(Machine* m, TermRef g, bool* success) {
+  return BiArithCompare(m, g, success, [](auto a, auto b) { return a != b; });
+}
+
+// ---- Term construction and inspection --------------------------------------
+
+prore::Status BiFunctor(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef t = Arg(m, g, 0);
+  TermRef name = Arg(m, g, 1);
+  TermRef arity = Arg(m, g, 2);
+  *success = false;
+  switch (store.tag(t)) {
+    case Tag::kAtom:
+    case Tag::kInt:
+    case Tag::kFloat:
+      *success = m->Unify(name, t) && m->Unify(arity, store.MakeInt(0));
+      return prore::Status::OK();
+    case Tag::kStruct:
+      *success = m->Unify(name, store.MakeAtom(store.symbol(t))) &&
+                 m->Unify(arity, store.MakeInt(store.arity(t)));
+      return prore::Status::OK();
+    case Tag::kVar:
+      break;
+  }
+  // Construction mode: functor(-T, +Name, +Arity).
+  if (store.tag(arity) != Tag::kInt) {
+    return prore::Status::InstantiationError(
+        "functor/3: arity must be bound to an integer");
+  }
+  int64_t n = store.int_value(arity);
+  if (n == 0) {
+    if (store.tag(name) == Tag::kVar) {
+      return prore::Status::InstantiationError(
+          "functor/3: name must be bound");
+    }
+    *success = m->Unify(t, name);
+    return prore::Status::OK();
+  }
+  if (store.tag(name) == Tag::kVar) {
+    return prore::Status::InstantiationError("functor/3: name must be bound");
+  }
+  if (store.tag(name) != Tag::kAtom) {
+    return prore::Status::TypeError("functor/3: functor name must be an atom");
+  }
+  if (n < 0 || n > 1024) {
+    return prore::Status::TypeError("functor/3: bad arity");
+  }
+  std::vector<TermRef> args(static_cast<size_t>(n));
+  for (auto& a : args) a = store.MakeVar();
+  *success = m->Unify(t, store.MakeStruct(store.symbol(name), args));
+  return prore::Status::OK();
+}
+
+prore::Status BiArg(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef n = Arg(m, g, 0);
+  TermRef t = Arg(m, g, 1);
+  *success = false;
+  if (store.tag(n) != Tag::kInt || store.tag(t) != Tag::kStruct) {
+    return prore::Status::InstantiationError(
+        "arg/3: first two arguments must be an integer and a compound");
+  }
+  int64_t i = store.int_value(n);
+  if (i < 1 || i > store.arity(t)) return prore::Status::OK();  // fails
+  *success = m->Unify(Arg(m, g, 2), store.arg(t, static_cast<uint32_t>(i - 1)));
+  return prore::Status::OK();
+}
+
+prore::Status BiUniv(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef t = Arg(m, g, 0);
+  TermRef list = Arg(m, g, 1);
+  *success = false;
+  if (store.tag(t) != Tag::kVar) {
+    std::vector<TermRef> items;
+    switch (store.tag(t)) {
+      case Tag::kAtom:
+      case Tag::kInt:
+      case Tag::kFloat:
+        items.push_back(t);
+        break;
+      case Tag::kStruct: {
+        items.push_back(store.MakeAtom(store.symbol(t)));
+        for (uint32_t i = 0; i < store.arity(t); ++i) {
+          items.push_back(store.arg(t, i));
+        }
+        break;
+      }
+      case Tag::kVar:
+        break;
+    }
+    *success = m->Unify(list, store.MakeList(items));
+    return prore::Status::OK();
+  }
+  std::vector<TermRef> items;
+  if (!ListToVector(store, list, &items) || items.empty()) {
+    return prore::Status::InstantiationError(
+        "=../2: second argument must be a non-empty proper list");
+  }
+  TermRef head = store.Deref(items[0]);
+  if (items.size() == 1) {
+    *success = m->Unify(t, head);
+    return prore::Status::OK();
+  }
+  if (store.tag(head) != Tag::kAtom) {
+    return prore::Status::TypeError("=../2: functor name must be an atom");
+  }
+  std::vector<TermRef> args(items.begin() + 1, items.end());
+  *success = m->Unify(t, store.MakeStruct(store.symbol(head), args));
+  return prore::Status::OK();
+}
+
+prore::Status BiCopyTerm(Machine* m, TermRef g, bool* success) {
+  TermRef copy = m->store().Rename(Arg(m, g, 0));
+  *success = m->Unify(Arg(m, g, 1), copy);
+  return prore::Status::OK();
+}
+
+// ---- I/O (buffered in the machine; the fixity analysis is what matters) ----
+
+prore::Status BiWrite(Machine* m, TermRef g, bool* success) {
+  reader::WriteOptions opts;
+  opts.quoted = false;
+  m->AppendOutput(reader::WriteTerm(m->store(), Arg(m, g, 0), opts));
+  *success = true;
+  return prore::Status::OK();
+}
+
+prore::Status BiWriteln(Machine* m, TermRef g, bool* success) {
+  PRORE_RETURN_IF_ERROR(BiWrite(m, g, success));
+  m->AppendOutput("\n");
+  return prore::Status::OK();
+}
+
+prore::Status BiNl(Machine* m, TermRef g, bool* success) {
+  (void)g;
+  m->AppendOutput("\n");
+  *success = true;
+  return prore::Status::OK();
+}
+
+prore::Status BiTab(Machine* m, TermRef g, bool* success) {
+  PRORE_ASSIGN_OR_RETURN(int64_t n, EvalArithInt(m->store(), Arg(m, g, 0)));
+  m->AppendOutput(std::string(static_cast<size_t>(std::max<int64_t>(0, n)), ' '));
+  *success = true;
+  return prore::Status::OK();
+}
+
+// ---- All-solutions predicates ----------------------------------------------
+
+/// Strips `V^Goal` wrappers (bagof/setof existential quantification).
+TermRef StripCarets(const TermStore& store, TermRef goal) {
+  goal = store.Deref(goal);
+  while (store.tag(goal) == Tag::kStruct && store.arity(goal) == 2 &&
+         store.symbols().Name(store.symbol(goal)) == "^") {
+    goal = store.Deref(store.arg(goal, 1));
+  }
+  return goal;
+}
+
+prore::Status BiFindall(Machine* m, TermRef g, bool* success) {
+  TermRef tmpl = Arg(m, g, 0);
+  TermRef goal = StripCarets(m->store(), Arg(m, g, 1));
+  PRORE_ASSIGN_OR_RETURN(std::vector<TermRef> items, m->FindAll(goal, tmpl));
+  *success = m->Unify(Arg(m, g, 2), m->store().MakeList(items));
+  return prore::Status::OK();
+}
+
+prore::Status BiBagof(Machine* m, TermRef g, bool* success) {
+  // Simplified bagof (the paper treats set-predicates "cursorily" and we
+  // follow suit): findall semantics, but fails on an empty bag. Free
+  // variables of the goal are not enumerated.
+  TermRef tmpl = Arg(m, g, 0);
+  TermRef goal = StripCarets(m->store(), Arg(m, g, 1));
+  PRORE_ASSIGN_OR_RETURN(std::vector<TermRef> items, m->FindAll(goal, tmpl));
+  if (items.empty()) {
+    *success = false;
+    return prore::Status::OK();
+  }
+  *success = m->Unify(Arg(m, g, 2), m->store().MakeList(items));
+  return prore::Status::OK();
+}
+
+prore::Status BiSetof(Machine* m, TermRef g, bool* success) {
+  TermRef tmpl = Arg(m, g, 0);
+  TermRef goal = StripCarets(m->store(), Arg(m, g, 1));
+  PRORE_ASSIGN_OR_RETURN(std::vector<TermRef> items, m->FindAll(goal, tmpl));
+  if (items.empty()) {
+    *success = false;
+    return prore::Status::OK();
+  }
+  TermStore& store = m->store();
+  std::sort(items.begin(), items.end(),
+            [&](TermRef a, TermRef b) { return store.Compare(a, b) < 0; });
+  items.erase(std::unique(items.begin(), items.end(),
+                          [&](TermRef a, TermRef b) {
+                            return store.Compare(a, b) == 0;
+                          }),
+              items.end());
+  *success = m->Unify(Arg(m, g, 2), store.MakeList(items));
+  return prore::Status::OK();
+}
+
+prore::Status SortList(Machine* m, TermRef g, bool dedup, bool* success) {
+  TermStore& store = m->store();
+  std::vector<TermRef> items;
+  *success = false;
+  if (!ListToVector(store, Arg(m, g, 0), &items)) {
+    return prore::Status::InstantiationError(
+        "sort/2: first argument must be a proper list");
+  }
+  std::sort(items.begin(), items.end(),
+            [&](TermRef a, TermRef b) { return store.Compare(a, b) < 0; });
+  if (dedup) {
+    items.erase(std::unique(items.begin(), items.end(),
+                            [&](TermRef a, TermRef b) {
+                              return store.Compare(a, b) == 0;
+                            }),
+                items.end());
+  }
+  *success = m->Unify(Arg(m, g, 1), store.MakeList(items));
+  return prore::Status::OK();
+}
+
+prore::Status BiSort(Machine* m, TermRef g, bool* success) {
+  return SortList(m, g, /*dedup=*/true, success);
+}
+
+prore::Status BiMsort(Machine* m, TermRef g, bool* success) {
+  return SortList(m, g, /*dedup=*/false, success);
+}
+
+// ---- Atom/string built-ins ---------------------------------------------------
+
+prore::Status AtomName(Machine* m, TermRef t, std::string* out) {
+  TermStore& store = m->store();
+  t = store.Deref(t);
+  switch (store.tag(t)) {
+    case Tag::kAtom:
+      *out = store.symbols().Name(store.symbol(t));
+      return prore::Status::OK();
+    case Tag::kInt:
+      *out = std::to_string(store.int_value(t));
+      return prore::Status::OK();
+    case Tag::kFloat: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", store.float_value(t));
+      *out = buf;
+      return prore::Status::OK();
+    }
+    default:
+      return prore::Status::TypeError("expected an atomic term");
+  }
+}
+
+prore::Status BiAtomLength(Machine* m, TermRef g, bool* success) {
+  TermRef a = Arg(m, g, 0);
+  if (m->store().tag(a) == Tag::kVar) {
+    return prore::Status::InstantiationError("atom_length/2: unbound atom");
+  }
+  std::string name;
+  PRORE_RETURN_IF_ERROR(AtomName(m, a, &name));
+  *success = m->Unify(Arg(m, g, 1),
+                      m->store().MakeInt(static_cast<int64_t>(name.size())));
+  return prore::Status::OK();
+}
+
+prore::Status BiAtomCodes(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef a = Arg(m, g, 0);
+  *success = false;
+  if (store.tag(a) != Tag::kVar) {
+    std::string name;
+    PRORE_RETURN_IF_ERROR(AtomName(m, a, &name));
+    std::vector<TermRef> codes;
+    for (unsigned char c : name) codes.push_back(store.MakeInt(c));
+    *success = m->Unify(Arg(m, g, 1), store.MakeList(codes));
+    return prore::Status::OK();
+  }
+  std::vector<TermRef> items;
+  if (!ListToVector(store, Arg(m, g, 1), &items)) {
+    return prore::Status::InstantiationError(
+        "atom_codes/2: both arguments unbound");
+  }
+  std::string name;
+  for (TermRef item : items) {
+    item = store.Deref(item);
+    if (store.tag(item) != Tag::kInt) {
+      return prore::Status::TypeError("atom_codes/2: non-code in list");
+    }
+    name.push_back(static_cast<char>(store.int_value(item)));
+  }
+  *success = m->Unify(a, store.MakeAtom(name));
+  return prore::Status::OK();
+}
+
+prore::Status BiAtomChars(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef a = Arg(m, g, 0);
+  *success = false;
+  if (store.tag(a) != Tag::kVar) {
+    std::string name;
+    PRORE_RETURN_IF_ERROR(AtomName(m, a, &name));
+    std::vector<TermRef> chars;
+    for (char c : name) chars.push_back(store.MakeAtom(std::string(1, c)));
+    *success = m->Unify(Arg(m, g, 1), store.MakeList(chars));
+    return prore::Status::OK();
+  }
+  std::vector<TermRef> items;
+  if (!ListToVector(store, Arg(m, g, 1), &items)) {
+    return prore::Status::InstantiationError(
+        "atom_chars/2: both arguments unbound");
+  }
+  std::string name;
+  for (TermRef item : items) {
+    item = store.Deref(item);
+    if (store.tag(item) != Tag::kAtom) {
+      return prore::Status::TypeError("atom_chars/2: non-char in list");
+    }
+    name += store.symbols().Name(store.symbol(item));
+  }
+  *success = m->Unify(a, store.MakeAtom(name));
+  return prore::Status::OK();
+}
+
+prore::Status BiCharCode(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef ch = Arg(m, g, 0);
+  TermRef code = Arg(m, g, 1);
+  *success = false;
+  if (store.tag(ch) == Tag::kAtom) {
+    const std::string& name = store.symbols().Name(store.symbol(ch));
+    if (name.size() != 1) {
+      return prore::Status::TypeError("char_code/2: not a one-char atom");
+    }
+    *success = m->Unify(code, store.MakeInt(
+                                   static_cast<unsigned char>(name[0])));
+    return prore::Status::OK();
+  }
+  if (store.tag(code) == Tag::kInt) {
+    char c = static_cast<char>(store.int_value(code));
+    *success = m->Unify(ch, store.MakeAtom(std::string(1, c)));
+    return prore::Status::OK();
+  }
+  return prore::Status::InstantiationError(
+      "char_code/2: both arguments unbound");
+}
+
+prore::Status BiNumberCodes(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef n = Arg(m, g, 0);
+  *success = false;
+  if (store.tag(n) == Tag::kInt || store.tag(n) == Tag::kFloat) {
+    std::string text;
+    PRORE_RETURN_IF_ERROR(AtomName(m, n, &text));
+    std::vector<TermRef> codes;
+    for (unsigned char c : text) codes.push_back(store.MakeInt(c));
+    *success = m->Unify(Arg(m, g, 1), store.MakeList(codes));
+    return prore::Status::OK();
+  }
+  std::vector<TermRef> items;
+  if (!ListToVector(store, Arg(m, g, 1), &items)) {
+    return prore::Status::InstantiationError(
+        "number_codes/2: both arguments unbound");
+  }
+  std::string text;
+  for (TermRef item : items) {
+    item = store.Deref(item);
+    if (store.tag(item) != Tag::kInt) {
+      return prore::Status::TypeError("number_codes/2: non-code in list");
+    }
+    text.push_back(static_cast<char>(store.int_value(item)));
+  }
+  // Parse without exceptions (strto* with full-consumption check).
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  if (text.find('.') != std::string::npos ||
+      text.find('e') != std::string::npos) {
+    double v = std::strtod(begin, &end);
+    if (end == begin || *end != '\0') {
+      return prore::Status::TypeError("number_codes/2: not a number: " + text);
+    }
+    *success = m->Unify(n, store.MakeFloat(v));
+  } else {
+    long long v = std::strtoll(begin, &end, 10);
+    if (end == begin || *end != '\0') {
+      return prore::Status::TypeError("number_codes/2: not a number: " + text);
+    }
+    *success = m->Unify(n, store.MakeInt(v));
+  }
+  return prore::Status::OK();
+}
+
+prore::Status BiAtomConcat(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef a = Arg(m, g, 0);
+  TermRef b = Arg(m, g, 1);
+  *success = false;
+  if (store.tag(a) == Tag::kVar || store.tag(b) == Tag::kVar) {
+    // The enumerating (?,?,+) mode needs choicepoints; this engine keeps
+    // atom_concat deterministic (mode (+,+,?)), like early DEC-10 libs.
+    return prore::Status::InstantiationError(
+        "atom_concat/3: first two arguments must be bound");
+  }
+  std::string na, nb;
+  PRORE_RETURN_IF_ERROR(AtomName(m, a, &na));
+  PRORE_RETURN_IF_ERROR(AtomName(m, b, &nb));
+  *success = m->Unify(Arg(m, g, 2), store.MakeAtom(na + nb));
+  return prore::Status::OK();
+}
+
+prore::Status BiSucc(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef a = Arg(m, g, 0);
+  TermRef b = Arg(m, g, 1);
+  *success = false;
+  if (store.tag(a) == Tag::kInt) {
+    if (store.int_value(a) < 0) {
+      return prore::Status::TypeError("succ/2: negative argument");
+    }
+    *success = m->Unify(b, store.MakeInt(store.int_value(a) + 1));
+    return prore::Status::OK();
+  }
+  if (store.tag(b) == Tag::kInt) {
+    if (store.int_value(b) <= 0) return prore::Status::OK();  // fails
+    *success = m->Unify(a, store.MakeInt(store.int_value(b) - 1));
+    return prore::Status::OK();
+  }
+  return prore::Status::InstantiationError("succ/2: both arguments unbound");
+}
+
+// ---- Dynamic clauses and input (substrate features; excluded from the
+// ----- reorderer's scope, treated as side-effects by the analyses) -------
+
+prore::Status BiAssert(Machine* m, TermRef g, bool* success, bool front) {
+  TermStore& store = m->store();
+  TermRef clause = store.Deref(store.arg(g, 0));
+  if (!store.IsCallable(clause)) {
+    return prore::Status::TypeError("assert: argument must be callable");
+  }
+  // Store an independent copy: later binding changes must not affect the
+  // database (ISO semantics).
+  TermRef copy = store.Rename(clause);
+  PRORE_RETURN_IF_ERROR(m->mutable_db().Assert(&store, copy, front));
+  *success = true;
+  return prore::Status::OK();
+}
+
+prore::Status BiAssertZ(Machine* m, TermRef g, bool* success) {
+  return BiAssert(m, g, success, /*front=*/false);
+}
+
+prore::Status BiAssertA(Machine* m, TermRef g, bool* success) {
+  return BiAssert(m, g, success, /*front=*/true);
+}
+
+prore::Status BiRetract(Machine* m, TermRef g, bool* success) {
+  TermStore& store = m->store();
+  TermRef pattern = store.Deref(store.arg(g, 0));
+  // Normalize to Head/Body.
+  TermRef pat_head = pattern;
+  TermRef pat_body = store.MakeAtom(term::SymbolTable::kTrue);
+  if (store.tag(pattern) == Tag::kStruct && store.arity(pattern) == 2 &&
+      store.symbol(pattern) == term::SymbolTable::kNeck) {
+    pat_head = store.Deref(store.arg(pattern, 0));
+    pat_body = store.Deref(store.arg(pattern, 1));
+  }
+  if (!store.IsCallable(pat_head)) {
+    return prore::Status::TypeError("retract: head must be callable");
+  }
+  term::PredId id = store.pred_id(pat_head);
+  const PredEntry* entry = m->db().Lookup(id);
+  *success = false;
+  if (entry == nullptr) return prore::Status::OK();
+  size_t n = entry->clauses.size();  // snapshot: later asserts invisible
+  for (size_t i = 0; i < n; ++i) {
+    const CompiledClause& cc = entry->clauses[i];
+    if (cc.dead) continue;
+    size_t mark = m->TrailMark();
+    std::unordered_map<uint32_t, TermRef> var_map;
+    TermRef head_copy = store.Rename(cc.head, &var_map);
+    TermRef body_copy = store.Rename(cc.body, &var_map);
+    if (m->Unify(pat_head, head_copy) && m->Unify(pat_body, body_copy)) {
+      m->mutable_db().MarkDead(id, i);
+      *success = true;  // bindings from the match remain (ISO)
+      return prore::Status::OK();
+    }
+    m->TrailUndo(mark);
+  }
+  return prore::Status::OK();
+}
+
+prore::Status BiRead(Machine* m, TermRef g, bool* success) {
+  *success = m->Unify(Arg(m, g, 0), m->NextInputTerm());
+  return prore::Status::OK();
+}
+
+struct NameArity {
+  std::string name;
+  uint32_t arity;
+  bool operator==(const NameArity&) const = default;
+};
+
+struct NameArityHash {
+  size_t operator()(const NameArity& k) const {
+    return std::hash<std::string>()(k.name) ^ (k.arity * 0x9e3779b9u);
+  }
+};
+
+const std::unordered_map<NameArity, BuiltinFn, NameArityHash>& Registry() {
+  static const auto& table = *new std::unordered_map<NameArity, BuiltinFn,
+                                                     NameArityHash>{
+      {{"=", 2}, BiUnify},
+      {{"\\=", 2}, BiNotUnify},
+      {{"==", 2}, BiStructEq},
+      {{"\\==", 2}, BiStructNeq},
+      {{"@<", 2}, BiTermOrder<-1, -1>},
+      {{"@>", 2}, BiTermOrder<1, 1>},
+      {{"@=<", 2}, BiTermOrder<-1, 0>},
+      {{"@>=", 2}, BiTermOrder<0, 1>},
+      {{"compare", 3}, BiCompare},
+      {{"var", 1}, BiVar},
+      // Dispatcher tag test: same as var/1 but uncounted (the paper: the
+      // dispatch "needs merely to test two tag bits").
+      {{"$var_test", 1}, BiVar},
+      {{"nonvar", 1}, BiNonvar},
+      {{"atom", 1}, BiAtom},
+      {{"integer", 1}, BiInteger},
+      {{"float", 1}, BiFloat},
+      {{"number", 1}, BiNumber},
+      {{"atomic", 1}, BiAtomic},
+      {{"compound", 1}, BiCompound},
+      {{"callable", 1}, BiCallable},
+      {{"ground", 1}, BiGround},
+      {{"is_list", 1}, BiIsList},
+      {{"is", 2}, BiIs},
+      {{"<", 2}, BiLt},
+      {{">", 2}, BiGt},
+      {{"=<", 2}, BiLe},
+      {{">=", 2}, BiGe},
+      {{"=:=", 2}, BiArithEq},
+      {{"=\\=", 2}, BiArithNeq},
+      {{"functor", 3}, BiFunctor},
+      {{"arg", 3}, BiArg},
+      {{"=..", 2}, BiUniv},
+      {{"copy_term", 2}, BiCopyTerm},
+      {{"write", 1}, BiWrite},
+      {{"print", 1}, BiWrite},
+      {{"writeln", 1}, BiWriteln},
+      {{"nl", 0}, BiNl},
+      {{"tab", 1}, BiTab},
+      {{"findall", 3}, BiFindall},
+      {{"bagof", 3}, BiBagof},
+      {{"setof", 3}, BiSetof},
+      {{"sort", 2}, BiSort},
+      {{"msort", 2}, BiMsort},
+      {{"atom_length", 2}, BiAtomLength},
+      {{"atom_codes", 2}, BiAtomCodes},
+      {{"atom_chars", 2}, BiAtomChars},
+      {{"char_code", 2}, BiCharCode},
+      {{"number_codes", 2}, BiNumberCodes},
+      {{"atom_concat", 3}, BiAtomConcat},
+      {{"succ", 2}, BiSucc},
+      {{"assert", 1}, BiAssertZ},
+      {{"assertz", 1}, BiAssertZ},
+      {{"asserta", 1}, BiAssertA},
+      {{"retract", 1}, BiRetract},
+      {{"read", 1}, BiRead},
+  };
+  return table;
+}
+
+}  // namespace
+
+BuiltinFn LookupBuiltin(std::string_view name, uint32_t arity) {
+  auto it = Registry().find(NameArity{std::string(name), arity});
+  return it == Registry().end() ? nullptr : it->second;
+}
+
+std::vector<std::pair<std::string, uint32_t>> AllBuiltins() {
+  std::vector<std::pair<std::string, uint32_t>> out;
+  out.reserve(Registry().size());
+  for (const auto& [key, fn] : Registry()) {
+    out.emplace_back(key.name, key.arity);
+  }
+  return out;
+}
+
+}  // namespace prore::engine

@@ -1,0 +1,215 @@
+#include "engine/database.h"
+
+#include "reader/parser.h"
+
+namespace prore::engine {
+
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+const char* LibrarySource() {
+  return R"PL(
+append([], X, X).
+append([H|T], Y, [H|Z]) :- append(T, Y, Z).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, [Y|T]) :- ( X = Y -> true ; memberchk(X, T) ).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], Acc, Acc).
+reverse_([H|T], Acc, R) :- reverse_(T, [H|Acc], R).
+
+length(L, N) :- nonvar(L), length_count(L, 0, N).
+length(L, N) :- var(L), nonvar(N), length_build(L, N).
+length_count([], N, N).
+length_count([_|T], Acc, N) :- Acc1 is Acc + 1, length_count(T, Acc1, N).
+length_build([], 0).
+length_build([_|T], N) :- N > 0, N1 is N - 1, length_build(T, N1).
+
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+nth0(I, L, E) :- nth_(L, 0, I, E).
+nth1(I, L, E) :- nth_(L, 1, I, E).
+nth_([H|_], N, N, H).
+nth_([_|T], N0, N, E) :- N1 is N0 + 1, nth_(T, N1, N, E).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, M1), ( H >= M1 -> M = H ; M = M1 ).
+
+min_list([X], X).
+min_list([H|T], M) :- min_list(T, M1), ( H =< M1 -> M = H ; M = M1 ).
+
+permutation([], []).
+permutation(Xs, [X|Ys]) :- select(X, Xs, Zs), permutation(Zs, Ys).
+
+delete_one(X, [X|Y], Y).
+delete_one(U, [X|Y], [X|V]) :- delete_one(U, Y, V).
+
+forall(Cond, Action) :- \+ (call(Cond), \+ call(Action)).
+)PL";
+}
+
+FirstArgKey Database::KeyForHead(const TermStore& store, TermRef head) {
+  head = store.Deref(head);
+  FirstArgKey key;
+  if (store.tag(head) != Tag::kStruct || store.arity(head) == 0) return key;
+  TermRef a0 = store.Deref(store.arg(head, 0));
+  switch (store.tag(a0)) {
+    case Tag::kVar:
+      key.kind = FirstArgKey::Kind::kAny;
+      break;
+    case Tag::kAtom:
+      key.kind = FirstArgKey::Kind::kAtom;
+      key.symbol = store.symbol(a0);
+      break;
+    case Tag::kInt:
+      key.kind = FirstArgKey::Kind::kInt;
+      key.value = store.int_value(a0);
+      break;
+    case Tag::kFloat:
+      // Floats are rare in the paper's programs; don't index on them.
+      key.kind = FirstArgKey::Kind::kAny;
+      break;
+    case Tag::kStruct:
+      key.kind = FirstArgKey::Kind::kStruct;
+      key.symbol = store.symbol(a0);
+      key.arity = store.arity(a0);
+      break;
+  }
+  return key;
+}
+
+FirstArgKey Database::KeyForCall(const TermStore& store, TermRef goal) {
+  // A call selects exactly the way a head indexes.
+  return KeyForHead(store, goal);
+}
+
+bool Database::KeysCompatible(const FirstArgKey& call_key,
+                              const FirstArgKey& clause_key) {
+  if (call_key.kind == FirstArgKey::Kind::kAny ||
+      clause_key.kind == FirstArgKey::Kind::kAny) {
+    return true;
+  }
+  if (call_key.kind != clause_key.kind) return false;
+  switch (call_key.kind) {
+    case FirstArgKey::Kind::kAtom:
+      return call_key.symbol == clause_key.symbol;
+    case FirstArgKey::Kind::kInt:
+      return call_key.value == clause_key.value;
+    case FirstArgKey::Kind::kStruct:
+      return call_key.symbol == clause_key.symbol &&
+             call_key.arity == clause_key.arity;
+    case FirstArgKey::Kind::kAny:
+      return true;
+  }
+  return true;
+}
+
+void Database::AddProgram(TermStore* store, const reader::Program& program) {
+  for (const term::PredId& id : program.pred_order()) {
+    if (preds_.count(id) > 0) continue;  // First definition wins.
+    PredEntry entry;
+    for (const reader::Clause& clause : program.ClausesOf(id)) {
+      CompiledClause cc;
+      cc.head = clause.head;
+      cc.body = clause.body;
+      cc.key = KeyForHead(*store, clause.head);
+      entry.clauses.push_back(cc);
+    }
+    preds_.emplace(id, std::move(entry));
+  }
+}
+
+prore::Result<Database> Database::Build(TermStore* store,
+                                        const reader::Program& program,
+                                        bool load_library) {
+  Database db;
+  db.AddProgram(store, program);
+  // `:- dynamic(p/N)` (or a comma list of indicators) pre-registers
+  // predicates that exist only via assert at run time.
+  for (TermRef d : program.directives()) {
+    d = store->Deref(d);
+    if (store->tag(d) != Tag::kStruct || store->arity(d) != 1 ||
+        store->symbols().Name(store->symbol(d)) != "dynamic") {
+      continue;
+    }
+    std::vector<TermRef> specs;
+    TermRef cur = store->Deref(store->arg(d, 0));
+    while (store->tag(cur) == Tag::kStruct &&
+           store->symbol(cur) == term::SymbolTable::kComma &&
+           store->arity(cur) == 2) {
+      specs.push_back(store->Deref(store->arg(cur, 0)));
+      cur = store->Deref(store->arg(cur, 1));
+    }
+    specs.push_back(cur);
+    for (TermRef spec : specs) {
+      if (store->tag(spec) == Tag::kStruct && store->arity(spec) == 2 &&
+          store->symbols().Name(store->symbol(spec)) == "/") {
+        TermRef name = store->Deref(store->arg(spec, 0));
+        TermRef arity = store->Deref(store->arg(spec, 1));
+        if (store->tag(name) == Tag::kAtom &&
+            store->tag(arity) == Tag::kInt) {
+          db.DeclareDynamic(term::PredId{
+              store->symbol(name),
+              static_cast<uint32_t>(store->int_value(arity))});
+        }
+      }
+    }
+  }
+  if (load_library) {
+    PRORE_ASSIGN_OR_RETURN(reader::Program lib,
+                           reader::ParseProgramText(store, LibrarySource()));
+    db.AddProgram(store, lib);  // Program-defined predicates take precedence.
+  }
+  return db;
+}
+
+const PredEntry* Database::Lookup(const term::PredId& id) const {
+  auto it = preds_.find(id);
+  return it == preds_.end() ? nullptr : &it->second;
+}
+
+prore::Status Database::Assert(TermStore* store, TermRef clause_term,
+                               bool front) {
+  PRORE_ASSIGN_OR_RETURN(reader::Clause clause,
+                         reader::SplitClause(store, clause_term));
+  term::PredId id = store->pred_id(store->Deref(clause.head));
+  CompiledClause cc;
+  cc.head = clause.head;
+  cc.body = clause.body;
+  cc.key = KeyForHead(*store, clause.head);
+  auto& entry = preds_[id];
+  if (front) {
+    entry.clauses.insert(entry.clauses.begin(), cc);
+  } else {
+    entry.clauses.push_back(cc);
+  }
+  ++generation_;
+  return prore::Status::OK();
+}
+
+void Database::MarkDead(const term::PredId& id, size_t index) {
+  auto it = preds_.find(id);
+  if (it != preds_.end() && index < it->second.clauses.size()) {
+    it->second.clauses[index].dead = true;
+  }
+}
+
+void Database::DeclareDynamic(const term::PredId& id) {
+  preds_.try_emplace(id);
+}
+
+}  // namespace prore::engine

@@ -1,0 +1,115 @@
+#ifndef PRORE_ENGINE_DATABASE_H_
+#define PRORE_ENGINE_DATABASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::engine {
+
+/// First-argument index key of a clause head, used to skip clauses that
+/// cannot possibly unify with a call whose first argument is bound
+/// (Warren-style clause indexing, paper §III-A).
+struct FirstArgKey {
+  enum class Kind : uint8_t {
+    kAny,     ///< Head has no args or first arg is a variable: always try.
+    kAtom,    ///< First arg is the atom `symbol`.
+    kInt,     ///< First arg is the integer `value`.
+    kStruct,  ///< First arg is a compound with functor `symbol`/`arity`.
+  };
+  Kind kind = Kind::kAny;
+  term::Symbol symbol = 0;
+  uint32_t arity = 0;
+  int64_t value = 0;
+};
+
+/// A clause ready for execution.
+struct CompiledClause {
+  term::TermRef head = term::kNullTerm;
+  term::TermRef body = term::kNullTerm;
+  FirstArgKey key;
+  /// Retracted. Calls already in progress keep seeing the clause (the
+  /// logical update view); new calls skip it.
+  bool dead = false;
+};
+
+struct PredEntry {
+  std::vector<CompiledClause> clauses;
+};
+
+/// Executable form of a program: clause lists per predicate, with
+/// first-argument index keys precomputed. The *reorderer* never sees
+/// dynamic updates (the paper excludes assert/retract from reordering and
+/// treats them as side-effects), but the engine substrate supports them:
+/// assertz/asserta append/prepend, retract marks clauses dead, and calls
+/// snapshot their candidate set at call time (the logical update view).
+class Database {
+ public:
+  Database() = default;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Compiles `program`. If `load_library` is set, pure-Prolog library
+  /// predicates (append/3, member/2, between/3, ...) that the program does
+  /// not define itself are added.
+  static prore::Result<Database> Build(term::TermStore* store,
+                                       const reader::Program& program,
+                                       bool load_library = true);
+
+  /// nullptr if the predicate has no clauses.
+  const PredEntry* Lookup(const term::PredId& id) const;
+
+  /// Adds a clause at the back (assertz) or front (asserta). `clause_term`
+  /// may be `Head :- Body` or a fact; it is stored as-is (callers should
+  /// pass a fresh copy).
+  prore::Status Assert(term::TermStore* store, term::TermRef clause_term,
+                       bool front);
+
+  /// Marks clause `index` of `id` dead. Used by retract/1 after it found
+  /// the matching clause.
+  void MarkDead(const term::PredId& id, size_t index);
+
+  /// Pre-registers an (initially empty) dynamic predicate so calling it
+  /// before the first assert fails instead of erroring.
+  void DeclareDynamic(const term::PredId& id);
+
+  /// Bumped by every Assert. The machine snapshots this per query: once
+  /// the database grew during a query, the query's heap cells may be
+  /// referenced by the database and must not be reclaimed (neither on
+  /// backtracking nor when Solve returns).
+  uint64_t generation() const { return generation_; }
+
+  size_t NumPreds() const { return preds_.size(); }
+
+  /// Computes the index key for a (dereferenced) clause head.
+  static FirstArgKey KeyForHead(const term::TermStore& store,
+                                term::TermRef head);
+  /// Computes the index key a *call* selects on; kAny if the first argument
+  /// is unbound.
+  static FirstArgKey KeyForCall(const term::TermStore& store,
+                                term::TermRef goal);
+  /// True if a clause with key `clause_key` might match a call with
+  /// key `call_key`.
+  static bool KeysCompatible(const FirstArgKey& call_key,
+                             const FirstArgKey& clause_key);
+
+ private:
+  void AddProgram(term::TermStore* store, const reader::Program& program);
+
+  std::unordered_map<term::PredId, PredEntry, term::PredIdHash> preds_;
+  uint64_t generation_ = 0;
+};
+
+/// Source text of the pure-Prolog library (append/3, member/2, ...).
+/// Exposed so analyses can include the library in their view of a program.
+const char* LibrarySource();
+
+}  // namespace prore::engine
+
+#endif  // PRORE_ENGINE_DATABASE_H_

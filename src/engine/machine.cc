@@ -1,0 +1,498 @@
+#include "engine/machine.h"
+
+#include <cassert>
+
+#include "common/str_util.h"
+#include "engine/builtins.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+
+namespace prore::engine {
+
+using term::SymbolTable;
+using term::Tag;
+using term::TermRef;
+
+namespace {
+constexpr const char* kIteThenMarker = "$ite_then";
+}  // namespace
+
+Machine::Machine(term::TermStore* store, Database* db,
+                 SolveOptions opts)
+    : store_(store), db_(db), opts_(opts) {}
+
+Machine::GoalNode* Machine::NewGoalNode(TermRef goal, uint32_t barrier,
+                                        GoalNode* next) {
+  node_pool_.push_back(GoalNode{goal, barrier, next});
+  return &node_pool_.back();
+}
+
+void Machine::TrailUnwind(size_t mark) {
+  while (trail_.size() > mark) {
+    store_->ResetVar(trail_.back());
+    trail_.pop_back();
+  }
+}
+
+void Machine::CutTo(uint32_t barrier) {
+  // Cut discards choicepoints but keeps bindings.
+  if (cps_.size() > barrier) cps_.resize(barrier);
+}
+
+bool Machine::Unify(TermRef a, TermRef b) {
+  // Iterative unification without occurs check (standard Prolog).
+  std::vector<std::pair<TermRef, TermRef>> stack;
+  stack.emplace_back(a, b);
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    x = store_->Deref(x);
+    y = store_->Deref(y);
+    if (x == y) continue;
+    Tag tx = store_->tag(x), ty = store_->tag(y);
+    if (tx == Tag::kVar) {
+      store_->BindVar(x, y);
+      trail_.push_back(x);
+      continue;
+    }
+    if (ty == Tag::kVar) {
+      store_->BindVar(y, x);
+      trail_.push_back(y);
+      continue;
+    }
+    if (tx != ty) return false;
+    switch (tx) {
+      case Tag::kAtom:
+        if (store_->symbol(x) != store_->symbol(y)) return false;
+        break;
+      case Tag::kInt:
+        if (store_->int_value(x) != store_->int_value(y)) return false;
+        break;
+      case Tag::kFloat:
+        if (store_->float_value(x) != store_->float_value(y)) return false;
+        break;
+      case Tag::kStruct: {
+        if (store_->symbol(x) != store_->symbol(y) ||
+            store_->arity(x) != store_->arity(y)) {
+          return false;
+        }
+        for (uint32_t i = 0; i < store_->arity(x); ++i) {
+          stack.emplace_back(store_->arg(x, i), store_->arg(y, i));
+        }
+        break;
+      }
+      case Tag::kVar:
+        break;  // unreachable
+    }
+  }
+  return true;
+}
+
+void Machine::PushConjunction(TermRef goal, uint32_t barrier) {
+  // Flatten right-nested conjunctions iteratively to keep node counts low.
+  std::vector<TermRef> conjuncts;
+  TermRef cur = goal;
+  while (true) {
+    cur = store_->Deref(cur);
+    if (store_->tag(cur) == Tag::kStruct &&
+        store_->symbol(cur) == SymbolTable::kComma &&
+        store_->arity(cur) == 2) {
+      conjuncts.push_back(store_->arg(cur, 0));
+      cur = store_->arg(cur, 1);
+    } else {
+      conjuncts.push_back(cur);
+      break;
+    }
+  }
+  for (size_t i = conjuncts.size(); i-- > 0;) {
+    goals_ = NewGoalNode(conjuncts[i], barrier, goals_);
+  }
+}
+
+void Machine::PushIfThenElse(TermRef cond, TermRef then_goal,
+                             TermRef else_goal, uint32_t barrier) {
+  // Else-branch choicepoint: resume with `else_goal ++ rest` on failure of
+  // the condition.
+  GoalNode* else_cont = NewGoalNode(else_goal, barrier, goals_);
+  Choicepoint cp;
+  cp.kind = Choicepoint::Kind::kGoals;
+  cp.continuation = else_cont;
+  cp.trail_mark = trail_.size();
+  cp.heap_mark = store_->Watermark();
+  cps_.push_back(cp);
+  uint32_t cut_to = static_cast<uint32_t>(cps_.size()) - 1;
+
+  // Marker: when the condition succeeds, commit (cut to `cut_to`) and run
+  // the then-branch with the clause's own barrier.
+  const TermRef marker_args[] = {then_goal, store_->MakeInt(barrier)};
+  TermRef marker =
+      store_->MakeStruct(store_->symbols().Intern(kIteThenMarker),
+                         marker_args);
+  GoalNode* marker_node = NewGoalNode(marker, cut_to, goals_);
+
+  // Condition runs with a local cut barrier: a '!' inside the condition
+  // must not remove the else-branch choicepoint (ISO semantics).
+  goals_ = NewGoalNode(cond, static_cast<uint32_t>(cps_.size()), marker_node);
+}
+
+bool Machine::TryClauses(Choicepoint* cp) {
+  while (cp->next_clause < cp->candidates.size()) {
+    TrailUnwind(cp->trail_mark);
+    if (CanReclaimHeap()) store_->Truncate(cp->heap_mark);
+    const CompiledClause& clause =
+        cp->entry->clauses[cp->candidates[cp->next_clause]];
+    ++cp->next_clause;
+    ++metrics_.head_unifications;
+    std::unordered_map<uint32_t, TermRef> var_map;
+    TermRef head = store_->Rename(clause.head, &var_map);
+    if (!Unify(cp->call_goal, head)) continue;
+    TermRef body = store_->Rename(clause.body, &var_map);
+    goals_ = cp->continuation;
+    PushConjunction(body, cp->body_barrier);
+    return true;
+  }
+  return false;
+}
+
+prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
+                                         bool* failed) {
+  (void)barrier;
+  term::PredId id = store_->pred_id(goal);
+  const PredEntry* entry = db_->Lookup(id);
+  if (entry == nullptr) {
+    if (opts_.unknown_predicate_fails) {
+      *failed = true;
+      return prore::Status::OK();
+    }
+    return prore::Status::ExistenceError(
+        prore::StrFormat("unknown predicate %s/%u",
+                         store_->symbols().Name(id.name).c_str(), id.arity));
+  }
+  // First-argument indexing: keep only candidate clauses.
+  std::vector<uint32_t> candidates;
+  candidates.reserve(entry->clauses.size());
+  if (opts_.use_indexing) {
+    FirstArgKey call_key = Database::KeyForCall(*store_, goal);
+    for (uint32_t i = 0; i < entry->clauses.size(); ++i) {
+      if (entry->clauses[i].dead) continue;  // retracted before this call
+      if (Database::KeysCompatible(call_key, entry->clauses[i].key)) {
+        candidates.push_back(i);
+      }
+    }
+  } else {
+    for (uint32_t i = 0; i < entry->clauses.size(); ++i) {
+      if (entry->clauses[i].dead) continue;
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    *failed = true;
+    return prore::Status::OK();
+  }
+
+  uint32_t body_barrier = static_cast<uint32_t>(cps_.size());
+  if (candidates.size() == 1) {
+    // Deterministic call: no choicepoint.
+    size_t trail_mark = trail_.size();
+    term::TermStore::Mark heap_mark = store_->Watermark();
+    const CompiledClause& clause = entry->clauses[candidates[0]];
+    ++metrics_.head_unifications;
+    std::unordered_map<uint32_t, TermRef> var_map;
+    TermRef head = store_->Rename(clause.head, &var_map);
+    if (!Unify(goal, head)) {
+      TrailUnwind(trail_mark);
+      if (CanReclaimHeap()) store_->Truncate(heap_mark);
+      *failed = true;
+      return prore::Status::OK();
+    }
+    TermRef body = store_->Rename(clause.body, &var_map);
+    PushConjunction(body, body_barrier);
+    return prore::Status::OK();
+  }
+
+  Choicepoint cp;
+  cp.kind = Choicepoint::Kind::kClauses;
+  cp.continuation = goals_;
+  cp.trail_mark = trail_.size();
+  cp.heap_mark = store_->Watermark();
+  cp.call_goal = goal;
+  cp.entry = entry;
+  cp.next_clause = 0;
+  cp.candidates = std::move(candidates);
+  cp.body_barrier = body_barrier;
+  cps_.push_back(cp);
+  if (!TryClauses(&cps_.back())) {
+    cps_.pop_back();
+    *failed = true;
+  }
+  return prore::Status::OK();
+}
+
+prore::Status Machine::Step(bool* failed) {
+  *failed = false;
+  GoalNode* node = goals_;
+  TermRef g = store_->Deref(node->goal);
+  uint32_t barrier = node->cut_barrier;
+  goals_ = node->next;
+
+  Tag t = store_->tag(g);
+  if (t == Tag::kVar) {
+    return prore::Status::InstantiationError("unbound variable as goal");
+  }
+  if (t == Tag::kInt || t == Tag::kFloat) {
+    return prore::Status::TypeError("number is not a callable goal");
+  }
+
+  term::Symbol sym = store_->symbol(g);
+  uint32_t arity = store_->arity(g);
+
+  if (t == Tag::kStruct) {
+    if (sym == SymbolTable::kComma && arity == 2) {
+      PushConjunction(g, barrier);
+      return prore::Status::OK();
+    }
+    if (sym == SymbolTable::kSemicolon && arity == 2) {
+      TermRef left = store_->Deref(store_->arg(g, 0));
+      TermRef right = store_->arg(g, 1);
+      if (store_->tag(left) == Tag::kStruct &&
+          store_->symbol(left) == SymbolTable::kArrow &&
+          store_->arity(left) == 2) {
+        PushIfThenElse(store_->arg(left, 0), store_->arg(left, 1), right,
+                       barrier);
+        return prore::Status::OK();
+      }
+      // Plain disjunction: choicepoint for the right branch.
+      GoalNode* right_cont = NewGoalNode(right, barrier, goals_);
+      Choicepoint cp;
+      cp.kind = Choicepoint::Kind::kGoals;
+      cp.continuation = right_cont;
+      cp.trail_mark = trail_.size();
+      cp.heap_mark = store_->Watermark();
+      cps_.push_back(cp);
+      goals_ = NewGoalNode(left, barrier, goals_);
+      return prore::Status::OK();
+    }
+    if (sym == SymbolTable::kArrow && arity == 2) {
+      // Bare if-then: (C -> T) == (C -> T ; fail).
+      PushIfThenElse(store_->arg(g, 0), store_->arg(g, 1),
+                     store_->MakeAtom(SymbolTable::kFail), barrier);
+      return prore::Status::OK();
+    }
+    if ((sym == SymbolTable::kNot ||
+         store_->symbols().Name(sym) == "not") &&
+        arity == 1) {
+      // Negation as failure: (G -> fail ; true), G opaque to outer cut.
+      PushIfThenElse(store_->arg(g, 0),
+                     store_->MakeAtom(SymbolTable::kFail),
+                     store_->MakeAtom(SymbolTable::kTrue), barrier);
+      return prore::Status::OK();
+    }
+    if (sym == SymbolTable::kCall && arity == 1) {
+      TermRef inner = store_->Deref(store_->arg(g, 0));
+      if (!store_->IsCallable(inner)) {
+        return prore::Status::InstantiationError(
+            "call/1: argument is not callable");
+      }
+      // Cut inside call/1 is local.
+      goals_ = NewGoalNode(inner, static_cast<uint32_t>(cps_.size()), goals_);
+      return prore::Status::OK();
+    }
+    if (arity == 2 && store_->symbols().Name(sym) == kIteThenMarker) {
+      // Condition of an if-then-else succeeded: commit and run then-branch.
+      CutTo(barrier);  // node->cut_barrier held the commit point
+      TermRef then_goal = store_->arg(g, 0);
+      uint32_t clause_barrier = static_cast<uint32_t>(
+          store_->int_value(store_->Deref(store_->arg(g, 1))));
+      goals_ = NewGoalNode(then_goal, clause_barrier, goals_);
+      return prore::Status::OK();
+    }
+  } else {
+    // Atoms.
+    if (sym == SymbolTable::kCut) {
+      CutTo(barrier);
+      return prore::Status::OK();
+    }
+    if (sym == SymbolTable::kTrue) return prore::Status::OK();
+    if (sym == SymbolTable::kFail ||
+        store_->symbols().Name(sym) == "false") {
+      *failed = true;
+      return prore::Status::OK();
+    }
+  }
+
+  // User predicate or built-in. User definitions take precedence so the
+  // benchmark programs may define e.g. their own delete/3.
+  term::PredId id{sym, arity};
+  if (db_->Lookup(id) != nullptr) {
+    ++metrics_.user_calls;
+    if (metrics_.TotalCalls() > opts_.max_calls) {
+      return prore::Status::ResourceExhausted("call limit exceeded");
+    }
+    if (opts_.mode_observer) {
+      std::string mode;
+      for (uint32_t i = 0; i < arity; ++i) {
+        TermRef a = store_->Deref(store_->arg(g, i));
+        if (store_->tag(a) == Tag::kVar) {
+          mode.push_back('u');
+        } else if (store_->IsGround(a)) {
+          mode.push_back('i');
+        } else {
+          mode.push_back('a');
+        }
+      }
+      opts_.mode_observer(id, mode);
+    }
+    return CallUserPredicate(g, barrier, failed);
+  }
+  uint64_t cache_key = (static_cast<uint64_t>(sym) << 8) | arity;
+  BuiltinFn fn;
+  if (auto cit = builtin_cache_.find(cache_key);
+      cit != builtin_cache_.end()) {
+    fn = cit->second;
+  } else {
+    fn = LookupBuiltin(store_->symbols().Name(sym), arity);
+    builtin_cache_.emplace(cache_key, fn);
+  }
+  const std::string& name = store_->symbols().Name(sym);
+  if (fn != nullptr) {
+    // '$'-prefixed builtins are harness-internal (dispatcher tag tests)
+    // and cost no "call" in the paper's metric.
+    if (name[0] != '$') {
+      ++metrics_.builtin_calls;
+      if (metrics_.TotalCalls() > opts_.max_calls) {
+        return prore::Status::ResourceExhausted("call limit exceeded");
+      }
+    }
+    bool success = false;
+    PRORE_RETURN_IF_ERROR(fn(this, g, &success));
+    *failed = !success;
+    return prore::Status::OK();
+  }
+  ++metrics_.user_calls;
+  return CallUserPredicate(g, barrier, failed);  // reports unknown predicate
+}
+
+bool Machine::Backtrack() {
+  while (!cps_.empty()) {
+    Choicepoint& cp = cps_.back();
+    TrailUnwind(cp.trail_mark);
+    if (CanReclaimHeap()) store_->Truncate(cp.heap_mark);
+    if (cp.kind == Choicepoint::Kind::kGoals) {
+      goals_ = cp.continuation;
+      cps_.pop_back();
+      return true;
+    }
+    if (TryClauses(&cp)) return true;
+    cps_.pop_back();
+  }
+  return false;
+}
+
+prore::Result<Metrics> Machine::Solve(TermRef goal,
+                                      const SolutionCallback& on_solution) {
+  if (solving_) {
+    return prore::Status::Internal(
+        "Machine::Solve is not reentrant; use a nested Machine");
+  }
+  solving_ = true;
+  metrics_ = Metrics();
+  node_pool_.clear();
+  goals_ = nullptr;
+  cps_.clear();
+  trail_.clear();
+  term::TermStore::Mark query_mark = store_->Watermark();
+  query_db_generation_ = db_->generation();
+
+  goals_ = NewGoalNode(goal, 0, nullptr);
+  prore::Status status = prore::Status::OK();
+  while (true) {
+    if (goals_ == nullptr) {
+      ++metrics_.solutions;
+      bool keep_going = on_solution ? on_solution() : true;
+      if (!keep_going || metrics_.solutions >= opts_.max_solutions) break;
+      if (!Backtrack()) break;
+      continue;
+    }
+    bool failed = false;
+    status = Step(&failed);
+    if (!status.ok()) break;
+    if (failed) {
+      ++metrics_.backtracks;
+      if (!Backtrack()) break;
+    }
+  }
+
+  TrailUnwind(0);
+  if (CanReclaimHeap()) store_->Truncate(query_mark);
+  goals_ = nullptr;
+  cps_.clear();
+  node_pool_.clear();
+  solving_ = false;
+  total_metrics_ += metrics_;
+  if (!status.ok()) return status;
+  return metrics_;
+}
+
+prore::Result<std::vector<std::string>> Machine::SolveToStrings(
+    TermRef goal, TermRef template_term) {
+  std::vector<std::string> out;
+  reader::WriteOptions wopts;
+  wopts.var_names = false;
+  auto cb = [&]() {
+    out.push_back(reader::WriteTerm(*store_, template_term, wopts));
+    return true;
+  };
+  PRORE_ASSIGN_OR_RETURN(Metrics m, Solve(goal, cb));
+  (void)m;
+  return out;
+}
+
+prore::Result<bool> Machine::Succeeds(TermRef goal) {
+  bool found = false;
+  SolveOptions saved = opts_;
+  opts_.max_solutions = 1;
+  auto cb = [&]() {
+    found = true;
+    return false;
+  };
+  auto result = Solve(goal, cb);
+  opts_ = saved;
+  if (!result.ok()) return result.status();
+  return found;
+}
+
+prore::Status Machine::SetInput(std::string_view text) {
+  PRORE_ASSIGN_OR_RETURN(auto terms,
+                         reader::ParseTermSequence(store_, text));
+  input_terms_.clear();
+  for (const reader::ReadTerm& rt : terms) input_terms_.push_back(rt.term);
+  return prore::Status::OK();
+}
+
+term::TermRef Machine::NextInputTerm() {
+  if (input_terms_.empty()) return store_->MakeAtom("end_of_file");
+  TermRef t = input_terms_.front();
+  input_terms_.pop_front();
+  return t;
+}
+
+prore::Result<std::vector<TermRef>> Machine::FindAll(TermRef goal,
+                                                     TermRef template_term) {
+  SolveOptions child_opts = opts_;
+  // A solution cap on the outer query must not truncate the bag.
+  child_opts.max_solutions = UINT64_MAX;
+  Machine child(store_, db_, child_opts);
+  child.reclaim_heap_ = false;  // collected copies must outlive the subquery
+  std::vector<TermRef> copies;
+  auto cb = [&]() {
+    copies.push_back(store_->Rename(template_term));
+    return true;
+  };
+  auto result = child.Solve(goal, cb);
+  if (!result.ok()) return result.status();
+  metrics_ += *result;           // the paper counts all calls
+  output_ += child.output();     // nested side-effects surface
+  return copies;
+}
+
+}  // namespace prore::engine

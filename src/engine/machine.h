@@ -1,0 +1,195 @@
+#ifndef PRORE_ENGINE_MACHINE_H_
+#define PRORE_ENGINE_MACHINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/builtins.h"
+#include "engine/database.h"
+#include "engine/metrics.h"
+#include "term/store.h"
+
+namespace prore::engine {
+
+/// Observes every user-predicate call's instantiation pattern (one char
+/// per argument: 'i' ground, 'u' unbound, 'a' partial) — the dynamic
+/// counterpart of static mode inference (§V-E: Debray's transformed
+/// program "when executed conventionally, yields the mode information").
+using ModeObserver =
+    std::function<void(const term::PredId& pred, const std::string& mode)>;
+
+struct SolveOptions {
+  /// Abort with ResourceExhausted after this many calls (runaway guard).
+  uint64_t max_calls = 100'000'000;
+  /// Stop searching after this many solutions.
+  uint64_t max_solutions = UINT64_MAX;
+  /// First-argument clause indexing (paper §III-A discusses its interaction
+  /// with clause reordering; the ablation bench toggles it).
+  bool use_indexing = true;
+  /// If false, calling an undefined predicate is an ExistenceError;
+  /// if true it just fails (C-Prolog's `unknown` flag).
+  bool unknown_predicate_fails = false;
+  /// Optional per-call mode observation hook (slows solving; off by
+  /// default).
+  ModeObserver mode_observer;
+};
+
+/// SLD-resolution interpreter with chronological backtracking — the
+/// substrate standing in for the paper's instrumented C-Prolog 1.5 /
+/// SB-Prolog 2.3. Depth-first, left-to-right, first-clause-first: exactly
+/// the traversal order whose cost the reorderer optimizes.
+///
+/// Control constructs handled natively: ','/2, ';'/2, '->'/2 (if-then-else
+/// with ISO-local cut in the condition), '!'/0, '\\+'/1, not/1, call/1,
+/// true/0, fail/0, false/0. Everything else is a user predicate or one of
+/// the built-ins in builtins.cc.
+///
+/// A Machine may be re-used for several queries; heap space allocated by a
+/// query is reclaimed when Solve returns.
+class Machine {
+ public:
+  Machine(term::TermStore* store, Database* db,
+          SolveOptions opts = SolveOptions());
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Called on each solution while the goal's bindings are still in place;
+  /// return false to stop the search.
+  using SolutionCallback = std::function<bool()>;
+
+  /// Proves `goal`, invoking `on_solution` per answer. Returns the metrics
+  /// for this query (also accumulated into total_metrics()).
+  prore::Result<Metrics> Solve(term::TermRef goal,
+                               const SolutionCallback& on_solution = nullptr);
+
+  /// Proves `goal` and renders `template_term` once per solution.
+  /// The canonical strings let callers compare answer sets for
+  /// set-equivalence without worrying about heap reclamation.
+  prore::Result<std::vector<std::string>> SolveToStrings(
+      term::TermRef goal, term::TermRef template_term);
+
+  /// True if `goal` has at least one solution.
+  prore::Result<bool> Succeeds(term::TermRef goal);
+
+  // ---- Services used by built-ins ----------------------------------------
+
+  term::TermStore& store() { return *store_; }
+  const Database& db() const { return *db_; }
+  /// For assert/retract built-ins.
+  Database& mutable_db() { return *db_; }
+
+  /// Sets the text read/1 consumes; parsed eagerly into terms. Replaces
+  /// any unread input.
+  prore::Status SetInput(std::string_view text);
+  /// Next input term, or the atom end_of_file when input is exhausted.
+  term::TermRef NextInputTerm();
+  const SolveOptions& options() const { return opts_; }
+
+  /// Unifies a and b, trailing bindings; false if they do not unify.
+  bool Unify(term::TermRef a, term::TermRef b);
+
+  /// Runs a nested query (findall/bagof/setof), collecting a renamed copy
+  /// of `template_term` per solution. The nested query's metrics are added
+  /// to this machine's current query metrics (the paper counts all calls).
+  prore::Result<std::vector<term::TermRef>> FindAll(
+      term::TermRef goal, term::TermRef template_term);
+
+  /// Trail bookmark for built-ins that must undo speculative bindings
+  /// (e.g. \\=/2) regardless of success.
+  size_t TrailMark() const { return trail_.size(); }
+  void TrailUndo(size_t mark) { TrailUnwind(mark); }
+
+  /// Text written by write/1, nl/0, tab/1 since last ClearOutput.
+  const std::string& output() const { return output_; }
+  void ClearOutput() { output_.clear(); }
+  void AppendOutput(const std::string& s) { output_ += s; }
+
+  /// Metrics accumulated across all Solve calls on this machine.
+  const Metrics& total_metrics() const { return total_metrics_; }
+  /// Metrics of the query currently being solved (builtins may inspect).
+  Metrics& current_metrics() { return metrics_; }
+
+ private:
+  struct GoalNode {
+    term::TermRef goal;
+    uint32_t cut_barrier;  ///< Cut here resizes the CP stack to this value.
+    GoalNode* next;
+  };
+
+  struct Choicepoint {
+    enum class Kind : uint8_t {
+      kClauses,  ///< Remaining candidate clauses of a user predicate call.
+      kGoals     ///< An alternative goal continuation (disjunction/ite else).
+    };
+    Kind kind;
+    GoalNode* continuation;  ///< Goal list to resume with.
+    size_t trail_mark;
+    term::TermStore::Mark heap_mark;
+    // kClauses:
+    term::TermRef call_goal = term::kNullTerm;
+    const PredEntry* entry = nullptr;
+    uint32_t next_clause = 0;      ///< Index into candidates.
+    std::vector<uint32_t> candidates;  ///< Clause indices passing the index.
+    uint32_t body_barrier = 0;     ///< Barrier for the clause body's goals.
+  };
+
+  GoalNode* NewGoalNode(term::TermRef goal, uint32_t barrier, GoalNode* next);
+  void TrailUnwind(size_t mark);
+  /// Heap reclamation is allowed only while the database has not grown
+  /// during this query: an asserted clause lives in the query's heap
+  /// region and must survive it.
+  bool CanReclaimHeap() const {
+    return reclaim_heap_ && db_->generation() == query_db_generation_;
+  }
+  void CutTo(uint32_t barrier);
+
+  /// One resolution step on goal list `goals_`. Returns OK and sets
+  /// *failed if the step failed (caller backtracks).
+  prore::Status Step(bool* failed);
+  /// Tries the next candidate clause of the top choicepoint; false if
+  /// no candidate's head unifies.
+  bool TryClauses(Choicepoint* cp);
+  /// Pops to the most recent choicepoint with work left. False when the
+  /// search space is exhausted.
+  bool Backtrack();
+
+  prore::Status CallUserPredicate(term::TermRef goal, uint32_t barrier,
+                                  bool* failed);
+  void PushConjunction(term::TermRef goal, uint32_t barrier);
+  void PushIfThenElse(term::TermRef cond, term::TermRef then_goal,
+                      term::TermRef else_goal, uint32_t barrier);
+
+  term::TermStore* store_;
+  Database* db_;
+  SolveOptions opts_;
+  std::deque<term::TermRef> input_terms_;
+
+  /// Memoized builtin lookups (symbol+arity -> fn or nullptr), avoiding a
+  /// string hash per call.
+  std::unordered_map<uint64_t, BuiltinFn> builtin_cache_;
+
+  std::deque<GoalNode> node_pool_;
+  GoalNode* goals_ = nullptr;
+  std::vector<Choicepoint> cps_;
+  std::vector<term::TermRef> trail_;
+  Metrics metrics_;
+  Metrics total_metrics_;
+  std::string output_;
+  bool solving_ = false;
+  /// Whether this machine reclaims heap cells — both on backtracking and
+  /// when Solve returns. Disabled for nested findall machines: the copies
+  /// they collect are allocated above their choicepoints' heap marks and
+  /// must survive the continued search.
+  bool reclaim_heap_ = true;
+  uint64_t query_db_generation_ = 0;
+};
+
+}  // namespace prore::engine
+
+#endif  // PRORE_ENGINE_MACHINE_H_

@@ -1,0 +1,32 @@
+#ifndef PRORE_ENGINE_METRICS_H_
+#define PRORE_ENGINE_METRICS_H_
+
+#include <cstdint>
+
+namespace prore::engine {
+
+/// Execution counters, the paper's cost measure ("we measure this as the
+/// number of predicate calls or unifications; CPU time is too coarse").
+struct Metrics {
+  uint64_t user_calls = 0;      ///< Calls to user-defined predicates.
+  uint64_t builtin_calls = 0;   ///< Calls to built-in predicates.
+  uint64_t head_unifications = 0;  ///< Clause-head unification attempts.
+  uint64_t backtracks = 0;      ///< Failure-driven returns to a choicepoint.
+  uint64_t solutions = 0;       ///< Answers delivered.
+
+  /// The paper's headline number: every predicate call, user or built-in.
+  uint64_t TotalCalls() const { return user_calls + builtin_calls; }
+
+  Metrics& operator+=(const Metrics& o) {
+    user_calls += o.user_calls;
+    builtin_calls += o.builtin_calls;
+    head_unifications += o.head_unifications;
+    backtracks += o.backtracks;
+    solutions += o.solutions;
+    return *this;
+  }
+};
+
+}  // namespace prore::engine
+
+#endif  // PRORE_ENGINE_METRICS_H_

@@ -1,0 +1,90 @@
+#include "markov/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace prore::markov {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(i, k);
+      if (a == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += a * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < rows_ * cols_; ++i) {
+    out.data_[i] = data_[i] - other.data_[i];
+  }
+  return out;
+}
+
+prore::Result<Matrix> Matrix::Inverse() const {
+  if (rows_ != cols_) {
+    return prore::Status::InvalidArgument("Inverse: matrix not square");
+  }
+  size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = Identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.At(r, col)) > std::fabs(a.At(pivot, col))) pivot = r;
+    }
+    // Threshold near the underflow limit: fundamental matrices of chains
+    // with p close to 1 have legitimately tiny determinants (the visit
+    // counts blow up but stay representable); only an (almost) exactly
+    // zero pivot means structural singularity.
+    if (std::fabs(a.At(pivot, col)) < 1e-200) {
+      return prore::Status::InvalidArgument("Inverse: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(a.At(col, j), a.At(pivot, j));
+        std::swap(inv.At(col, j), inv.At(pivot, j));
+      }
+    }
+    double d = a.At(col, col);
+    for (size_t j = 0; j < n; ++j) {
+      a.At(col, j) /= d;
+      inv.At(col, j) /= d;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double f = a.At(r, col);
+      if (f == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        a.At(r, j) -= f * a.At(col, j);
+        inv.At(r, j) -= f * inv.At(col, j);
+      }
+    }
+  }
+  return inv;
+}
+
+bool Matrix::AlmostEqual(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace prore::markov

@@ -1,0 +1,45 @@
+#ifndef PRORE_MARKOV_MATRIX_H_
+#define PRORE_MARKOV_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prore::markov {
+
+/// Small dense row-major matrix of doubles — just enough linear algebra for
+/// the fundamental-matrix computation N = (I - Q)^{-1} of an absorbing
+/// Markov chain (clause bodies have at most a few dozen goals, so dense
+/// Gauss-Jordan is the right tool).
+class Matrix {
+ public:
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  Matrix Multiply(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+
+  /// Gauss-Jordan inverse with partial pivoting; InvalidArgument if the
+  /// matrix is singular (or not square).
+  prore::Result<Matrix> Inverse() const;
+
+  bool AlmostEqual(const Matrix& other, double tol = 1e-9) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace prore::markov
+
+#endif  // PRORE_MARKOV_MATRIX_H_

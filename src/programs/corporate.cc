@@ -1,0 +1,138 @@
+#include <cstdint>
+#include <string>
+
+#include "common/str_util.h"
+#include "programs/programs.h"
+
+namespace prore::programs {
+
+namespace {
+
+/// Deterministic LCG so the database is identical on every run.
+struct Lcg {
+  uint64_t state = 0x5DEECE66Dull;
+  uint32_t Next(uint32_t bound) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>((state >> 33) % bound);
+  }
+};
+
+/// 120 employees, facts keyed by the employee identification number (the
+/// paper: "facts in this database are indexed on the employee
+/// identification number; once that is instantiated, many goals of the
+/// rules become trivial").
+std::string BuildFacts(std::vector<std::string>* universe) {
+  const char* kDepts[] = {"engineering", "sales",   "hr",
+                          "finance",     "support", "research"};
+  std::string facts;
+  Lcg rng;
+  for (int i = 1; i <= 120; ++i) {
+    std::string id = prore::StrFormat("e%d", i);
+    // One well-known employee for the bound-name workloads.
+    std::string name = i == 7 ? "jane" : prore::StrFormat("name%d", i);
+    const char* dept = kDepts[rng.Next(6)];
+    int salary = 25000 + static_cast<int>(rng.Next(16)) * 5000;  // 25k..100k
+    int years = static_cast<int>(rng.Next(21));                  // 0..20
+    const char* gender = rng.Next(2) == 0 ? "f" : "m";
+    const char* status = rng.Next(4) == 0 ? "parttime" : "fulltime";
+    facts += prore::StrFormat("employee(%s,%s,%s).\n", id.c_str(),
+                              name.c_str(), dept);
+    facts += prore::StrFormat("salary(%s,%d).\n", id.c_str(), salary);
+    facts += prore::StrFormat("years(%s,%d).\n", id.c_str(), years);
+    facts += prore::StrFormat("gender(%s,%s).\n", id.c_str(), gender);
+    facts += prore::StrFormat("status(%s,%s).\n", id.c_str(), status);
+    universe->push_back(name);
+  }
+  const int kProfit[] = {140, 90, 20, 160, 40, 110};
+  for (int d = 0; d < 6; ++d) {
+    facts += prore::StrFormat("dept_profit(%s,%d).\n", kDepts[d], kProfit[d]);
+  }
+  for (int d = 0; d < 6; ++d) {
+    facts += prore::StrFormat("department(%s).\n", kDepts[d]);
+  }
+  return facts;
+}
+
+/// The rules, written in the "natural" narrative order a programmer would
+/// use — joins first, cheap filters last — which is what the reorderer
+/// improves (Table III).
+constexpr const char* kRules = R"(
+benefits(Name, pension) :-
+    employee(Id, Name, _),
+    salary(Id, S),
+    years(Id, Y),
+    status(Id, fulltime),
+    Y >= 10,
+    S < 60000.
+benefits(Name, bonus) :-
+    employee(Id, Name, D),
+    salary(Id, S),
+    dept_profit(D, P),
+    P >= 100,
+    S < 80000.
+
+pay(Name, Base, Net) :-
+    employee(Id, Name, _),
+    salary(Id, Base),
+    tax_band(Base, Band),
+    band_rate(Band, R),
+    Net is Base - Base * R // 100.
+
+maternity(Name, Weeks) :-
+    employee(Id, Name, _),
+    years(Id, Y),
+    Y >= 1,
+    status(Id, fulltime),
+    gender(Id, f),
+    Weeks is 12 + Y.
+
+average_pay(Dept, Avg) :-
+    department(Dept),
+    findall(S, dept_salary(Dept, S), L),
+    sum_list(L, Total),
+    length(L, N),
+    N > 0,
+    Avg is Total // N.
+dept_salary(Dept, S) :- employee(Id, _, Dept), salary(Id, S).
+
+tax(Name, T) :-
+    employee(Id, Name, _),
+    salary(Id, S),
+    status(Id, fulltime),
+    tax_band(S, Band),
+    band_rate(Band, R),
+    T is S * R // 100.
+
+tax_band(S, low) :- S < 40000.
+tax_band(S, mid) :- S >= 40000, S < 70000.
+tax_band(S, high) :- S >= 70000.
+band_rate(low, 10).
+band_rate(mid, 20).
+band_rate(high, 30).
+)";
+
+BenchmarkProgram Build() {
+  BenchmarkProgram p;
+  p.name = "corporate";
+  p.source = BuildFacts(&p.universe) + kRules;
+  p.query_workloads = {
+      {"benefits(-,-)", {"benefits(N, B)"}, 2.34},
+      {"pay(-,-,-)", {"pay(N, B, T)"}, 1.00},
+      {"pay(jane,-,-)", {"pay(jane, B, T)"}, 1.00},
+      {"maternity(-,-)", {"maternity(N, W)"}, 2.07},
+      {"maternity(jane,-)", {"maternity(jane, W)"}, 1.00},
+      {"average_pay(-,-)", {"average_pay(D, A)"}, 1.00},
+      {"tax(-,-)", {"tax(N, T)"}, 1.17},
+      {"tax(jane,-)", {"tax(jane, T)"}, 1.00},
+  };
+  return p;
+}
+
+}  // namespace
+
+const BenchmarkProgram& CorporateDb() {
+  static const auto& program = *new BenchmarkProgram(Build());
+  return program;
+}
+
+}  // namespace prore::programs

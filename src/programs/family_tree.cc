@@ -1,0 +1,120 @@
+#include <string>
+
+#include "common/str_util.h"
+#include "programs/programs.h"
+
+namespace prore::programs {
+
+namespace {
+
+/// Builds the 55-person family tree with the paper's exact fact counts:
+/// 19 wife/2, 34 mother/2, 10 girl/1.
+///
+/// Shape: three generations.
+///   gen 0: couples (h1,w1)..(h5,w5) — roots, no recorded mothers.
+///   gen 1: 17 children of w1..w5:   h6..h12, w6..w12, g1..g3,
+///          marrying into couples (h6,w6)..(h12,w12).
+///   gen 2: 17 children of w6..w12:  h13..h19, w13..w19, g4..g6,
+///          marrying into couples (h13,w13)..(h19,w19).
+///   plus girls g7..g10 and boys b1..b7 outside the tree.
+/// 19 + 19 + 10 + 7 = 55 people; 5 + 7 + 7 = 19 couples;
+/// 17 + 17 = 34 mother facts; 10 girl facts.
+std::string BuildFacts(std::vector<std::string>* universe) {
+  std::string facts;
+  auto h = [](int i) { return prore::StrFormat("h%d", i); };
+  auto w = [](int i) { return prore::StrFormat("w%d", i); };
+  auto g = [](int i) { return prore::StrFormat("g%d", i); };
+  auto b = [](int i) { return prore::StrFormat("b%d", i); };
+
+  for (int i = 1; i <= 19; ++i) universe->push_back(h(i));
+  for (int i = 1; i <= 19; ++i) universe->push_back(w(i));
+  for (int i = 1; i <= 10; ++i) universe->push_back(g(i));
+  for (int i = 1; i <= 7; ++i) universe->push_back(b(i));
+
+  // girl/1: 10 facts.
+  for (int i = 1; i <= 10; ++i) {
+    facts += prore::StrFormat("girl(%s).\n", g(i).c_str());
+  }
+  // wife/2: 19 facts, wife(Husband, Wife).
+  for (int i = 1; i <= 19; ++i) {
+    facts += prore::StrFormat("wife(%s,%s).\n", h(i).c_str(), w(i).c_str());
+  }
+  // mother/2: 34 facts, mother(Child, Mother).
+  // Gen 1 (17 children of w1..w5). Spread children across root mothers so
+  // different couples' children intermarry (making cousins/aunts real).
+  const char* gen1[][2] = {
+      // child, mother-index
+      {"h6", "1"},  {"w7", "1"},  {"h8", "1"},  {"g1", "1"},
+      {"w6", "2"},  {"h7", "2"},  {"w9", "2"},  {"g2", "2"},
+      {"h9", "3"},  {"w8", "3"},  {"h10", "3"},
+      {"w10", "4"}, {"h11", "4"}, {"w12", "4"},
+      {"w11", "5"}, {"h12", "5"}, {"g3", "5"},
+  };
+  for (const auto& row : gen1) {
+    facts += prore::StrFormat("mother(%s,w%s).\n", row[0], row[1]);
+  }
+  // Gen 2 (17 children of w6..w12).
+  const char* gen2[][2] = {
+      {"h13", "6"},  {"w14", "6"},  {"g4", "6"},
+      {"w13", "7"},  {"h14", "7"},  {"g5", "7"},
+      {"h15", "8"},  {"w16", "8"},  {"g6", "8"},
+      {"w15", "9"},  {"h16", "9"},  {"h17", "9"},
+      {"w17", "10"}, {"h18", "10"},
+      {"w18", "11"}, {"h19", "11"},
+      {"w19", "12"},
+  };
+  for (const auto& row : gen2) {
+    facts += prore::StrFormat("mother(%s,w%s).\n", row[0], row[1]);
+  }
+  return facts;
+}
+
+/// The kinship rules, in the paper's Fig. 6 source order (goal orders are
+/// the "natural" ones the reorderer is supposed to improve).
+constexpr const char* kRules = R"(
+female(X) :- girl(X).
+female(X) :- wife(_, X).
+male(X) :- not(female(X)).
+father(X, Y) :- mother(X, M), wife(Y, M).
+parent(X, Y) :- mother(X, Y).
+parent(X, Y) :- father(X, Y).
+married(X, Y) :- wife(X, Y).
+married(X, Y) :- wife(Y, X).
+siblings(X, Y) :- mother(X, M), mother(Y, M), unequal(X, Y).
+sister(X, Y) :- siblings(X, Y), female(Y).
+brother(X, Y) :- siblings(X, Y), male(Y).
+grandmother(X, Y) :- parent(X, Z), mother(Z, Y).
+cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, Z).
+cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, V), married(V, Z).
+aunt(X, Y) :- parent(X, Z), sister(Z, Y).
+aunt(X, Y) :- parent(X, Z), brother(Z, W), wife(W, Y).
+unequal(X, Y) :- X \== Y.
+)";
+
+BenchmarkProgram Build() {
+  BenchmarkProgram p;
+  p.name = "family_tree";
+  p.source = BuildFacts(&p.universe) + kRules;
+  // Table II rows: aunt, brother, cousins, grandmother in all four modes,
+  // with the ratios the paper measured (C-Prolog 1.5, their fact base).
+  p.mode_workloads = {
+      {"aunt", 2, "(-,-)", 1.47},      {"aunt", 2, "(-,+)", 43.91},
+      {"aunt", 2, "(+,-)", 1.00},      {"aunt", 2, "(+,+)", 1.39},
+      {"brother", 2, "(-,-)", 1.00},   {"brother", 2, "(-,+)", 3.45},
+      {"brother", 2, "(+,-)", 1.00},   {"brother", 2, "(+,+)", 0.75},
+      {"cousins", 2, "(-,-)", 42.65},  {"cousins", 2, "(-,+)", 52.49},
+      {"cousins", 2, "(+,-)", 24.84},  {"cousins", 2, "(+,+)", 0.91},
+      {"grandmother", 2, "(-,-)", 1.15}, {"grandmother", 2, "(-,+)", 347.66},
+      {"grandmother", 2, "(+,-)", 1.00}, {"grandmother", 2, "(+,+)", 1.52},
+  };
+  return p;
+}
+
+}  // namespace
+
+const BenchmarkProgram& FamilyTree() {
+  static const auto& program = *new BenchmarkProgram(Build());
+  return program;
+}
+
+}  // namespace prore::programs

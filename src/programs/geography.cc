@@ -1,0 +1,160 @@
+#include <string>
+
+#include "common/str_util.h"
+#include "programs/programs.h"
+
+namespace prore::programs {
+
+namespace {
+
+/// Warren's original setting (§I-E: "queries were automated translations of
+/// questions in English ... on geography"): a database of countries,
+/// continents, populations and borders, with conjunctive queries whose goal
+/// order follows the English word order — usually a bad execution order.
+struct CountryRow {
+  const char* name;
+  const char* continent;
+  int population;  // millions
+};
+
+constexpr CountryRow kCountries[] = {
+    {"albania", "europe", 3},        {"austria", "europe", 9},
+    {"belgium", "europe", 12},       {"bulgaria", "europe", 7},
+    {"czechia", "europe", 11},       {"denmark", "europe", 6},
+    {"finland", "europe", 6},        {"france", "europe", 68},
+    {"germany", "europe", 84},       {"greece", "europe", 10},
+    {"hungary", "europe", 10},       {"italy", "europe", 59},
+    {"netherlands", "europe", 18},   {"norway", "europe", 5},
+    {"poland", "europe", 37},        {"portugal", "europe", 10},
+    {"romania", "europe", 19},       {"spain", "europe", 48},
+    {"sweden", "europe", 10},        {"switzerland", "europe", 9},
+    {"ukraine", "europe", 38},       {"uk", "europe", 68},
+    {"china", "asia", 1412},         {"india", "asia", 1428},
+    {"iran", "asia", 89},            {"iraq", "asia", 45},
+    {"israel", "asia", 10},          {"japan", "asia", 124},
+    {"jordan", "asia", 11},          {"mongolia", "asia", 3},
+    {"pakistan", "asia", 240},       {"saudi_arabia", "asia", 36},
+    {"syria", "asia", 23},           {"thailand", "asia", 72},
+    {"turkey", "asia", 85},          {"vietnam", "asia", 98},
+    {"algeria", "africa", 45},       {"egypt", "africa", 112},
+    {"ethiopia", "africa", 126},     {"kenya", "africa", 55},
+    {"libya", "africa", 7},          {"morocco", "africa", 37},
+    {"nigeria", "africa", 223},      {"sudan", "africa", 48},
+    {"tunisia", "africa", 12},       {"argentina", "south_america", 46},
+    {"bolivia", "south_america", 12}, {"brazil", "south_america", 216},
+    {"chile", "south_america", 20},  {"colombia", "south_america", 52},
+    {"peru", "south_america", 34},   {"venezuela", "south_america", 28},
+    {"canada", "north_america", 39}, {"mexico", "north_america", 128},
+    {"usa", "north_america", 335},   {"russia", "asia", 144},
+};
+
+constexpr const char* kBorders[][2] = {
+    {"albania", "greece"},      {"austria", "germany"},
+    {"austria", "italy"},       {"austria", "switzerland"},
+    {"austria", "hungary"},     {"austria", "czechia"},
+    {"belgium", "france"},      {"belgium", "germany"},
+    {"belgium", "netherlands"}, {"bulgaria", "greece"},
+    {"bulgaria", "romania"},    {"bulgaria", "turkey"},
+    {"czechia", "germany"},     {"czechia", "poland"},
+    {"denmark", "germany"},     {"finland", "norway"},
+    {"finland", "sweden"},      {"france", "germany"},
+    {"france", "italy"},        {"france", "spain"},
+    {"france", "switzerland"},  {"germany", "netherlands"},
+    {"germany", "poland"},      {"germany", "switzerland"},
+    {"greece", "turkey"},       {"hungary", "romania"},
+    {"hungary", "ukraine"},     {"italy", "switzerland"},
+    {"norway", "sweden"},       {"poland", "ukraine"},
+    {"portugal", "spain"},      {"romania", "ukraine"},
+    {"china", "india"},         {"china", "mongolia"},
+    {"china", "pakistan"},      {"china", "vietnam"},
+    {"india", "pakistan"},      {"iran", "iraq"},
+    {"iran", "pakistan"},       {"iran", "turkey"},
+    {"iraq", "jordan"},         {"iraq", "saudi_arabia"},
+    {"iraq", "syria"},          {"iraq", "turkey"},
+    {"israel", "egypt"},        {"israel", "jordan"},
+    {"israel", "syria"},        {"jordan", "saudi_arabia"},
+    {"jordan", "syria"},        {"syria", "turkey"},
+    {"algeria", "libya"},       {"algeria", "morocco"},
+    {"algeria", "tunisia"},     {"egypt", "libya"},
+    {"egypt", "sudan"},         {"ethiopia", "kenya"},
+    {"ethiopia", "sudan"},      {"libya", "sudan"},
+    {"libya", "tunisia"},       {"argentina", "bolivia"},
+    {"argentina", "brazil"},    {"argentina", "chile"},
+    {"bolivia", "brazil"},      {"bolivia", "chile"},
+    {"bolivia", "peru"},        {"brazil", "colombia"},
+    {"brazil", "peru"},         {"brazil", "venezuela"},
+    {"chile", "peru"},          {"colombia", "peru"},
+    {"colombia", "venezuela"},  {"canada", "usa"},
+    {"mexico", "usa"},          {"russia", "ukraine"},
+    {"russia", "finland"},      {"russia", "poland"},
+    {"russia", "norway"},       {"russia", "china"},
+    {"russia", "mongolia"},     {"spain", "morocco"},
+};
+
+BenchmarkProgram Build() {
+  BenchmarkProgram p;
+  p.name = "geography";
+  std::string facts;
+  for (const CountryRow& row : kCountries) {
+    facts += prore::StrFormat("country(%s, %s, %d).\n", row.name,
+                              row.continent, row.population);
+    p.universe.push_back(row.name);
+  }
+  for (const auto& b : kBorders) {
+    facts += prore::StrFormat("border_fact(%s, %s).\n", b[0], b[1]);
+  }
+  // Queries in the English word order Warren describes — the generators
+  // come first because the question names them first.
+  p.source = facts + R"(
+borders(A, B) :- border_fact(A, B).
+borders(A, B) :- border_fact(B, A).
+populous(C) :- country(C, _, P), P > 100.
+
+% "Which countries bordering a populous country are in Europe?"
+q_euro_neighbor(C) :-
+    country(X, _, _),
+    populous(X),
+    borders(C, X),
+    country(C, europe, _).
+
+% "Which African countries bridge two other African countries?"
+q_afro_bridge(C, E1, E2) :-
+    country(E1, africa, _),
+    country(E2, africa, _),
+    E1 \== E2,
+    borders(C, E1),
+    borders(C, E2),
+    country(C, africa, _).
+
+% "Which pairs of bordering countries are on different continents?"
+q_cross_continent(A, B) :-
+    country(A, CA, _),
+    country(B, CB, _),
+    CA \== CB,
+    borders(A, B).
+
+% "Which small countries border a very large one?"
+q_david_goliath(S, L) :-
+    country(S, _, PS),
+    country(L, _, PL),
+    PS < 15,
+    PL > 200,
+    borders(S, L).
+)";
+  p.query_workloads = {
+      {"q_euro_neighbor(-)", {"q_euro_neighbor(C)"}, 0.0},
+      {"q_afro_bridge(-,-,-)", {"q_afro_bridge(C, E1, E2)"}, 0.0},
+      {"q_cross_continent(-,-)", {"q_cross_continent(A, B)"}, 0.0},
+      {"q_david_goliath(-,-)", {"q_david_goliath(S, L)"}, 0.0},
+  };
+  return p;
+}
+
+}  // namespace
+
+const BenchmarkProgram& Geography() {
+  static const auto& program = *new BenchmarkProgram(Build());
+  return program;
+}
+
+}  // namespace prore::programs

@@ -1,0 +1,77 @@
+#ifndef PRORE_PROGRAMS_PROGRAMS_H_
+#define PRORE_PROGRAMS_PROGRAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prore::programs {
+
+/// One benchmark program with its evaluation workload — the inputs to the
+/// paper's Tables II, III and IV.
+struct BenchmarkProgram {
+  std::string name;
+  /// Prolog source text (facts synthesized deterministically + rules).
+  std::string source;
+  /// Constants to instantiate '+' positions with (Table II calls each
+  /// predicate once per possible instantiation).
+  std::vector<std::string> universe;
+
+  /// Predicate-per-mode workloads (Table II / III rows).
+  struct ModeWorkload {
+    std::string pred;
+    uint32_t arity;
+    std::string mode;  ///< e.g. "(+,-)"
+    /// Expected improvement ratio reported by the paper (0 = not reported);
+    /// recorded so the bench can print paper-vs-measured side by side.
+    double paper_ratio = 0.0;
+  };
+  std::vector<ModeWorkload> mode_workloads;
+
+  /// Plain query workloads (Table IV rows).
+  struct QueryWorkload {
+    std::string label;
+    std::vector<std::string> queries;
+    double paper_ratio = 0.0;
+  };
+  std::vector<QueryWorkload> query_workloads;
+};
+
+/// The family-tree program of §VII / Fig. 6: 55 constants, 10 girl/1,
+/// 19 wife/2, 34 mother/2 facts (the paper's exact fact counts), with the
+/// kinship rules aunt, brother, cousins, grandmother, ... (Table II).
+const BenchmarkProgram& FamilyTree();
+
+/// The corporate-database program of Table III: 120 employees keyed by an
+/// identification number, rules benefits/2, pay/3, maternity/2,
+/// average_pay/2, tax/2.
+const BenchmarkProgram& CorporateDb();
+
+/// Problem 58 from "How to Solve It in Prolog" (Table IV): a small
+/// generate-and-test number puzzle, queried fully instantiated.
+const BenchmarkProgram& P58();
+
+/// The meal planner of Table IV: plans (appetizer, main, dessert) menus;
+/// largely deterministic, so reordering gains little.
+const BenchmarkProgram& Meal();
+
+/// The project-team generator of Table IV: staff database queried for
+/// compatible teams; highly nondeterministic, the biggest Table IV gains.
+const BenchmarkProgram& Team();
+
+/// The kmbench stand-in of Table IV: a small backward-chaining theorem
+/// prover (depth-bounded, contrapositive rules) running a benchmark set;
+/// mostly deterministic with a single reorderable clause.
+const BenchmarkProgram& KmBench();
+
+/// Warren's original setting (the paper's §I-E): a geography database with
+/// conjunctive queries written in English word order — "reordering to
+/// minimize this yielded speedups up to several hundred times".
+const BenchmarkProgram& Geography();
+
+/// All of the above, for sweeping benches/tests.
+std::vector<const BenchmarkProgram*> AllPrograms();
+
+}  // namespace prore::programs
+
+#endif  // PRORE_PROGRAMS_PROGRAMS_H_

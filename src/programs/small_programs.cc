@@ -1,0 +1,213 @@
+#include <string>
+
+#include "common/str_util.h"
+#include "programs/programs.h"
+
+namespace prore::programs {
+
+// ---- p58 (Table IV) ---------------------------------------------------------
+
+namespace {
+
+BenchmarkProgram BuildP58() {
+  BenchmarkProgram p;
+  p.name = "p58";
+  std::string facts;
+  for (int i = 1; i <= 11; ++i) {
+    facts += prore::StrFormat("num58(%d).\n", i);
+  }
+  p.source = facts + R"(
+even58(X) :- 0 =:= X mod 2.
+p58(S, P) :-
+    num58(X),
+    num58(Y),
+    even58(X),
+    X < Y,
+    S =:= X + Y,
+    P =:= X * Y.
+)";
+  // The paper queries p58 fully instantiated: p58(+,+), ratio 1.55.
+  p.query_workloads = {
+      {"p58(+,+)",
+       {"p58(10, 24)", "p58(14, 48)", "p58(13, 40)", "p58(9, 8)",
+        "p58(12, 20)"},
+       1.55},
+  };
+  return p;
+}
+
+// ---- meal (Table IV) --------------------------------------------------------
+
+BenchmarkProgram BuildMeal() {
+  BenchmarkProgram p;
+  p.name = "meal";
+  p.source = R"(
+appetizer(pate).
+appetizer(salad).
+appetizer(soup).
+appetizer(melon).
+appetizer(shrimp).
+main_course(beef).
+main_course(chicken).
+main_course(fish).
+main_course(pasta).
+main_course(pork).
+main_course(tofu).
+dessert(cake).
+dessert(fruit).
+dessert(ice_cream).
+dessert(sorbet).
+dessert(cheese).
+calories(pate, 300).
+calories(salad, 120).
+calories(soup, 200).
+calories(melon, 90).
+calories(shrimp, 250).
+calories(beef, 700).
+calories(chicken, 500).
+calories(fish, 400).
+calories(pasta, 550).
+calories(pork, 650).
+calories(tofu, 300).
+calories(cake, 450).
+calories(fruit, 150).
+calories(ice_cream, 350).
+calories(sorbet, 200).
+calories(cheese, 400).
+meal(A, M, D) :-
+    appetizer(A),
+    main_course(M),
+    dessert(D),
+    light(A, M, D).
+light(A, M, D) :-
+    calories(A, CA),
+    calories(M, CM),
+    calories(D, CD),
+    CA + CM + CD =< 1000.
+)";
+  // meal is largely deterministic: every combination must be generated and
+  // the three-way test needs all three courses — little to reorder
+  // (paper ratio 1.06).
+  p.query_workloads = {
+      {"meal(-,-,-)", {"meal(A, M, D)"}, 1.06},
+  };
+  return p;
+}
+
+// ---- team (Table IV) --------------------------------------------------------
+
+BenchmarkProgram BuildTeam() {
+  BenchmarkProgram p;
+  p.name = "team";
+  std::string facts;
+  // 30 staff members: 5 managers, 13 programmers, 12 analysts.
+  const char* kSkills[] = {"db", "ui", "net", "ai"};
+  for (int i = 1; i <= 30; ++i) {
+    std::string id = prore::StrFormat("s%d", i);
+    p.universe.push_back(id);
+    facts += prore::StrFormat("person(%s).\n", id.c_str());
+    const char* role = i <= 5 ? "manager" : (i <= 18 ? "programmer"
+                                                     : "analyst");
+    facts += prore::StrFormat("role(%s,%s).\n", id.c_str(), role);
+    facts += prore::StrFormat("skill(%s,%s).\n", id.c_str(),
+                              kSkills[(i * 7) % 4]);
+    if (i % 3 != 0) facts += prore::StrFormat("free(%s).\n", id.c_str());
+  }
+  // Each manager needs one skill; compatibility is sparse.
+  for (int m = 1; m <= 5; ++m) {
+    facts += prore::StrFormat("needs(s%d,%s).\n", m, kSkills[m % 4]);
+    for (int o = 6; o <= 30; o += (m + 1)) {
+      facts += prore::StrFormat("compatible(s%d,s%d).\n", m, o);
+    }
+  }
+  p.source = facts + R"(
+team(L, P) :-
+    person(L),
+    person(P),
+    role(L, manager),
+    role(P, programmer),
+    skill(P, S),
+    needs(L, S),
+    free(P),
+    compatible(L, P).
+)";
+  p.mode_workloads = {
+      {"team", 2, "(-,-)", 3.47},
+      {"team", 2, "(+,+)", 3.87},
+  };
+  return p;
+}
+
+// ---- kmbench (Table IV) -----------------------------------------------------
+
+BenchmarkProgram BuildKmBench() {
+  BenchmarkProgram p;
+  p.name = "kmbench";
+  std::string facts;
+  // A layered Horn theory: layer-0 axioms, higher layers combine lower
+  // facts conjunctively/disjunctively; theorems sit at the top. The prover
+  // is a depth-bounded backward chainer — recursive, hence untouched by
+  // the reorderer; only the driver clause reorders (paper: "only a single
+  // clause of ... kmbench can be reordered", ratio 1.14).
+  for (int i = 1; i <= 8; ++i) {
+    facts += prore::StrFormat("axiom(a%d).\n", i);
+  }
+  // Layer 1: b_k :- a_k, a_{k+1}.
+  for (int i = 1; i <= 7; ++i) {
+    facts += prore::StrFormat("rule(b%d, (a%d, a%d)).\n", i, i, i + 1);
+  }
+  // Layer 2: c_k :- b_k, b_{k+2}  (some provable, some not).
+  for (int i = 1; i <= 6; ++i) {
+    facts += prore::StrFormat("rule(c%d, (b%d, b%d)).\n", i, i,
+                              (i % 5) + 1);
+  }
+  // Layer 3: theorems with two alternative derivations each.
+  for (int i = 1; i <= 5; ++i) {
+    facts += prore::StrFormat("rule(t%d, (c%d, b%d)).\n", i, i, i);
+    facts += prore::StrFormat("rule(t%d, (c%d, a%d)).\n", i, i + 1, i);
+    facts += prore::StrFormat("theorem(t%d).\n", i);
+  }
+  // A few non-theorems to make `interesting` selective.
+  facts += "interesting(t1).\ninteresting(t3).\ninteresting(t5).\n";
+  p.source = facts + R"(
+prove(G) :- prove(G, 12).
+prove(true, _).
+prove((A, B), D) :- prove(A, D), prove(B, D).
+prove(G, _) :- axiom(G).
+prove(G, D) :- D > 0, D1 is D - 1, rule(G, Body), prove(Body, D1).
+check(T) :- theorem(T), prove(T), interesting(T).
+)";
+  p.query_workloads = {
+      {"kmbench", {"check(T)"}, 1.14},
+  };
+  return p;
+}
+
+}  // namespace
+
+const BenchmarkProgram& P58() {
+  static const auto& program = *new BenchmarkProgram(BuildP58());
+  return program;
+}
+
+const BenchmarkProgram& Meal() {
+  static const auto& program = *new BenchmarkProgram(BuildMeal());
+  return program;
+}
+
+const BenchmarkProgram& Team() {
+  static const auto& program = *new BenchmarkProgram(BuildTeam());
+  return program;
+}
+
+const BenchmarkProgram& KmBench() {
+  static const auto& program = *new BenchmarkProgram(BuildKmBench());
+  return program;
+}
+
+std::vector<const BenchmarkProgram*> AllPrograms() {
+  return {&FamilyTree(), &CorporateDb(), &P58(), &Meal(), &Team(),
+          &KmBench(), &Geography()};
+}
+
+}  // namespace prore::programs

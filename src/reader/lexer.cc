@@ -1,0 +1,263 @@
+#include "reader/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace prore::reader {
+
+namespace {
+
+bool IsSymbolChar(char c) {
+  switch (c) {
+    case '#':
+    case '$':
+    case '&':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '/':
+    case ':':
+    case '<':
+    case '=':
+    case '>':
+    case '?':
+    case '@':
+    case '^':
+    case '~':
+    case '\\':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSolo(char c) {
+  switch (c) {
+    case '!':
+    case ';':
+    case ',':
+    case '|':
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsAlnumUnderscore(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+char Lexer::Advance() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+prore::Status Lexer::SkipLayout() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '%') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      int start_line = line_;
+      Advance();
+      Advance();
+      while (!(Peek() == '*' && Peek(1) == '/')) {
+        if (AtEnd()) {
+          return prore::Status::ParseError(
+              prore::StrFormat("unterminated block comment at line %d",
+                               start_line));
+        }
+        Advance();
+      }
+      Advance();
+      Advance();
+    } else {
+      break;
+    }
+  }
+  return prore::Status::OK();
+}
+
+prore::Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  bool last_was_atom = false;
+  while (true) {
+    PRORE_RETURN_IF_ERROR(SkipLayout());
+    Token tok;
+    tok.line = line_;
+    tok.column = column_;
+    if (AtEnd()) {
+      tok.kind = TokenKind::kEof;
+      out.push_back(tok);
+      return out;
+    }
+    char c = Peek();
+    bool this_is_atom = false;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Integer. (0'c character codes are supported as a convenience.)
+      if (c == '0' && Peek(1) == '\'' && Peek(2) != '\0') {
+        Advance();
+        Advance();
+        char code = Advance();
+        if (code == '\\') {
+          char esc = Advance();
+          switch (esc) {
+            case 'n': code = '\n'; break;
+            case 't': code = '\t'; break;
+            case 'a': code = '\a'; break;
+            case '\\': code = '\\'; break;
+            case '\'': code = '\''; break;
+            default: code = esc; break;
+          }
+        }
+        tok.kind = TokenKind::kInteger;
+        tok.text = std::to_string(static_cast<int>(code));
+      } else {
+        std::string digits;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          digits.push_back(Advance());
+        }
+        // A '.' followed by a digit continues into a float literal.
+        if (Peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+          digits.push_back(Advance());
+          while (!AtEnd() &&
+                 std::isdigit(static_cast<unsigned char>(Peek()))) {
+            digits.push_back(Advance());
+          }
+          tok.kind = TokenKind::kFloat;
+        } else {
+          tok.kind = TokenKind::kInteger;
+        }
+        tok.text = digits;
+      }
+    } else if (std::islower(static_cast<unsigned char>(c))) {
+      // Unquoted name atom.
+      std::string name;
+      while (!AtEnd() && IsAlnumUnderscore(Peek())) name.push_back(Advance());
+      tok.kind = TokenKind::kAtom;
+      tok.text = name;
+      this_is_atom = true;
+    } else if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (!AtEnd() && IsAlnumUnderscore(Peek())) name.push_back(Advance());
+      tok.kind = TokenKind::kVariable;
+      tok.text = name;
+    } else if (c == '\'') {
+      // Quoted atom.
+      Advance();
+      std::string name;
+      while (true) {
+        if (AtEnd()) {
+          return prore::Status::ParseError(prore::StrFormat(
+              "unterminated quoted atom at line %d", tok.line));
+        }
+        char q = Advance();
+        if (q == '\'') {
+          if (Peek() == '\'') {  // '' escape
+            name.push_back('\'');
+            Advance();
+          } else {
+            break;
+          }
+        } else if (q == '\\') {
+          if (AtEnd()) {
+            return prore::Status::ParseError(prore::StrFormat(
+                "unterminated escape in quoted atom at line %d", tok.line));
+          }
+          char esc = Advance();
+          switch (esc) {
+            case 'n': name.push_back('\n'); break;
+            case 't': name.push_back('\t'); break;
+            case 'a': name.push_back('\a'); break;
+            case '\\': name.push_back('\\'); break;
+            case '\'': name.push_back('\''); break;
+            case '\n': break;  // line continuation
+            default: name.push_back(esc); break;
+          }
+        } else {
+          name.push_back(q);
+        }
+      }
+      tok.kind = TokenKind::kAtom;
+      tok.text = name;
+      this_is_atom = true;
+    } else if (c == '[' && Peek(1) == ']') {
+      Advance();
+      Advance();
+      tok.kind = TokenKind::kAtom;
+      tok.text = "[]";
+      this_is_atom = true;
+    } else if (c == '{' && Peek(1) == '}') {
+      Advance();
+      Advance();
+      tok.kind = TokenKind::kAtom;
+      tok.text = "{}";
+      this_is_atom = true;
+    } else if (IsSolo(c)) {
+      Advance();
+      if (c == '!' || c == ';') {
+        tok.kind = TokenKind::kAtom;
+        tok.text = std::string(1, c);
+        this_is_atom = true;
+      } else {
+        tok.kind = TokenKind::kPunct;
+        tok.text = std::string(1, c);
+        if (c == '(') tok.preceded_by_atom = last_was_atom;
+      }
+    } else if (IsSymbolChar(c)) {
+      // Run of symbol characters forms one symbolic atom — except that a
+      // '.' followed by layout or EOF terminates the clause.
+      if (c == '.') {
+        char next = Peek(1);
+        if (next == '\0' || std::isspace(static_cast<unsigned char>(next)) ||
+            next == '%') {
+          Advance();
+          tok.kind = TokenKind::kEnd;
+          tok.text = ".";
+          out.push_back(tok);
+          last_was_atom = false;
+          continue;
+        }
+      }
+      // Maximal munch: the clause-terminating '.' is only recognized at
+      // token start (checked above); inside a run, '.' is a symbol char
+      // so that '=..' lexes as one atom.
+      std::string sym;
+      while (!AtEnd() && IsSymbolChar(Peek())) {
+        sym.push_back(Advance());
+      }
+      tok.kind = TokenKind::kAtom;
+      tok.text = sym;
+      this_is_atom = true;
+    } else {
+      return prore::Status::ParseError(prore::StrFormat(
+          "unexpected character '%c' at line %d column %d", c, tok.line,
+          tok.column));
+    }
+    // Mark functor application: atom immediately followed by '('.
+    if (this_is_atom && Peek() == '(') tok.functor_paren = true;
+    out.push_back(tok);
+    last_was_atom = this_is_atom && tok.functor_paren;
+  }
+}
+
+}  // namespace prore::reader

@@ -1,0 +1,63 @@
+#ifndef PRORE_READER_LEXER_H_
+#define PRORE_READER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prore::reader {
+
+/// Token kinds produced by the Prolog tokenizer.
+enum class TokenKind {
+  kAtom,      ///< foo, 'quoted atom', symbolic (:-, \+, =..), [] and {}
+  kVariable,  ///< X, _Foo, _
+  kInteger,   ///< 42
+  kFloat,     ///< 3.14
+  kPunct,     ///< ( ) [ ] { } , | — single structural characters
+  kEnd,       ///< clause-terminating '.' (followed by layout or EOF)
+  kEof
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  ///< Atom/variable name, digit string, or punct char.
+  int line = 0;
+  int column = 0;
+  /// True when an atom token is immediately followed by '(' with no space:
+  /// Edinburgh syntax requires that for functor application f(...).
+  bool functor_paren = false;
+  /// True when '(' immediately follows an atom (same flag, seen from the
+  /// paren side); lets the parser distinguish f(  from f (.
+  bool preceded_by_atom = false;
+};
+
+/// Splits Prolog source text into tokens. Handles %-comments, /* */ block
+/// comments, quoted atoms with '' escapes and \-escapes, symbolic atoms
+/// made of #$&*+-./:<=>?@^~\ runs, and the solo characters ! ; , | ( ) [ ] { }.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  /// Tokenizes the whole input.
+  prore::Result<std::vector<Token>> Tokenize();
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance();
+  prore::Status SkipLayout();  // whitespace + comments
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace prore::reader
+
+#endif  // PRORE_READER_LEXER_H_

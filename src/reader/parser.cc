@@ -1,0 +1,403 @@
+#include "reader/parser.h"
+
+#include <cassert>
+#include <memory>
+
+#include "common/str_util.h"
+
+namespace prore::reader {
+
+using term::SymbolTable;
+using term::TermRef;
+
+prore::Status Parser::ErrorHere(const std::string& what) const {
+  return prore::Status::ParseError(prore::StrFormat(
+      "%s at line %d column %d (near '%s')", what.c_str(), Cur().line,
+      Cur().column, Cur().text.c_str()));
+}
+
+term::TermRef Parser::VarFor(const std::string& name) {
+  if (name == "_") return store_->MakeVar();  // each _ is distinct
+  auto it = clause_vars_.find(name);
+  if (it != clause_vars_.end()) return it->second;
+  TermRef v = store_->MakeVar(name);
+  clause_vars_.emplace(name, v);
+  var_order_.emplace_back(name, v);
+  return v;
+}
+
+namespace {
+// Priority tracking for the precedence-climbing loop.
+struct PriorityHolder {
+  int value = 0;
+};
+}  // namespace
+
+// The priority of the most recent ParsePrimary/ParseTerm result. Operator
+// parsing is strictly sequential, so a member is safe.
+static thread_local PriorityHolder g_last_priority;
+
+prore::Result<TermRef> Parser::ParsePrimary(int max_priority) {
+  const Token tok = Cur();
+  switch (tok.kind) {
+    case TokenKind::kInteger: {
+      Bump();
+      g_last_priority.value = 0;
+      return store_->MakeInt(std::stoll(tok.text));
+    }
+    case TokenKind::kFloat: {
+      Bump();
+      g_last_priority.value = 0;
+      return store_->MakeFloat(std::stod(tok.text));
+    }
+    case TokenKind::kVariable: {
+      Bump();
+      g_last_priority.value = 0;
+      return VarFor(tok.text);
+    }
+    case TokenKind::kPunct: {
+      if (tok.text == "(") {
+        Bump();
+        PRORE_ASSIGN_OR_RETURN(TermRef inner, ParseTerm(1200));
+        if (Cur().kind != TokenKind::kPunct || Cur().text != ")") {
+          return ErrorHere("expected ')'");
+        }
+        Bump();
+        g_last_priority.value = 0;
+        return inner;
+      }
+      if (tok.text == "[") {
+        Bump();
+        return ParseList();
+      }
+      if (tok.text == "{") {
+        Bump();
+        PRORE_ASSIGN_OR_RETURN(TermRef inner, ParseTerm(1200));
+        if (Cur().kind != TokenKind::kPunct || Cur().text != "}") {
+          return ErrorHere("expected '}'");
+        }
+        Bump();
+        g_last_priority.value = 0;
+        const TermRef args[] = {inner};
+        return store_->MakeStruct(SymbolTable::kCurly, args);
+      }
+      return ErrorHere("unexpected token");
+    }
+    case TokenKind::kAtom: {
+      term::Symbol sym = store_->symbols().Intern(tok.text);
+      if (tok.functor_paren) {
+        Bump();  // atom
+        Bump();  // '('
+        return ParseArgList(sym);
+      }
+      // Prefix operator?
+      auto prefix = ops_->Prefix(tok.text);
+      if (prefix.has_value() && prefix->priority <= max_priority) {
+        const Token& next = Next();
+        bool operand_follows =
+            next.kind == TokenKind::kInteger ||
+            next.kind == TokenKind::kFloat ||
+            next.kind == TokenKind::kVariable ||
+            (next.kind == TokenKind::kAtom) ||
+            (next.kind == TokenKind::kPunct &&
+             (next.text == "(" || next.text == "[" || next.text == "{"));
+        // An atom that is *also* usable standalone: if the next token is an
+        // infix operator atom (and not a prefix one), treat this atom as an
+        // operand instead (e.g. the query `X == (-)` is exotic; we favor
+        // the common case).
+        if (operand_follows && next.kind == TokenKind::kAtom &&
+            !next.functor_paren) {
+          bool next_is_infix_only = ops_->Infix(next.text).has_value() &&
+                                    !ops_->Prefix(next.text).has_value();
+          if (next_is_infix_only) operand_follows = false;
+        }
+        if (operand_follows) {
+          Bump();
+          // Negative numeric literal: -42 or -3.5.
+          if (tok.text == "-" && Cur().kind == TokenKind::kInteger) {
+            int64_t v = std::stoll(Cur().text);
+            Bump();
+            g_last_priority.value = 0;
+            return store_->MakeInt(-v);
+          }
+          if (tok.text == "-" && Cur().kind == TokenKind::kFloat) {
+            double v = std::stod(Cur().text);
+            Bump();
+            g_last_priority.value = 0;
+            return store_->MakeFloat(-v);
+          }
+          int arg_max = prefix->type == OpType::kFy ? prefix->priority
+                                                    : prefix->priority - 1;
+          PRORE_ASSIGN_OR_RETURN(TermRef arg, ParseTerm(arg_max));
+          g_last_priority.value = prefix->priority;
+          const TermRef args[] = {arg};
+          return store_->MakeStruct(sym, args);
+        }
+      }
+      // Plain atom (possibly an operator name used as an atom). An operator
+      // used as a bare operand carries the operator's priority, which keeps
+      // it from becoming the argument of a tighter-binding operator.
+      Bump();
+      int p = 0;
+      if (auto inf = ops_->Infix(tok.text); inf.has_value()) {
+        p = std::max(p, inf->priority);
+      }
+      if (auto pre = ops_->Prefix(tok.text); pre.has_value()) {
+        p = std::max(p, pre->priority);
+      }
+      g_last_priority.value = p;
+      return store_->MakeAtom(sym);
+    }
+    case TokenKind::kEnd:
+      return ErrorHere("unexpected end of clause");
+    case TokenKind::kEof:
+      return ErrorHere("unexpected end of input");
+  }
+  return ErrorHere("unexpected token");
+}
+
+prore::Result<TermRef> Parser::ParseArgList(term::Symbol functor) {
+  std::vector<TermRef> args;
+  while (true) {
+    PRORE_ASSIGN_OR_RETURN(TermRef arg, ParseTerm(999));
+    args.push_back(arg);
+    if (Cur().kind == TokenKind::kPunct && Cur().text == ",") {
+      Bump();
+      continue;
+    }
+    if (Cur().kind == TokenKind::kPunct && Cur().text == ")") {
+      Bump();
+      g_last_priority.value = 0;
+      return store_->MakeStruct(functor, args);
+    }
+    return ErrorHere("expected ',' or ')' in argument list");
+  }
+}
+
+prore::Result<TermRef> Parser::ParseList() {
+  if (Cur().kind == TokenKind::kPunct && Cur().text == "]") {
+    Bump();
+    g_last_priority.value = 0;
+    return store_->MakeNil();
+  }
+  std::vector<TermRef> items;
+  TermRef tail = term::kNullTerm;
+  while (true) {
+    PRORE_ASSIGN_OR_RETURN(TermRef item, ParseTerm(999));
+    items.push_back(item);
+    if (Cur().kind == TokenKind::kPunct && Cur().text == ",") {
+      Bump();
+      continue;
+    }
+    if (Cur().kind == TokenKind::kPunct && Cur().text == "|") {
+      Bump();
+      PRORE_ASSIGN_OR_RETURN(tail, ParseTerm(999));
+      break;
+    }
+    break;
+  }
+  if (Cur().kind != TokenKind::kPunct || Cur().text != "]") {
+    return ErrorHere("expected ']' to close list");
+  }
+  Bump();
+  g_last_priority.value = 0;
+  TermRef list = tail == term::kNullTerm ? store_->MakeNil() : tail;
+  for (size_t i = items.size(); i-- > 0;) {
+    list = store_->MakeCons(items[i], list);
+  }
+  return list;
+}
+
+prore::Result<TermRef> Parser::ParseTerm(int max_priority) {
+  PRORE_ASSIGN_OR_RETURN(TermRef left, ParsePrimary(max_priority));
+  int left_priority = g_last_priority.value;
+  while (true) {
+    std::string op_name;
+    // At an operator position, an atom is an operator even when glued to a
+    // '(' — `a->(b;c)` is infix '->' applied to the parenthesized term.
+    if (Cur().kind == TokenKind::kAtom) {
+      op_name = Cur().text;
+    } else if (Cur().kind == TokenKind::kPunct && Cur().text == ",") {
+      op_name = ",";
+    } else {
+      break;
+    }
+    auto infix = ops_->Infix(op_name);
+    if (!infix.has_value()) break;
+    int p = infix->priority;
+    if (p > max_priority) break;
+    int left_max = infix->type == OpType::kYfx ? p : p - 1;
+    int right_max = infix->type == OpType::kXfy ? p : p - 1;
+    if (left_priority > left_max) break;
+    Bump();
+    PRORE_ASSIGN_OR_RETURN(TermRef right, ParseTerm(right_max));
+    term::Symbol sym = store_->symbols().Intern(op_name);
+    const TermRef args[] = {left, right};
+    left = store_->MakeStruct(sym, args);
+    left_priority = p;
+  }
+  g_last_priority.value = left_priority;
+  return left;
+}
+
+prore::Status Parser::ApplyOpDirective(term::TermRef goal) {
+  term::TermRef prio = store_->Deref(store_->arg(goal, 0));
+  term::TermRef type = store_->Deref(store_->arg(goal, 1));
+  term::TermRef name = store_->Deref(store_->arg(goal, 2));
+  if (store_->tag(prio) != term::Tag::kInt ||
+      store_->tag(type) != term::Tag::kAtom ||
+      store_->tag(name) != term::Tag::kAtom) {
+    return prore::Status::InvalidArgument(
+        "op/3: expected op(Priority, Type, Name) with an integer and two "
+        "atoms");
+  }
+  int64_t p = store_->int_value(prio);
+  if (p < 1 || p > 1200) {
+    return prore::Status::InvalidArgument("op/3: priority out of 1..1200");
+  }
+  const std::string& type_name =
+      store_->symbols().Name(store_->symbol(type));
+  OpType op_type;
+  if (type_name == "xfx") {
+    op_type = OpType::kXfx;
+  } else if (type_name == "xfy") {
+    op_type = OpType::kXfy;
+  } else if (type_name == "yfx") {
+    op_type = OpType::kYfx;
+  } else if (type_name == "fy") {
+    op_type = OpType::kFy;
+  } else if (type_name == "fx") {
+    op_type = OpType::kFx;
+  } else if (type_name == "xf") {
+    op_type = OpType::kXf;
+  } else if (type_name == "yf") {
+    op_type = OpType::kYf;
+  } else {
+    return prore::Status::InvalidArgument("op/3: unknown type " + type_name);
+  }
+  if (local_ops_ == nullptr) {
+    // Copy-on-write: the shared standard table stays untouched.
+    local_ops_ = std::make_unique<OpTable>(*ops_);
+    ops_ = local_ops_.get();
+  }
+  local_ops_->Add(store_->symbols().Name(store_->symbol(name)),
+                  static_cast<int>(p), op_type);
+  return prore::Status::OK();
+}
+
+prore::Result<Program> Parser::ParseProgram(std::string_view text) {
+  Lexer lexer(text);
+  PRORE_ASSIGN_OR_RETURN(tokens_, lexer.Tokenize());
+  tpos_ = 0;
+  Program program;
+  while (Cur().kind != TokenKind::kEof) {
+    clause_vars_.clear();
+    var_order_.clear();
+    PRORE_ASSIGN_OR_RETURN(TermRef t, ParseTerm(1200));
+    if (Cur().kind != TokenKind::kEnd) {
+      return ErrorHere("expected '.' at end of clause");
+    }
+    Bump();
+    t = store_->Deref(t);
+    // Directive?
+    if (store_->tag(t) == term::Tag::kStruct &&
+        store_->arity(t) == 1 &&
+        (store_->symbols().Name(store_->symbol(t)) == ":-" ||
+         store_->symbols().Name(store_->symbol(t)) == "?-")) {
+      term::TermRef goal = store_->Deref(store_->arg(t, 0));
+      // op/3 takes effect immediately for the rest of the file (the
+      // classic behavior: subsequent clauses parse with the new operator).
+      if (store_->tag(goal) == term::Tag::kStruct &&
+          store_->arity(goal) == 3 &&
+          store_->symbols().Name(store_->symbol(goal)) == "op") {
+        PRORE_RETURN_IF_ERROR(ApplyOpDirective(goal));
+      }
+      program.AddDirective(goal);
+      continue;
+    }
+    PRORE_ASSIGN_OR_RETURN(Clause clause, SplitClause(store_, t));
+    if (!program.AddClause(*store_, clause)) {
+      return prore::Status::TypeError("clause head is not callable");
+    }
+  }
+  return program;
+}
+
+prore::Result<std::vector<ReadTerm>> Parser::ParseTermSequenceText(
+    std::string_view text) {
+  Lexer lexer(text);
+  PRORE_ASSIGN_OR_RETURN(tokens_, lexer.Tokenize());
+  tpos_ = 0;
+  std::vector<ReadTerm> out;
+  while (Cur().kind != TokenKind::kEof) {
+    clause_vars_.clear();
+    var_order_.clear();
+    PRORE_ASSIGN_OR_RETURN(TermRef t, ParseTerm(1200));
+    if (Cur().kind != TokenKind::kEnd) {
+      return ErrorHere("expected '.' after term");
+    }
+    Bump();
+    ReadTerm rt;
+    rt.term = t;
+    rt.var_names = var_order_;
+    out.push_back(std::move(rt));
+  }
+  return out;
+}
+
+prore::Result<ReadTerm> Parser::ParseTermText(std::string_view text) {
+  Lexer lexer(text);
+  PRORE_ASSIGN_OR_RETURN(tokens_, lexer.Tokenize());
+  tpos_ = 0;
+  clause_vars_.clear();
+  var_order_.clear();
+  PRORE_ASSIGN_OR_RETURN(TermRef t, ParseTerm(1200));
+  if (Cur().kind == TokenKind::kEnd) Bump();
+  if (Cur().kind != TokenKind::kEof) {
+    return ErrorHere("trailing input after term");
+  }
+  ReadTerm out;
+  out.term = t;
+  out.var_names = var_order_;
+  return out;
+}
+
+prore::Result<Program> ParseProgramText(term::TermStore* store,
+                                        std::string_view text) {
+  OpTable ops;
+  Parser parser(store, &ops);
+  return parser.ParseProgram(text);
+}
+
+prore::Result<ReadTerm> ParseQueryText(term::TermStore* store,
+                                       std::string_view text) {
+  OpTable ops;
+  Parser parser(store, &ops);
+  return parser.ParseTermText(text);
+}
+
+prore::Result<std::vector<ReadTerm>> ParseTermSequence(
+    term::TermStore* store, std::string_view text) {
+  OpTable ops;
+  Parser parser(store, &ops);
+  return parser.ParseTermSequenceText(text);
+}
+
+prore::Result<Clause> SplitClause(term::TermStore* store, term::TermRef t) {
+  t = store->Deref(t);
+  Clause c;
+  if (store->tag(t) == term::Tag::kStruct && store->arity(t) == 2 &&
+      store->symbol(t) == SymbolTable::kNeck) {
+    c.head = store->Deref(store->arg(t, 0));
+    c.body = store->Deref(store->arg(t, 1));
+  } else {
+    c.head = t;
+    c.body = store->MakeAtom(SymbolTable::kTrue);
+  }
+  if (!store->IsCallable(c.head)) {
+    return prore::Status::TypeError("clause head is not callable");
+  }
+  return c;
+}
+
+}  // namespace prore::reader

@@ -1,0 +1,58 @@
+#ifndef PRORE_READER_PROGRAM_H_
+#define PRORE_READER_PROGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "term/store.h"
+
+namespace prore::reader {
+
+/// One clause, split at the neck: `head :- body.`; facts have body = true.
+/// Head and body share variables (they were renamed apart from other
+/// clauses when read in).
+struct Clause {
+  term::TermRef head = term::kNullTerm;
+  term::TermRef body = term::kNullTerm;  ///< atom `true` for facts
+};
+
+/// A parsed Prolog program: predicates in first-appearance order, each with
+/// its clauses in source order, plus the directives (`:- goal.`) in order.
+class Program {
+ public:
+  /// Appends a clause, creating its predicate on first sight.
+  /// Returns false if `head` is not callable.
+  bool AddClause(const term::TermStore& store, const Clause& clause);
+
+  void AddDirective(term::TermRef goal) { directives_.push_back(goal); }
+
+  const std::vector<term::PredId>& pred_order() const { return pred_order_; }
+
+  bool Has(const term::PredId& id) const { return preds_.count(id) > 0; }
+
+  const std::vector<Clause>& ClausesOf(const term::PredId& id) const;
+  std::vector<Clause>* MutableClausesOf(const term::PredId& id);
+
+  /// Replaces (or creates) the clause list of `id`.
+  void SetClauses(const term::PredId& id, std::vector<Clause> clauses);
+
+  /// Removes a predicate entirely (used when specialization supersedes the
+  /// original). No-op if absent.
+  void ErasePred(const term::PredId& id);
+
+  const std::vector<term::TermRef>& directives() const { return directives_; }
+
+  size_t NumPreds() const { return pred_order_.size(); }
+  size_t NumClauses() const;
+
+ private:
+  std::vector<term::PredId> pred_order_;
+  std::unordered_map<term::PredId, std::vector<Clause>, term::PredIdHash>
+      preds_;
+  std::vector<term::TermRef> directives_;
+};
+
+}  // namespace prore::reader
+
+#endif  // PRORE_READER_PROGRAM_H_

@@ -1,0 +1,41 @@
+#ifndef PRORE_READER_WRITER_H_
+#define PRORE_READER_WRITER_H_
+
+#include <string>
+
+#include "reader/ops.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::reader {
+
+struct WriteOptions {
+  /// Quote atoms that would not re-read as the same atom.
+  bool quoted = true;
+  /// Print operators in infix/prefix notation (a+b instead of +(a,b)).
+  bool use_operators = true;
+  /// Print lists as [a,b|T] instead of '.'(a,'.'(b,T)).
+  bool use_lists = true;
+  /// Prefer original variable names when available (else _G<id>).
+  bool var_names = true;
+};
+
+/// Renders a term back to Prolog source text that re-reads to an equal term.
+std::string WriteTerm(const term::TermStore& store, term::TermRef t,
+                      const WriteOptions& opts = WriteOptions());
+
+/// Renders one clause as `head.` or `head :-\n    goal1,\n    goal2.`.
+std::string WriteClause(const term::TermStore& store, const Clause& clause,
+                        const WriteOptions& opts = WriteOptions());
+
+/// Renders an entire program, predicates in order, blank line between
+/// predicates.
+std::string WriteProgram(const term::TermStore& store, const Program& program,
+                         const WriteOptions& opts = WriteOptions());
+
+/// "name/arity" for diagnostics.
+std::string PredName(const term::TermStore& store, const term::PredId& id);
+
+}  // namespace prore::reader
+
+#endif  // PRORE_READER_WRITER_H_

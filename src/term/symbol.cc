@@ -1,0 +1,26 @@
+#include "term/symbol.h"
+
+#include <cassert>
+
+namespace prore::term {
+
+SymbolTable::SymbolTable() {
+  // Order must match the kXxx constants in the header.
+  const char* kPredefined[] = {"[]", ".",  ",",    ";",  "->", ":-",  "!",
+                               "true", "fail", "\\+", "call", "=", "{}", "-"};
+  for (const char* name : kPredefined) Intern(name);
+  assert(Intern("[]") == kNil);
+  assert(Intern(":-") == kNeck);
+  assert(Intern("-") == kMinus);
+}
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  Symbol s = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), s);
+  return s;
+}
+
+}  // namespace prore::term

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/disjunction.h"
+#include "core/reorderer.h"
+#include "core/evaluation.h"
+#include "engine/database.h"
+#include "engine/machine.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+#include "term/store.h"
+
+namespace prore::core {
+namespace {
+
+using term::PredId;
+using term::TermStore;
+
+class DisjunctionTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& text) {
+    auto p = reader::ParseProgramText(&store_, text);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    program_ = std::move(p).value();
+  }
+
+  reader::Program Factor(FactorStats* stats = nullptr) {
+    auto r = FactorDisjunctions(&store_, program_, stats);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : reader::Program{};
+  }
+
+  std::string ClauseText(const reader::Program& p, const std::string& name,
+                         uint32_t arity, size_t idx = 0) {
+    PredId id{store_.symbols().Intern(name), arity};
+    return reader::WriteClause(store_, p.ClausesOf(id)[idx]);
+  }
+
+  std::vector<std::string> Answers(const reader::Program& p,
+                                   const std::string& query) {
+    auto db = engine::Database::Build(&store_, p);
+    EXPECT_TRUE(db.ok());
+    engine::Machine m(&store_, &db.value());
+    auto q = reader::ParseQueryText(&store_, query + ".");
+    EXPECT_TRUE(q.ok());
+    auto r = m.SolveToStrings(q->term, q->term);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    auto out = r.ok() ? std::move(r).value() : std::vector<std::string>{};
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  TermStore store_;
+  reader::Program program_;
+};
+
+TEST_F(DisjunctionTest, HoistsSharedPrefix) {
+  Load(R"(
+    p(X, Y) :- ( gen(X), left(X, Y) ; gen(X), right(X, Y) ).
+    gen(1). gen(2).
+    left(1, a). right(2, b).
+  )");
+  FactorStats stats;
+  reader::Program factored = Factor(&stats);
+  EXPECT_EQ(stats.hoisted_prefix, 1u);
+  std::string text = ClauseText(factored, "p", 2);
+  // gen(X) now appears exactly once.
+  size_t first = text.find("gen(");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("gen(", first + 1), std::string::npos);
+  EXPECT_EQ(Answers(program_, "p(X, Y)"), Answers(factored, "p(X, Y)"));
+}
+
+TEST_F(DisjunctionTest, HoistsSharedSuffix) {
+  Load(R"(
+    p(X, Y) :- ( left(X), check(X, Y) ; right(X), check(X, Y) ).
+    left(1). right(2).
+    check(1, a). check(2, b).
+  )");
+  FactorStats stats;
+  reader::Program factored = Factor(&stats);
+  EXPECT_EQ(stats.hoisted_suffix, 1u);
+  EXPECT_EQ(Answers(program_, "p(X, Y)"), Answers(factored, "p(X, Y)"));
+}
+
+TEST_F(DisjunctionTest, DifferentVariablesNotHoisted) {
+  // gen(X) vs gen(Y): textually similar but different variables — the
+  // halves would change meaning if merged.
+  Load(R"(
+    p(X, Y) :- ( gen(X), use(X, Y) ; gen(Y), use(Y, X) ).
+    gen(1). gen(2).
+    use(1, a). use(2, b).
+  )");
+  FactorStats stats;
+  reader::Program factored = Factor(&stats);
+  EXPECT_EQ(stats.hoisted_prefix, 0u);
+  EXPECT_EQ(Answers(program_, "p(X, Y)"), Answers(factored, "p(X, Y)"));
+}
+
+TEST_F(DisjunctionTest, SideEffectGoalNotHoisted) {
+  Load(R"(
+    p(X) :- ( write(hello), a(X) ; write(hello), b(X) ).
+    a(1). b(2).
+  )");
+  FactorStats stats;
+  reader::Program factored = Factor(&stats);
+  EXPECT_EQ(stats.hoisted_prefix, 0u);
+  // Output behavior must be identical: hello printed once per branch.
+  auto db1 = engine::Database::Build(&store_, program_);
+  auto db2 = engine::Database::Build(&store_, factored);
+  engine::Machine m1(&store_, &db1.value());
+  engine::Machine m2(&store_, &db2.value());
+  auto q1 = reader::ParseQueryText(&store_, "p(X).");
+  auto q2 = reader::ParseQueryText(&store_, "p(X).");
+  ASSERT_TRUE(m1.Solve(q1->term).ok());
+  ASSERT_TRUE(m2.Solve(q2->term).ok());
+  EXPECT_EQ(m1.output(), m2.output());
+}
+
+TEST_F(DisjunctionTest, IfThenElseLeftAlone) {
+  Load(R"(
+    p(X) :- ( a(X) -> b(X) ; b(X) ).
+    a(1). b(1). b(2).
+  )");
+  FactorStats stats;
+  reader::Program factored = Factor(&stats);
+  EXPECT_EQ(stats.hoisted_prefix, 0u);
+  EXPECT_EQ(stats.hoisted_suffix, 0u);
+  EXPECT_EQ(Answers(program_, "p(X)"), Answers(factored, "p(X)"));
+}
+
+TEST_F(DisjunctionTest, MergesClausesWithSharedPrefix) {
+  // The paper's citizen example shape: two clauses sharing an expensive
+  // initial goal become one disjunctive clause.
+  Load(R"(
+    eligible(X) :- resident(X), adult(X).
+    eligible(X) :- resident(X), veteran(X).
+    resident(a). resident(b). resident(c).
+    adult(a). veteran(b).
+  )");
+  FactorStats stats;
+  reader::Program factored = Factor(&stats);
+  EXPECT_EQ(stats.merged_clauses, 1u);
+  PredId eligible{store_.symbols().Intern("eligible"), 1};
+  EXPECT_EQ(factored.ClausesOf(eligible).size(), 1u);
+  std::string text = ClauseText(factored, "eligible", 1);
+  EXPECT_NE(text.find(";"), std::string::npos);
+  EXPECT_EQ(Answers(program_, "eligible(X)"),
+            Answers(factored, "eligible(X)"));
+}
+
+TEST_F(DisjunctionTest, MergingSavesRepeatedPrefixWork) {
+  Load(R"(
+    slowgen(1). slowgen(2). slowgen(3). slowgen(4). slowgen(5).
+    slowgen(6). slowgen(7). slowgen(8). slowgen(9). slowgen(10).
+    pick(X) :- slowgen(X), even(X).
+    pick(X) :- slowgen(X), big(X).
+    even(X) :- 0 =:= X mod 2.
+    big(X) :- X > 7.
+  )");
+  reader::Program factored = Factor();
+  auto db1 = engine::Database::Build(&store_, program_);
+  auto db2 = engine::Database::Build(&store_, factored);
+  engine::Machine m1(&store_, &db1.value());
+  engine::Machine m2(&store_, &db2.value());
+  auto q1 = reader::ParseQueryText(&store_, "pick(X).");
+  auto q2 = reader::ParseQueryText(&store_, "pick(X).");
+  auto r1 = m1.Solve(q1->term);
+  auto r2 = m2.Solve(q2->term);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_LT(r2->TotalCalls(), r1->TotalCalls());
+  EXPECT_EQ(Answers(program_, "pick(X)"), Answers(factored, "pick(X)"));
+}
+
+TEST_F(DisjunctionTest, CutClausesNotMerged) {
+  Load(R"(
+    choose(X, yes) :- test(X), !.
+    choose(X, no) :- test(X).
+    test(1).
+  )");
+  FactorStats stats;
+  reader::Program factored = Factor(&stats);
+  EXPECT_EQ(stats.merged_clauses, 0u);
+  EXPECT_EQ(Answers(program_, "choose(1, R)"),
+            Answers(factored, "choose(1, R)"));
+}
+
+TEST_F(DisjunctionTest, NonVariantHeadsNotMerged) {
+  Load(R"(
+    f(a, X) :- g(X).
+    f(b, X) :- g(X).
+    g(1).
+  )");
+  FactorStats stats;
+  Factor(&stats);
+  EXPECT_EQ(stats.merged_clauses, 0u);
+}
+
+TEST_F(DisjunctionTest, FactorThenReorderStaysSetEquivalent) {
+  Load(R"(
+    num(1). num(2). num(3). num(4). num(5). num(6).
+    small(1). small(2).
+    q(X) :- num(X), small(X).
+    q(X) :- num(X), X > 5.
+  )");
+  auto factored = FactorDisjunctions(&store_, program_);
+  ASSERT_TRUE(factored.ok());
+  Reorderer reorderer(&store_);
+  auto reordered = reorderer.Run(*factored);
+  ASSERT_TRUE(reordered.ok()) << reordered.status().ToString();
+  Evaluator eval(&store_, program_, reordered->program);
+  auto c = eval.CompareQuery("q(X)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->set_equivalent);
+}
+
+}  // namespace
+}  // namespace prore::core

@@ -1,0 +1,159 @@
+// Soundness of static mode inference against dynamic observation: every
+// call mode that actually arises when the original program runs must be a
+// concretization of some input mode the abstract interpreter recorded
+// (§V-E — the analysis must over-approximate "the modes arising in the
+// original program", or the legality oracle could approve unsafe orders).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analysis/callgraph.h"
+#include "analysis/mode_inference.h"
+#include "analysis/modes.h"
+#include "engine/database.h"
+#include "engine/machine.h"
+#include "programs/programs.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+#include "term/store.h"
+
+namespace prore {
+namespace {
+
+using analysis::Mode;
+using analysis::ModeItem;
+
+/// dynamic pattern char vs abstract item: is the concrete state covered?
+bool ItemCovers(ModeItem abstract, char concrete) {
+  switch (abstract) {
+    case ModeItem::kPlus:
+      return concrete == 'i';
+    case ModeItem::kMinus:
+      return concrete == 'u';
+    case ModeItem::kAny:
+      return true;
+  }
+  return false;
+}
+
+bool SomeInputCovers(const std::vector<Mode>& inputs,
+                     const std::string& pattern) {
+  for (const Mode& input : inputs) {
+    if (input.size() != pattern.size()) continue;
+    bool all = true;
+    for (size_t i = 0; i < input.size(); ++i) {
+      if (!ItemCovers(input[i], pattern[i])) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(ModeSoundness, DynamicCallModesCoveredByStaticInference) {
+  for (const programs::BenchmarkProgram* bp : programs::AllPrograms()) {
+    SCOPED_TRACE(bp->name);
+    term::TermStore store;
+    auto program = reader::ParseProgramText(&store, bp->source);
+    ASSERT_TRUE(program.ok());
+    auto graph = analysis::CallGraph::Build(store, *program);
+    ASSERT_TRUE(graph.ok());
+    analysis::Declarations decls;
+    auto inferred = analysis::InferModes(store, *program, *graph, decls);
+    ASSERT_TRUE(inferred.ok());
+
+    // Observe dynamic call modes over the program's query workloads.
+    std::map<std::string, std::set<std::string>> observed;
+    std::map<std::string, term::PredId> pred_of;
+    engine::SolveOptions opts;
+    opts.mode_observer = [&](const term::PredId& pred,
+                             const std::string& mode) {
+      std::string name = reader::PredName(store, pred);
+      observed[name].insert(mode);
+      pred_of.emplace(name, pred);
+    };
+    auto db = engine::Database::Build(&store, *program);
+    ASSERT_TRUE(db.ok());
+    engine::Machine machine(&store, &db.value(), opts);
+    for (const auto& wl : bp->query_workloads) {
+      for (const std::string& text : wl.queries) {
+        auto q = reader::ParseQueryText(&store, text + ".");
+        ASSERT_TRUE(q.ok());
+        ASSERT_TRUE(machine.Solve(q->term).ok()) << text;
+      }
+    }
+    // Mode workloads: all-free calls only, and only on entry predicates —
+    // a direct interactive call to an internal predicate is a call site
+    // the static analysis was never told about (the reorderer handles
+    // those through the oracle's on-demand analysis, not observed modes).
+    analysis::PredSet entries(graph->EntryPoints().begin(),
+                              graph->EntryPoints().end());
+    for (const auto& wl : bp->mode_workloads) {
+      term::PredId wl_pred{store.symbols().Intern(wl.pred), wl.arity};
+      if (entries.count(wl_pred) == 0) continue;
+      std::string goal = wl.pred + "(";
+      for (uint32_t i = 0; i < wl.arity; ++i) {
+        if (i) goal += ",";
+        goal += "V" + std::to_string(i);
+      }
+      goal += ")";
+      auto q = reader::ParseQueryText(&store, goal + ".");
+      ASSERT_TRUE(q.ok());
+      ASSERT_TRUE(machine.Solve(q->term).ok()) << goal;
+    }
+
+    // Every dynamically observed pattern of a *program* predicate must be
+    // covered by a statically observed input mode.
+    for (const auto& [pred_name, patterns] : observed) {
+      const term::PredId& pred = pred_of.at(pred_name);
+      // Library-internal helpers (length_count/3, ...) are outside the
+      // analyzed program; the analysis covers them via the library mode
+      // table instead of clause-level observation.
+      if (!program->Has(pred)) continue;
+      auto it = inferred->observed_inputs.find(pred);
+      ASSERT_NE(it, inferred->observed_inputs.end())
+          << bp->name << ": " << pred_name
+          << " called dynamically but never seen by static inference";
+      for (const std::string& pattern : patterns) {
+        EXPECT_TRUE(SomeInputCovers(it->second, pattern))
+            << bp->name << ": " << pred_name << " called with " << pattern
+            << " but static inference never saw a covering input mode";
+      }
+    }
+  }
+}
+
+TEST(ModeSoundness, ObserverReportsExpectedPatterns) {
+  term::TermStore store;
+  auto program = reader::ParseProgramText(&store, R"(
+    f(1). f(2).
+    g(X, Y) :- f(X), f(Y).
+  )");
+  ASSERT_TRUE(program.ok());
+  std::map<std::string, std::set<std::string>> observed;
+  engine::SolveOptions opts;
+  opts.mode_observer = [&](const term::PredId& pred,
+                           const std::string& mode) {
+    observed[reader::PredName(store, pred)].insert(mode);
+  };
+  auto db = engine::Database::Build(&store, *program);
+  ASSERT_TRUE(db.ok());
+  engine::Machine machine(&store, &db.value(), opts);
+  auto q = reader::ParseQueryText(&store, "g(A, B).");
+  ASSERT_TRUE(machine.Solve(q->term).ok());
+  // g called (u,u); f called first (u) then, for Y, again (u); after X is
+  // bound the second f sees 'u' too (Y still free). A ground call:
+  auto q2 = reader::ParseQueryText(&store, "g(1, 2).");
+  ASSERT_TRUE(machine.Solve(q2->term).ok());
+  EXPECT_TRUE(observed["g/2"].count("uu"));
+  EXPECT_TRUE(observed["g/2"].count("ii"));
+  EXPECT_TRUE(observed["f/1"].count("u"));
+  EXPECT_TRUE(observed["f/1"].count("i"));
+}
+
+}  // namespace
+}  // namespace prore

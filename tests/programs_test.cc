@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "core/reorderer.h"
+#include "programs/programs.h"
+#include "reader/parser.h"
+#include "term/store.h"
+
+namespace prore::programs {
+namespace {
+
+using core::ComparisonResult;
+using core::Evaluator;
+using core::Reorderer;
+using core::ReorderResult;
+
+TEST(FamilyTreeData, PaperFactCounts) {
+  term::TermStore store;
+  auto p = reader::ParseProgramText(&store, FamilyTree().source);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  auto count = [&](const char* name, uint32_t arity) {
+    term::PredId id{store.symbols().Intern(name), arity};
+    return p->ClausesOf(id).size();
+  };
+  EXPECT_EQ(count("girl", 1), 10u);    // paper: 10 facts for girl/1
+  EXPECT_EQ(count("wife", 2), 19u);    // paper: 19 for wife/2
+  EXPECT_EQ(count("mother", 2), 34u);  // paper: 34 for mother/2
+  EXPECT_EQ(FamilyTree().universe.size(), 55u);  // 55 constants
+}
+
+TEST(FamilyTreeData, KinshipQueriesHaveAnswers) {
+  term::TermStore store;
+  auto p = reader::ParseProgramText(&store, FamilyTree().source);
+  ASSERT_TRUE(p.ok());
+  auto db = engine::Database::Build(&store, *p);
+  ASSERT_TRUE(db.ok());
+  engine::Machine m(&store, &db.value());
+  for (const char* q : {"grandmother(X, Y)", "aunt(X, Y)", "brother(X, Y)",
+                        "cousins(X, Y)", "sister(X, Y)"}) {
+    auto query = reader::ParseQueryText(&store, std::string(q) + ".");
+    ASSERT_TRUE(query.ok());
+    auto r = m.SolveToStrings(query->term, query->term);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    EXPECT_GT(r->size(), 0u) << q;
+  }
+}
+
+TEST(CorporateData, HasExpectedShape) {
+  term::TermStore store;
+  auto p = reader::ParseProgramText(&store, CorporateDb().source);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  term::PredId emp{store.symbols().Intern("employee"), 3};
+  EXPECT_EQ(p->ClausesOf(emp).size(), 120u);
+  auto db = engine::Database::Build(&store, *p);
+  ASSERT_TRUE(db.ok());
+  engine::Machine m(&store, &db.value());
+  auto q = reader::ParseQueryText(&store, "benefits(N, B).");
+  auto r = m.SolveToStrings(q->term, q->term);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->size(), 0u);
+  auto q2 = reader::ParseQueryText(&store, "pay(jane, B, T).");
+  auto r2 = m.SolveToStrings(q2->term, q2->term);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 1u);
+}
+
+TEST(SmallPrograms, AllParseAndAnswer) {
+  for (const BenchmarkProgram* bp : AllPrograms()) {
+    term::TermStore store;
+    auto p = reader::ParseProgramText(&store, bp->source);
+    ASSERT_TRUE(p.ok()) << bp->name << ": " << p.status().ToString();
+    auto db = engine::Database::Build(&store, *p);
+    ASSERT_TRUE(db.ok()) << bp->name;
+    engine::Machine m(&store, &db.value());
+    for (const auto& wl : bp->query_workloads) {
+      for (const std::string& qt : wl.queries) {
+        auto q = reader::ParseQueryText(&store, qt + ".");
+        ASSERT_TRUE(q.ok()) << bp->name << " " << qt;
+        auto r = m.Solve(q->term);
+        ASSERT_TRUE(r.ok()) << bp->name << " " << qt << ": "
+                            << r.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(SmallPrograms, TeamHasTeams) {
+  term::TermStore store;
+  auto p = reader::ParseProgramText(&store, Team().source);
+  ASSERT_TRUE(p.ok());
+  auto db = engine::Database::Build(&store, *p);
+  ASSERT_TRUE(db.ok());
+  engine::Machine m(&store, &db.value());
+  auto q = reader::ParseQueryText(&store, "team(L, P).");
+  auto r = m.SolveToStrings(q->term, q->term);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->size(), 0u);
+}
+
+TEST(SmallPrograms, KmBenchProvesTheorems) {
+  term::TermStore store;
+  auto p = reader::ParseProgramText(&store, KmBench().source);
+  ASSERT_TRUE(p.ok());
+  auto db = engine::Database::Build(&store, *p);
+  ASSERT_TRUE(db.ok());
+  engine::Machine m(&store, &db.value());
+  auto q = reader::ParseQueryText(&store, "check(T).");
+  auto r = m.SolveToStrings(q->term, q->term);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->size(), 0u);
+}
+
+/// The load-bearing property: reordering every benchmark program preserves
+/// set-equivalence on every workload (paper §II).
+TEST(ReorderAllPrograms, SetEquivalenceOnAllWorkloads) {
+  for (const BenchmarkProgram* bp : AllPrograms()) {
+    term::TermStore store;
+    auto p = reader::ParseProgramText(&store, bp->source);
+    ASSERT_TRUE(p.ok()) << bp->name;
+    Reorderer reorderer(&store);
+    auto reordered = reorderer.Run(*p);
+    ASSERT_TRUE(reordered.ok()) << bp->name << ": "
+                                << reordered.status().ToString();
+    Evaluator eval(&store, *p, reordered->program);
+    for (const auto& wl : bp->query_workloads) {
+      auto c = eval.CompareQueries(wl.queries);
+      ASSERT_TRUE(c.ok()) << bp->name << " " << wl.label;
+      EXPECT_TRUE(c->set_equivalent) << bp->name << " " << wl.label;
+      EXPECT_EQ(c->original_answers, c->reordered_answers)
+          << bp->name << " " << wl.label;
+    }
+    for (const auto& wl : bp->mode_workloads) {
+      auto c = eval.CompareMode(wl.pred, wl.arity, wl.mode, bp->universe);
+      ASSERT_TRUE(c.ok()) << bp->name << " " << wl.pred << wl.mode << ": "
+                          << c.status().ToString();
+      EXPECT_TRUE(c->set_equivalent) << bp->name << " " << wl.pred << wl.mode;
+    }
+  }
+}
+
+/// The headline claims: family tree and team gain; nothing regresses badly.
+TEST(ReorderAllPrograms, HeadlineSpeedupsHold) {
+  {
+    term::TermStore store;
+    auto p = reader::ParseProgramText(&store, FamilyTree().source);
+    ASSERT_TRUE(p.ok());
+    Reorderer reorderer(&store);
+    auto reordered = reorderer.Run(*p);
+    ASSERT_TRUE(reordered.ok()) << reordered.status().ToString();
+    Evaluator eval(&store, *p, reordered->program);
+    // The half-instantiated modes gain the most (paper §VII).
+    auto c = eval.CompareMode("grandmother", 2, "(-,+)",
+                              FamilyTree().universe);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    EXPECT_TRUE(c->set_equivalent);
+    EXPECT_GT(c->Ratio(), 1.5) << "grandmother(-,+) should gain";
+  }
+  {
+    term::TermStore store;
+    auto p = reader::ParseProgramText(&store, Team().source);
+    ASSERT_TRUE(p.ok());
+    Reorderer reorderer(&store);
+    auto reordered = reorderer.Run(*p);
+    ASSERT_TRUE(reordered.ok());
+    Evaluator eval(&store, *p, reordered->program);
+    auto c = eval.CompareMode("team", 2, "(-,-)", Team().universe);
+    ASSERT_TRUE(c.ok());
+    EXPECT_TRUE(c->set_equivalent);
+    EXPECT_GT(c->Ratio(), 1.5) << "team(-,-) should gain";
+  }
+}
+
+}  // namespace
+}  // namespace prore::programs

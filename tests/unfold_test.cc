@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "core/reorderer.h"
+#include "core/unfold.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+#include "term/store.h"
+
+namespace prore::core {
+namespace {
+
+using term::PredId;
+using term::TermStore;
+
+class UnfoldTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& text) {
+    auto p = reader::ParseProgramText(&store_, text);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    program_ = std::move(p).value();
+  }
+
+  reader::Program Unfold(UnfoldOptions opts = UnfoldOptions()) {
+    auto r = UnfoldProgram(&store_, program_, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : reader::Program{};
+  }
+
+  std::string ClauseText(const reader::Program& p, const std::string& name,
+                         uint32_t arity, size_t idx = 0) {
+    PredId id{store_.symbols().Intern(name), arity};
+    return reader::WriteClause(store_, p.ClausesOf(id)[idx]);
+  }
+
+  /// Answer multiset of a query against a program.
+  std::vector<std::string> Answers(const reader::Program& p,
+                                   const std::string& query) {
+    auto db = engine::Database::Build(&store_, p);
+    EXPECT_TRUE(db.ok());
+    engine::Machine m(&store_, &db.value());
+    auto q = reader::ParseQueryText(&store_, query + ".");
+    EXPECT_TRUE(q.ok());
+    auto r = m.SolveToStrings(q->term, q->term);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    auto out = r.ok() ? std::move(r).value() : std::vector<std::string>{};
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  TermStore store_;
+  reader::Program program_;
+};
+
+TEST_F(UnfoldTest, InlinesSingleClausePredicate) {
+  Load(R"(
+    wrapper(X) :- worker(X).
+    worker(X) :- fact(X), X \== bad.
+    fact(a). fact(b). fact(bad).
+  )");
+  reader::Program unfolded = Unfold();
+  std::string text = ClauseText(unfolded, "wrapper", 1);
+  EXPECT_NE(text.find("fact("), std::string::npos);
+  EXPECT_EQ(text.find("worker("), std::string::npos);
+  EXPECT_EQ(Answers(program_, "wrapper(X)"),
+            Answers(unfolded, "wrapper(X)"));
+}
+
+TEST_F(UnfoldTest, MultiClausePredicateNotInlined) {
+  Load(R"(
+    top(X) :- choice(X).
+    choice(X) :- fact(X).
+    choice(X) :- other(X).
+    fact(1). other(2).
+  )");
+  reader::Program unfolded = Unfold();
+  std::string text = ClauseText(unfolded, "top", 1);
+  EXPECT_NE(text.find("choice("), std::string::npos);
+}
+
+TEST_F(UnfoldTest, RecursivePredicateNotInlined) {
+  Load(R"(
+    main(N) :- len([a,b], N).
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+  )");
+  reader::Program unfolded = Unfold();
+  std::string text = ClauseText(unfolded, "main", 1);
+  EXPECT_NE(text.find("len("), std::string::npos);
+  EXPECT_EQ(Answers(program_, "main(N)"), Answers(unfolded, "main(N)"));
+}
+
+TEST_F(UnfoldTest, CutBearingClauseNotInlined) {
+  Load(R"(
+    outer(X) :- committed(X).
+    committed(X) :- fact(X), !.
+    fact(1). fact(2).
+  )");
+  reader::Program unfolded = Unfold();
+  std::string text = ClauseText(unfolded, "outer", 1);
+  EXPECT_NE(text.find("committed("), std::string::npos);
+  EXPECT_EQ(Answers(program_, "outer(X)"), Answers(unfolded, "outer(X)"));
+}
+
+TEST_F(UnfoldTest, HeadUnificationBakedIn) {
+  // The callee head constrains the argument; after unfolding, the caller
+  // carries the substitution.
+  Load(R"(
+    get(X) :- tagged(pair(X, _)).
+    tagged(pair(A, B)) :- left(A), right(B).
+    left(1). left(2). right(x).
+  )");
+  reader::Program unfolded = Unfold();
+  std::string text = ClauseText(unfolded, "get", 1);
+  EXPECT_NE(text.find("left("), std::string::npos);
+  EXPECT_EQ(Answers(program_, "get(X)"), Answers(unfolded, "get(X)"));
+}
+
+TEST_F(UnfoldTest, ImpossibleHeadBecomesFail) {
+  Load(R"(
+    never(X) :- expects_foo(bar(X)).
+    expects_foo(foo(A)) :- fact(A).
+    fact(1).
+  )");
+  reader::Program unfolded = Unfold();
+  std::string text = ClauseText(unfolded, "never", 1);
+  EXPECT_NE(text.find("fail"), std::string::npos);
+  EXPECT_TRUE(Answers(unfolded, "never(X)").empty());
+}
+
+TEST_F(UnfoldTest, RepeatedRoundsChaseChains) {
+  Load(R"(
+    a(X) :- b(X).
+    b(X) :- c(X).
+    c(X) :- fact(X).
+    fact(7).
+  )");
+  UnfoldOptions opts;
+  opts.max_rounds = 4;
+  reader::Program unfolded = Unfold(opts);
+  // Full unfolding bakes the single fact's binding into the head:
+  // a(7) :- true (modulo the residual body).
+  std::string text = ClauseText(unfolded, "a", 1);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_EQ(text.find("b("), std::string::npos);
+  EXPECT_EQ(text.find("c("), std::string::npos);
+  EXPECT_EQ(Answers(program_, "a(X)"), Answers(unfolded, "a(X)"));
+}
+
+TEST_F(UnfoldTest, BudgetStopsBodyGrowth) {
+  Load(R"(
+    big(A,B,C,D) :- w(A), w(B), w(C), w(D), one(A), one(B), one(C), one(D).
+    w(X) :- fact(X), fact(X).
+    one(1).
+    fact(1). fact(2).
+  )");
+  UnfoldOptions opts;
+  opts.max_body_goals = 9;  // body already has 8 goals: only 1 unfold fits
+  reader::Program unfolded = Unfold(opts);
+  std::string text = ClauseText(unfolded, "big", 4);
+  // At most one w/1 call was replaced.
+  size_t w_count = 0;
+  for (size_t pos = 0; (pos = text.find("w(", pos)) != std::string::npos;
+       ++pos) {
+    ++w_count;
+  }
+  EXPECT_GE(w_count, 3u);
+  EXPECT_EQ(Answers(program_, "big(A,B,C,D)"),
+            Answers(unfolded, "big(A,B,C,D)"));
+}
+
+TEST_F(UnfoldTest, UnfoldingDoesNotCorruptOriginalProgram) {
+  Load(R"(
+    p(X) :- q(X).
+    q(X) :- fact(X).
+    fact(1). fact(2).
+  )");
+  auto before = Answers(program_, "p(X)");
+  reader::Program unfolded = Unfold();
+  auto after_original = Answers(program_, "p(X)");
+  EXPECT_EQ(before, after_original);  // inputs untouched by static bindings
+}
+
+TEST_F(UnfoldTest, UnfoldThenReorderExposesMoreMobility) {
+  // grandparent's body hides parent's internals; unfolding exposes the
+  // mother/wife goals to the reorderer (the paper's §VIII motivation).
+  Load(R"(
+    wife(h1, w1). wife(h2, w2).
+    mother(a, w1). mother(b, w1). mother(c, w2). mother(w2, w1).
+    parent1(C, P) :- mother(C, P).
+    gp(GC, GP) :- parent1(P, GP), parent1(GC, P).
+  )");
+  auto unfolded = UnfoldProgram(&store_, program_);
+  ASSERT_TRUE(unfolded.ok());
+  std::string text = ClauseText(*unfolded, "gp", 2);
+  EXPECT_NE(text.find("mother("), std::string::npos);
+
+  Reorderer reorderer(&store_);
+  auto reordered = reorderer.Run(*unfolded);
+  ASSERT_TRUE(reordered.ok()) << reordered.status().ToString();
+  Evaluator eval(&store_, program_, reordered->program);
+  auto c = eval.CompareQuery("gp(X, Y)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->set_equivalent);
+}
+
+TEST_F(UnfoldTest, UnfoldedProverDoesNotLoopAfterReorder) {
+  // Regression: unfolding `solve(G) :- solve(G, Depth)` leaves solve/1 an
+  // uncalled entry; its speculative free-mode analysis walk must not bless
+  // solve/2's free mode, or the reorderer hoists the prover call before
+  // its binder and the driver stops terminating.
+  Load(R"(
+    axiom(a1). axiom(a2).
+    rule(t1, (a1, a2)).
+    theorem(t1).
+    interesting(t1).
+    solve(G) :- solve(G, 4).
+    solve(G, _) :- axiom(G).
+    solve(G, D) :- D > 0, D1 is D - 1, rule(G, B), solve_both(B, D1).
+    solve_both((A, B), D) :- solve(A, D), solve(B, D).
+    drive(T) :- theorem(T), solve(T), interesting(T).
+  )");
+  auto unfolded = UnfoldProgram(&store_, program_);
+  ASSERT_TRUE(unfolded.ok());
+  Reorderer reorderer(&store_);
+  auto reordered = reorderer.Run(*unfolded);
+  ASSERT_TRUE(reordered.ok()) << reordered.status().ToString();
+  // Bounded evaluation: a regression shows up as ResourceExhausted (or a
+  // wrong answer set), not a hang.
+  engine::SolveOptions bounded;
+  bounded.max_calls = 200000;
+  Evaluator eval(&store_, program_, reordered->program, bounded);
+  auto c = eval.CompareQuery("drive(T)");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_TRUE(c->set_equivalent);
+  EXPECT_EQ(c->original_answers, 1u);
+}
+
+}  // namespace
+}  // namespace prore::core

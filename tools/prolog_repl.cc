@@ -1,0 +1,124 @@
+// prolog — a tiny driver for the engine substrate: consult files, run
+// queries from the command line or stdin, print answers and the
+// instrumentation counters (the paper's cost metric).
+//
+// Usage:
+//   prolog file1.pl [file2.pl ...] [-q 'goal'] ...
+//   echo 'goal.' | prolog file.pl
+//
+// Each -q GOAL (no trailing dot) is solved to exhaustion; without -q,
+// queries are read from stdin, one clause-terminated goal per line.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/machine.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+#include "term/store.h"
+
+namespace {
+
+int RunQuery(prore::engine::Machine* machine, prore::term::TermStore* store,
+             const std::string& text) {
+  auto query = prore::reader::ParseQueryText(store, text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "?- %s\n   %s\n", text.c_str(),
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("?- %s\n", text.c_str());
+  size_t count = 0;
+  auto on_solution = [&]() {
+    ++count;
+    if (query->var_names.empty()) {
+      std::printf("true");
+    } else {
+      bool first = true;
+      for (const auto& [name, var] : query->var_names) {
+        std::printf("%s%s = %s", first ? "" : ", ", name.c_str(),
+                    prore::reader::WriteTerm(*store, var).c_str());
+        first = false;
+      }
+    }
+    std::printf(" ;\n");
+    return true;
+  };
+  machine->ClearOutput();
+  auto metrics = machine->Solve(query->term, on_solution);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "   error: %s\n",
+                 metrics.status().ToString().c_str());
+    return 1;
+  }
+  if (!machine->output().empty()) {
+    std::printf("%s", machine->output().c_str());
+  }
+  if (count == 0) std::printf("false.\n");
+  std::printf("%% %llu solutions, %llu calls, %llu unification attempts, "
+              "%llu backtracks\n\n",
+              static_cast<unsigned long long>(metrics->solutions),
+              static_cast<unsigned long long>(metrics->TotalCalls()),
+              static_cast<unsigned long long>(metrics->head_unifications),
+              static_cast<unsigned long long>(metrics->backtracks));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  std::vector<std::string> queries;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-q") == 0) {
+      if (++i >= argc) {
+        std::fprintf(stderr, "usage: prolog files... [-q 'goal']...\n");
+        return 2;
+      }
+      queries.push_back(argv[i]);
+      continue;
+    }
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "prolog: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source += buffer.str();
+    source += "\n";
+  }
+
+  prore::term::TermStore store;
+  auto program = prore::reader::ParseProgramText(&store, source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "prolog: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto db = prore::engine::Database::Build(&store, *program);
+  if (!db.ok()) {
+    std::fprintf(stderr, "prolog: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  prore::engine::Machine machine(&store, &db.value());
+
+  int failures = 0;
+  if (!queries.empty()) {
+    for (const std::string& q : queries) {
+      failures += RunQuery(&machine, &store, q + ".");
+    }
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty() || line[0] == '%') continue;
+      failures += RunQuery(&machine, &store, line);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

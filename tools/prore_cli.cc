@@ -1,0 +1,206 @@
+// prore — command-line reorderer: reads a Prolog program, writes the
+// reordered program (per-mode specialized versions + dispatchers), and
+// optionally reports the model's predictions and a measured comparison.
+//
+// Usage:
+//   prore [options] input.pl [output.pl]
+//
+// Options:
+//   --unfold            unfold single-clause predicates first (SVIII)
+//   --factor            factor shared goals out of disjunctions / merge
+//                       clauses with shared prefixes (SIV-D.2)
+//   --guards            emit (ground tests -> reordered ; original)
+//                       run-time-guarded clauses (SV-D); implies
+//                       --no-specialize unless specialization is kept
+//   --no-specialize     one version per predicate, original names
+//   --no-clauses        keep clause order (goals only)
+//   --no-goals          keep goal order (clauses only)
+//   --warren            order by Warren's heuristic instead of the chains
+//   --report            print per-predicate predicted costs
+//   --compare QUERY     run QUERY on both programs and report call counts
+//   --emit-original     also echo the parsed original (normalization check)
+//
+// Output goes to stdout when no output file is given.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/modes.h"
+#include "core/evaluation.h"
+#include "core/reorderer.h"
+#include "core/disjunction.h"
+#include "core/unfold.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+#include "term/store.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: prore [--unfold] [--factor] [--guards]\n"
+               "             [--no-specialize] [--no-clauses] [--no-goals]\n"
+               "             [--warren] [--report] [--compare QUERY]\n"
+               "             [--emit-original] input.pl [output.pl]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  prore::core::ReorderOptions options;
+  bool report = false;
+  bool emit_original = false;
+  bool unfold = false;
+  bool factor = false;
+  std::vector<std::string> compare_queries;
+  std::string input_path, output_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--unfold") {
+      unfold = true;
+    } else if (arg == "--factor") {
+      factor = true;
+    } else if (arg == "--guards") {
+      options.runtime_guards = true;
+    } else if (arg == "--no-specialize") {
+      options.specialize_modes = false;
+    } else if (arg == "--no-clauses") {
+      options.reorder_clauses = false;
+    } else if (arg == "--no-goals") {
+      options.reorder_goals = false;
+    } else if (arg == "--warren") {
+      options.goal_search.warren_heuristic = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--emit-original") {
+      emit_original = true;
+    } else if (arg == "--compare") {
+      if (++i >= argc) return Usage();
+      compare_queries.push_back(argv[i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return Usage();
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else if (output_path.empty()) {
+      output_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (input_path.empty()) return Usage();
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::fprintf(stderr, "prore: cannot open %s\n", input_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string source = buffer.str();
+
+  prore::term::TermStore store;
+  auto program = prore::reader::ParseProgramText(&store, source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "prore: %s: %s\n", input_path.c_str(),
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  if (emit_original) {
+    std::fprintf(stderr, "%% --- parsed original ---\n%s%% --- end ---\n",
+                 prore::reader::WriteProgram(store, *program).c_str());
+  }
+
+  if (unfold) {
+    auto unfolded = prore::core::UnfoldProgram(&store, *program);
+    if (!unfolded.ok()) {
+      std::fprintf(stderr, "prore: unfolding failed: %s\n",
+                   unfolded.status().ToString().c_str());
+      return 1;
+    }
+    *program = std::move(unfolded).value();
+  }
+
+  if (factor) {
+    prore::core::FactorStats stats;
+    auto factored = prore::core::FactorDisjunctions(&store, *program, &stats);
+    if (!factored.ok()) {
+      std::fprintf(stderr, "prore: factoring failed: %s\n",
+                   factored.status().ToString().c_str());
+      return 1;
+    }
+    *program = std::move(factored).value();
+    std::fprintf(stderr,
+                 "prore: factoring hoisted %zu prefix / %zu suffix goals, "
+                 "merged %zu clause pairs\n",
+                 stats.hoisted_prefix, stats.hoisted_suffix,
+                 stats.merged_clauses);
+  }
+
+  prore::core::Reorderer reorderer(&store, options);
+  auto reordered = reorderer.Run(*program);
+  if (!reordered.ok()) {
+    std::fprintf(stderr, "prore: reordering failed: %s\n",
+                 reordered.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& note : reordered->notes) {
+    std::fprintf(stderr, "prore: note: %s\n", note.c_str());
+  }
+
+  std::string text =
+      prore::reader::WriteProgram(store, reordered->program);
+  if (output_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "prore: cannot write %s\n", output_path.c_str());
+      return 1;
+    }
+    out << "% reordered by prore (Gooley & Wah, ICDE 1988)\n" << text;
+  }
+
+  if (report) {
+    std::fprintf(stderr, "%-28s %-8s %14s %14s %s\n", "predicate", "mode",
+                 "predicted-orig", "predicted-new", "changed");
+    for (const auto& r : reordered->reports) {
+      std::string changed;
+      if (r.clauses_changed) changed += "clauses ";
+      if (r.goals_changed) changed += "goals";
+      if (changed.empty()) changed = "-";
+      std::fprintf(stderr, "%-28s %-8s %14.1f %14.1f %s\n",
+                   prore::reader::PredName(store, r.pred).c_str(),
+                   prore::analysis::ModeString(r.mode).c_str(),
+                   r.predicted_original_cost, r.predicted_new_cost,
+                   changed.c_str());
+    }
+  }
+
+  if (!compare_queries.empty()) {
+    prore::core::Evaluator eval(&store, *program, reordered->program);
+    for (const std::string& query : compare_queries) {
+      auto c = eval.CompareQuery(query);
+      if (!c.ok()) {
+        std::fprintf(stderr, "prore: compare %s: %s\n", query.c_str(),
+                     c.status().ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "compare %s: %llu -> %llu calls (%.2fx), %zu answers, "
+                   "set-equivalent: %s\n",
+                   query.c_str(),
+                   static_cast<unsigned long long>(c->original_calls),
+                   static_cast<unsigned long long>(c->reordered_calls),
+                   c->Ratio(), c->original_answers,
+                   c->set_equivalent ? "yes" : "NO");
+    }
+  }
+  return 0;
+}
