@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_clauses.dir/fig1_clauses.cc.o"
+  "CMakeFiles/fig1_clauses.dir/fig1_clauses.cc.o.d"
+  "fig1_clauses"
+  "fig1_clauses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_clauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_goals.dir/fig2_goals.cc.o"
+  "CMakeFiles/fig2_goals.dir/fig2_goals.cc.o.d"
+  "fig2_goals"
+  "fig2_goals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_goals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_model.dir/markov_model.cc.o"
+  "CMakeFiles/markov_model.dir/markov_model.cc.o.d"
+  "markov_model"
+  "markov_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_family.dir/table2_family.cc.o"
+  "CMakeFiles/table2_family.dir/table2_family.cc.o.d"
+  "table2_family"
+  "table2_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_corporate.dir/table3_corporate.cc.o"
+  "CMakeFiles/table3_corporate.dir/table3_corporate.cc.o.d"
+  "table3_corporate"
+  "table3_corporate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_corporate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_programs.dir/table4_programs.cc.o"
+  "CMakeFiles/table4_programs.dir/table4_programs.cc.o.d"
+  "table4_programs"
+  "table4_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warren_geography.dir/warren_geography.cc.o"
+  "CMakeFiles/warren_geography.dir/warren_geography.cc.o.d"
+  "warren_geography"
+  "warren_geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warren_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_query.dir/database_query.cpp.o"
+  "CMakeFiles/database_query.dir/database_query.cpp.o.d"
+  "database_query"
+  "database_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_tree.dir/family_tree.cpp.o"
+  "CMakeFiles/family_tree.dir/family_tree.cpp.o.d"
+  "family_tree"
+  "family_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_analysis.dir/mode_analysis.cpp.o"
+  "CMakeFiles/mode_analysis.dir/mode_analysis.cpp.o.d"
+  "mode_analysis"
+  "mode_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

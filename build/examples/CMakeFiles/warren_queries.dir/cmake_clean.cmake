@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warren_queries.dir/warren_queries.cpp.o"
+  "CMakeFiles/warren_queries.dir/warren_queries.cpp.o.d"
+  "warren_queries"
+  "warren_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warren_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

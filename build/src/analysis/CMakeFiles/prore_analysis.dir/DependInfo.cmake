@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/body.cc" "src/analysis/CMakeFiles/prore_analysis.dir/body.cc.o" "gcc" "src/analysis/CMakeFiles/prore_analysis.dir/body.cc.o.d"
+  "/root/repo/src/analysis/callgraph.cc" "src/analysis/CMakeFiles/prore_analysis.dir/callgraph.cc.o" "gcc" "src/analysis/CMakeFiles/prore_analysis.dir/callgraph.cc.o.d"
+  "/root/repo/src/analysis/fixity.cc" "src/analysis/CMakeFiles/prore_analysis.dir/fixity.cc.o" "gcc" "src/analysis/CMakeFiles/prore_analysis.dir/fixity.cc.o.d"
+  "/root/repo/src/analysis/mode_inference.cc" "src/analysis/CMakeFiles/prore_analysis.dir/mode_inference.cc.o" "gcc" "src/analysis/CMakeFiles/prore_analysis.dir/mode_inference.cc.o.d"
+  "/root/repo/src/analysis/modes.cc" "src/analysis/CMakeFiles/prore_analysis.dir/modes.cc.o" "gcc" "src/analysis/CMakeFiles/prore_analysis.dir/modes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/prore_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/prore_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/prore_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_analysis.dir/body.cc.o"
+  "CMakeFiles/prore_analysis.dir/body.cc.o.d"
+  "CMakeFiles/prore_analysis.dir/callgraph.cc.o"
+  "CMakeFiles/prore_analysis.dir/callgraph.cc.o.d"
+  "CMakeFiles/prore_analysis.dir/fixity.cc.o"
+  "CMakeFiles/prore_analysis.dir/fixity.cc.o.d"
+  "CMakeFiles/prore_analysis.dir/mode_inference.cc.o"
+  "CMakeFiles/prore_analysis.dir/mode_inference.cc.o.d"
+  "CMakeFiles/prore_analysis.dir/modes.cc.o"
+  "CMakeFiles/prore_analysis.dir/modes.cc.o.d"
+  "libprore_analysis.a"
+  "libprore_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

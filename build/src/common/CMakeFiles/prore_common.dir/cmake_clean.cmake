@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_common.dir/status.cc.o"
+  "CMakeFiles/prore_common.dir/status.cc.o.d"
+  "CMakeFiles/prore_common.dir/str_util.cc.o"
+  "CMakeFiles/prore_common.dir/str_util.cc.o.d"
+  "libprore_common.a"
+  "libprore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

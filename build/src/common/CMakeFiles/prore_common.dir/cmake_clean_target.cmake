@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprore_common.a"
+)

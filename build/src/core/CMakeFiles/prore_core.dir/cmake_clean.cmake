@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_core.dir/clause_order.cc.o"
+  "CMakeFiles/prore_core.dir/clause_order.cc.o.d"
+  "CMakeFiles/prore_core.dir/disjunction.cc.o"
+  "CMakeFiles/prore_core.dir/disjunction.cc.o.d"
+  "CMakeFiles/prore_core.dir/evaluation.cc.o"
+  "CMakeFiles/prore_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/prore_core.dir/goal_order.cc.o"
+  "CMakeFiles/prore_core.dir/goal_order.cc.o.d"
+  "CMakeFiles/prore_core.dir/reorderer.cc.o"
+  "CMakeFiles/prore_core.dir/reorderer.cc.o.d"
+  "CMakeFiles/prore_core.dir/restrictions.cc.o"
+  "CMakeFiles/prore_core.dir/restrictions.cc.o.d"
+  "CMakeFiles/prore_core.dir/unfold.cc.o"
+  "CMakeFiles/prore_core.dir/unfold.cc.o.d"
+  "libprore_core.a"
+  "libprore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_cost.dir/cost_model.cc.o"
+  "CMakeFiles/prore_cost.dir/cost_model.cc.o.d"
+  "libprore_cost.a"
+  "libprore_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/arith.cc" "src/engine/CMakeFiles/prore_engine.dir/arith.cc.o" "gcc" "src/engine/CMakeFiles/prore_engine.dir/arith.cc.o.d"
+  "/root/repo/src/engine/builtins.cc" "src/engine/CMakeFiles/prore_engine.dir/builtins.cc.o" "gcc" "src/engine/CMakeFiles/prore_engine.dir/builtins.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/prore_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/prore_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/machine.cc" "src/engine/CMakeFiles/prore_engine.dir/machine.cc.o" "gcc" "src/engine/CMakeFiles/prore_engine.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reader/CMakeFiles/prore_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/prore_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_engine.dir/arith.cc.o"
+  "CMakeFiles/prore_engine.dir/arith.cc.o.d"
+  "CMakeFiles/prore_engine.dir/builtins.cc.o"
+  "CMakeFiles/prore_engine.dir/builtins.cc.o.d"
+  "CMakeFiles/prore_engine.dir/database.cc.o"
+  "CMakeFiles/prore_engine.dir/database.cc.o.d"
+  "CMakeFiles/prore_engine.dir/machine.cc.o"
+  "CMakeFiles/prore_engine.dir/machine.cc.o.d"
+  "libprore_engine.a"
+  "libprore_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/chain.cc" "src/markov/CMakeFiles/prore_markov.dir/chain.cc.o" "gcc" "src/markov/CMakeFiles/prore_markov.dir/chain.cc.o.d"
+  "/root/repo/src/markov/matrix.cc" "src/markov/CMakeFiles/prore_markov.dir/matrix.cc.o" "gcc" "src/markov/CMakeFiles/prore_markov.dir/matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

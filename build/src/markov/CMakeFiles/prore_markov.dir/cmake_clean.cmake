@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_markov.dir/chain.cc.o"
+  "CMakeFiles/prore_markov.dir/chain.cc.o.d"
+  "CMakeFiles/prore_markov.dir/matrix.cc.o"
+  "CMakeFiles/prore_markov.dir/matrix.cc.o.d"
+  "libprore_markov.a"
+  "libprore_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/programs/corporate.cc" "src/programs/CMakeFiles/prore_programs.dir/corporate.cc.o" "gcc" "src/programs/CMakeFiles/prore_programs.dir/corporate.cc.o.d"
+  "/root/repo/src/programs/family_tree.cc" "src/programs/CMakeFiles/prore_programs.dir/family_tree.cc.o" "gcc" "src/programs/CMakeFiles/prore_programs.dir/family_tree.cc.o.d"
+  "/root/repo/src/programs/geography.cc" "src/programs/CMakeFiles/prore_programs.dir/geography.cc.o" "gcc" "src/programs/CMakeFiles/prore_programs.dir/geography.cc.o.d"
+  "/root/repo/src/programs/small_programs.cc" "src/programs/CMakeFiles/prore_programs.dir/small_programs.cc.o" "gcc" "src/programs/CMakeFiles/prore_programs.dir/small_programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_programs.dir/corporate.cc.o"
+  "CMakeFiles/prore_programs.dir/corporate.cc.o.d"
+  "CMakeFiles/prore_programs.dir/family_tree.cc.o"
+  "CMakeFiles/prore_programs.dir/family_tree.cc.o.d"
+  "CMakeFiles/prore_programs.dir/geography.cc.o"
+  "CMakeFiles/prore_programs.dir/geography.cc.o.d"
+  "CMakeFiles/prore_programs.dir/small_programs.cc.o"
+  "CMakeFiles/prore_programs.dir/small_programs.cc.o.d"
+  "libprore_programs.a"
+  "libprore_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reader/lexer.cc" "src/reader/CMakeFiles/prore_reader.dir/lexer.cc.o" "gcc" "src/reader/CMakeFiles/prore_reader.dir/lexer.cc.o.d"
+  "/root/repo/src/reader/ops.cc" "src/reader/CMakeFiles/prore_reader.dir/ops.cc.o" "gcc" "src/reader/CMakeFiles/prore_reader.dir/ops.cc.o.d"
+  "/root/repo/src/reader/parser.cc" "src/reader/CMakeFiles/prore_reader.dir/parser.cc.o" "gcc" "src/reader/CMakeFiles/prore_reader.dir/parser.cc.o.d"
+  "/root/repo/src/reader/program.cc" "src/reader/CMakeFiles/prore_reader.dir/program.cc.o" "gcc" "src/reader/CMakeFiles/prore_reader.dir/program.cc.o.d"
+  "/root/repo/src/reader/writer.cc" "src/reader/CMakeFiles/prore_reader.dir/writer.cc.o" "gcc" "src/reader/CMakeFiles/prore_reader.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/term/CMakeFiles/prore_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_reader.dir/lexer.cc.o"
+  "CMakeFiles/prore_reader.dir/lexer.cc.o.d"
+  "CMakeFiles/prore_reader.dir/ops.cc.o"
+  "CMakeFiles/prore_reader.dir/ops.cc.o.d"
+  "CMakeFiles/prore_reader.dir/parser.cc.o"
+  "CMakeFiles/prore_reader.dir/parser.cc.o.d"
+  "CMakeFiles/prore_reader.dir/program.cc.o"
+  "CMakeFiles/prore_reader.dir/program.cc.o.d"
+  "CMakeFiles/prore_reader.dir/writer.cc.o"
+  "CMakeFiles/prore_reader.dir/writer.cc.o.d"
+  "libprore_reader.a"
+  "libprore_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_term.dir/store.cc.o"
+  "CMakeFiles/prore_term.dir/store.cc.o.d"
+  "CMakeFiles/prore_term.dir/symbol.cc.o"
+  "CMakeFiles/prore_term.dir/symbol.cc.o.d"
+  "libprore_term.a"
+  "libprore_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

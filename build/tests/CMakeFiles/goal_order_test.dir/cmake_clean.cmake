@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_order_test.dir/goal_order_test.cc.o"
+  "CMakeFiles/goal_order_test.dir/goal_order_test.cc.o.d"
+  "goal_order_test"
+  "goal_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

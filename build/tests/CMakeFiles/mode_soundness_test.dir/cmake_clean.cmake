@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_soundness_test.dir/mode_soundness_test.cc.o"
+  "CMakeFiles/mode_soundness_test.dir/mode_soundness_test.cc.o.d"
+  "mode_soundness_test"
+  "mode_soundness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

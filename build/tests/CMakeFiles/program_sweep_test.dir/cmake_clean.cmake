@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_sweep_test.dir/program_sweep_test.cc.o"
+  "CMakeFiles/program_sweep_test.dir/program_sweep_test.cc.o.d"
+  "program_sweep_test"
+  "program_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

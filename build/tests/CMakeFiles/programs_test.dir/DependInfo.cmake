@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/programs_test.cc" "tests/CMakeFiles/programs_test.dir/programs_test.cc.o" "gcc" "tests/CMakeFiles/programs_test.dir/programs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/programs/CMakeFiles/prore_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/prore_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/prore_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/prore_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/prore_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/prore_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/prore_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programs_test.dir/programs_test.cc.o"
+  "CMakeFiles/programs_test.dir/programs_test.cc.o.d"
+  "programs_test"
+  "programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(term_test "/root/repo/build/tests/term_test")
+set_tests_properties(term_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(reader_test "/root/repo/build/tests/reader_test")
+set_tests_properties(reader_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/tests/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(markov_test "/root/repo/build/tests/markov_test")
+set_tests_properties(markov_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_test "/root/repo/build/tests/analysis_test")
+set_tests_properties(analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(programs_test "/root/repo/build/tests/programs_test")
+set_tests_properties(programs_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cost_test "/root/repo/build/tests/cost_test")
+set_tests_properties(cost_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fuzz_test "/root/repo/build/tests/fuzz_test")
+set_tests_properties(fuzz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(unfold_test "/root/repo/build/tests/unfold_test")
+set_tests_properties(unfold_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(disjunction_test "/root/repo/build/tests/disjunction_test")
+set_tests_properties(disjunction_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(goal_order_test "/root/repo/build/tests/goal_order_test")
+set_tests_properties(goal_order_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mode_soundness_test "/root/repo/build/tests/mode_soundness_test")
+set_tests_properties(mode_soundness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;prore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(program_sweep_test "/root/repo/build/tests/program_sweep_test")
+set_tests_properties(program_sweep_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;prore_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prolog_repl.dir/prolog_repl.cc.o"
+  "CMakeFiles/prolog_repl.dir/prolog_repl.cc.o.d"
+  "prolog"
+  "prolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prolog_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

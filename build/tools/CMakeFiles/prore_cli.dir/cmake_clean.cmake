@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prore_cli.dir/prore_cli.cc.o"
+  "CMakeFiles/prore_cli.dir/prore_cli.cc.o.d"
+  "prore"
+  "prore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
