@@ -647,7 +647,7 @@ prore::Status BiRetract(Machine* m, TermRef g, bool* success) {
   size_t n = entry->clauses.size();  // snapshot: later asserts invisible
   for (size_t i = 0; i < n; ++i) {
     const CompiledClause& cc = entry->clauses[i];
-    if (cc.dead) continue;
+    if (cc.dead()) continue;
     size_t mark = m->TrailMark();
     std::unordered_map<uint32_t, TermRef> var_map;
     TermRef head_copy = store.Rename(cc.head, &var_map);

@@ -118,17 +118,70 @@ bool Database::KeysCompatible(const FirstArgKey& call_key,
   return true;
 }
 
+const std::vector<uint32_t>* ClauseIndex::Bucket(
+    const FirstArgKey& key) const {
+  switch (key.kind) {
+    case FirstArgKey::Kind::kAtom: {
+      auto it = atom_buckets.find(key.symbol);
+      return it == atom_buckets.end() ? nullptr : &it->second;
+    }
+    case FirstArgKey::Kind::kInt: {
+      auto it = int_buckets.find(key.value);
+      return it == int_buckets.end() ? nullptr : &it->second;
+    }
+    case FirstArgKey::Kind::kStruct: {
+      auto it = struct_buckets.find(StructKey(key.symbol, key.arity));
+      return it == struct_buckets.end() ? nullptr : &it->second;
+    }
+    case FirstArgKey::Kind::kAny:
+      return nullptr;  // callers use a full scan for unbound first args
+  }
+  return nullptr;
+}
+
+void ClauseIndex::Insert(const FirstArgKey& key, uint32_t position) {
+  switch (key.kind) {
+    case FirstArgKey::Kind::kAny:
+      var_list.push_back(position);
+      break;
+    case FirstArgKey::Kind::kAtom:
+      atom_buckets[key.symbol].push_back(position);
+      break;
+    case FirstArgKey::Kind::kInt:
+      int_buckets[key.value].push_back(position);
+      break;
+    case FirstArgKey::Kind::kStruct:
+      struct_buckets[StructKey(key.symbol, key.arity)].push_back(position);
+      break;
+  }
+}
+
+CompiledClause Database::CompileClause(TermStore* store, TermRef head,
+                                       TermRef body) {
+  CompiledClause cc;
+  // Rename allocates the skeleton's fresh variables consecutively, which is
+  // what gives them the dense [var_base, var_base + num_vars) id range the
+  // register-file rename depends on.
+  cc.var_base = store->next_var_id();
+  std::unordered_map<uint32_t, TermRef> var_map;
+  cc.head = store->Rename(head, &var_map);
+  cc.body = store->Rename(body, &var_map);
+  cc.num_vars = store->next_var_id() - cc.var_base;
+  cc.key = KeyForHead(*store, cc.head);
+  return cc;
+}
+
 void Database::AddProgram(TermStore* store, const reader::Program& program) {
   for (const term::PredId& id : program.pred_order()) {
     if (preds_.count(id) > 0) continue;  // First definition wins.
     PredEntry entry;
     for (const reader::Clause& clause : program.ClausesOf(id)) {
-      CompiledClause cc;
-      cc.head = clause.head;
-      cc.body = clause.body;
-      cc.key = KeyForHead(*store, clause.head);
+      CompiledClause cc = CompileClause(store, clause.head, clause.body);
+      entry.index.Insert(cc.key,
+                         static_cast<uint32_t>(entry.clauses.size()));
       entry.clauses.push_back(cc);
     }
+    entry.indexed = true;
     preds_.emplace(id, std::move(entry));
   }
 }
@@ -187,29 +240,36 @@ prore::Status Database::Assert(TermStore* store, TermRef clause_term,
   PRORE_ASSIGN_OR_RETURN(reader::Clause clause,
                          reader::SplitClause(store, clause_term));
   term::PredId id = store->pred_id(store->Deref(clause.head));
-  CompiledClause cc;
-  cc.head = clause.head;
-  cc.body = clause.body;
-  cc.key = KeyForHead(*store, clause.head);
+  CompiledClause cc = CompileClause(store, clause.head, clause.body);
   auto& entry = preds_[id];
   if (front) {
+    // Prepending shifts every clause position, so the bucket index would
+    // have to be rebuilt under the feet of live choicepoints; instead the
+    // predicate permanently falls back to the pretest scan.
     entry.clauses.insert(entry.clauses.begin(), cc);
+    entry.indexed = false;
   } else {
+    if (entry.indexed) {
+      entry.index.Insert(cc.key,
+                         static_cast<uint32_t>(entry.clauses.size()));
+    }
     entry.clauses.push_back(cc);
   }
   ++generation_;
+  ++update_clock_;
   return prore::Status::OK();
 }
 
 void Database::MarkDead(const term::PredId& id, size_t index) {
   auto it = preds_.find(id);
   if (it != preds_.end() && index < it->second.clauses.size()) {
-    it->second.clauses[index].dead = true;
+    it->second.clauses[index].died_at = ++update_clock_;
   }
 }
 
 void Database::DeclareDynamic(const term::PredId& id) {
-  preds_.try_emplace(id);
+  auto [it, inserted] = preds_.try_emplace(id);
+  if (inserted) it->second.indexed = true;  // empty buckets, filled by assertz
 }
 
 }  // namespace prore::engine

@@ -27,18 +27,58 @@ struct FirstArgKey {
   int64_t value = 0;
 };
 
-/// A clause ready for execution.
+/// "Still alive" value for CompiledClause::died_at.
+inline constexpr uint64_t kNeverDied = UINT64_MAX;
+
+/// A clause compiled to an executable skeleton: head and body are a
+/// detached copy whose variables carry *dense* ids in
+/// [var_base, var_base + num_vars), so the machine renames them through a
+/// flat register file (TermStore::RenameSkeleton) instead of hashing a
+/// var-map per clause attempt. Skeleton terms are never unified directly,
+/// so their variables stay unbound forever.
 struct CompiledClause {
   term::TermRef head = term::kNullTerm;
   term::TermRef body = term::kNullTerm;
   FirstArgKey key;
-  /// Retracted. Calls already in progress keep seeing the clause (the
-  /// logical update view); new calls skip it.
-  bool dead = false;
+  uint32_t var_base = 0;  ///< First dense variable id of the skeleton.
+  uint32_t num_vars = 0;  ///< Distinct variables in head + body.
+  /// Database::update_clock() value at retraction, kNeverDied while alive.
+  /// A call started at clock C sees the clause iff died_at > C — the
+  /// logical update view without per-call candidate snapshots.
+  uint64_t died_at = kNeverDied;
+
+  bool dead() const { return died_at != kNeverDied; }
+};
+
+/// Hash-bucketed first-argument index over one predicate's clauses, built
+/// once (Database::Build or incrementally on assertz). Buckets hold clause
+/// positions in ascending order; a call with a bound first argument lazily
+/// merges its bucket with var_list at iteration time, so no candidate
+/// vector is ever materialized.
+struct ClauseIndex {
+  std::unordered_map<term::Symbol, std::vector<uint32_t>> atom_buckets;
+  std::unordered_map<int64_t, std::vector<uint32_t>> int_buckets;
+  /// Keyed by functor (symbol << 32 | arity).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> struct_buckets;
+  /// Clauses with a kAny key (var-headed / arity 0): candidates of every
+  /// call regardless of its first argument.
+  std::vector<uint32_t> var_list;
+
+  static uint64_t StructKey(term::Symbol s, uint32_t arity) {
+    return (static_cast<uint64_t>(s) << 32) | arity;
+  }
+  /// Bucket for a bound call key, nullptr if no clause has that shape.
+  const std::vector<uint32_t>* Bucket(const FirstArgKey& key) const;
+  void Insert(const FirstArgKey& key, uint32_t position);
 };
 
 struct PredEntry {
   std::vector<CompiledClause> clauses;
+  ClauseIndex index;
+  /// Buckets reflect `clauses`. Cleared (sticky) by asserta, which shifts
+  /// clause positions; such predicates fall back to a scan with an on-the-
+  /// fly first-argument pretest.
+  bool indexed = false;
 };
 
 /// Executable form of a program: clause lists per predicate, with
@@ -71,8 +111,10 @@ class Database {
   prore::Status Assert(term::TermStore* store, term::TermRef clause_term,
                        bool front);
 
-  /// Marks clause `index` of `id` dead. Used by retract/1 after it found
-  /// the matching clause.
+  /// Marks clause `index` of `id` dead as of the next update-clock tick.
+  /// Used by retract/1 after it found the matching clause. Calls already in
+  /// progress (their clock snapshot predates the tick) keep seeing the
+  /// clause; new calls skip it.
   void MarkDead(const term::PredId& id, size_t index);
 
   /// Pre-registers an (initially empty) dynamic predicate so calling it
@@ -84,6 +126,12 @@ class Database {
   /// referenced by the database and must not be reclaimed (neither on
   /// backtracking nor when Solve returns).
   uint64_t generation() const { return generation_; }
+
+  /// Bumped by every Assert *and* MarkDead. The machine snapshots this per
+  /// call; together with CompiledClause::died_at and the per-call clause
+  /// count it yields the logical update view without copying candidate
+  /// sets.
+  uint64_t update_clock() const { return update_clock_; }
 
   size_t NumPreds() const { return preds_.size(); }
 
@@ -101,9 +149,13 @@ class Database {
 
  private:
   void AddProgram(term::TermStore* store, const reader::Program& program);
+  /// Compiles head/body into a detached skeleton with dense variable ids.
+  static CompiledClause CompileClause(term::TermStore* store,
+                                      term::TermRef head, term::TermRef body);
 
   std::unordered_map<term::PredId, PredEntry, term::PredIdHash> preds_;
   uint64_t generation_ = 0;
+  uint64_t update_clock_ = 0;
 };
 
 /// Source text of the pure-Prolog library (append/3, member/2, ...).

@@ -1,5 +1,6 @@
 #include "engine/machine.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/str_util.h"
@@ -19,12 +20,17 @@ constexpr const char* kIteThenMarker = "$ite_then";
 
 Machine::Machine(term::TermStore* store, Database* db,
                  SolveOptions opts)
-    : store_(store), db_(db), opts_(opts) {}
+    : store_(store), db_(db), opts_(std::move(opts)) {
+  // Interned once so the per-step dispatcher never compares strings.
+  sym_ite_marker_ = store_->symbols().Intern(kIteThenMarker);
+  sym_not_name_ = store_->symbols().Intern("not");
+  sym_false_ = store_->symbols().Intern("false");
+}
 
-Machine::GoalNode* Machine::NewGoalNode(TermRef goal, uint32_t barrier,
-                                        GoalNode* next) {
+Machine::GoalRef Machine::NewGoalNode(TermRef goal, uint32_t barrier,
+                                      GoalRef next) {
   node_pool_.push_back(GoalNode{goal, barrier, next});
-  return &node_pool_.back();
+  return static_cast<GoalRef>(node_pool_.size() - 1);
 }
 
 void Machine::TrailUnwind(size_t mark) {
@@ -35,17 +41,21 @@ void Machine::TrailUnwind(size_t mark) {
 }
 
 void Machine::CutTo(uint32_t barrier) {
-  // Cut discards choicepoints but keeps bindings.
+  // Cut discards choicepoints but keeps bindings (and the goal nodes still
+  // reachable from goals_, which is why the node pool is only truncated on
+  // backtracking, never here).
   if (cps_.size() > barrier) cps_.resize(barrier);
 }
 
 bool Machine::Unify(TermRef a, TermRef b) {
-  // Iterative unification without occurs check (standard Prolog).
-  std::vector<std::pair<TermRef, TermRef>> stack;
-  stack.emplace_back(a, b);
-  while (!stack.empty()) {
-    auto [x, y] = stack.back();
-    stack.pop_back();
+  // Iterative unification without occurs check (standard Prolog). The
+  // worklist is a machine member so steady-state unification allocates
+  // nothing.
+  unify_stack_.clear();
+  unify_stack_.emplace_back(a, b);
+  while (!unify_stack_.empty()) {
+    auto [x, y] = unify_stack_.back();
+    unify_stack_.pop_back();
     x = store_->Deref(x);
     y = store_->Deref(y);
     if (x == y) continue;
@@ -77,7 +87,7 @@ bool Machine::Unify(TermRef a, TermRef b) {
           return false;
         }
         for (uint32_t i = 0; i < store_->arity(x); ++i) {
-          stack.emplace_back(store_->arg(x, i), store_->arg(y, i));
+          unify_stack_.emplace_back(store_->arg(x, i), store_->arg(y, i));
         }
         break;
       }
@@ -90,22 +100,22 @@ bool Machine::Unify(TermRef a, TermRef b) {
 
 void Machine::PushConjunction(TermRef goal, uint32_t barrier) {
   // Flatten right-nested conjunctions iteratively to keep node counts low.
-  std::vector<TermRef> conjuncts;
+  conj_scratch_.clear();
   TermRef cur = goal;
   while (true) {
     cur = store_->Deref(cur);
     if (store_->tag(cur) == Tag::kStruct &&
         store_->symbol(cur) == SymbolTable::kComma &&
         store_->arity(cur) == 2) {
-      conjuncts.push_back(store_->arg(cur, 0));
+      conj_scratch_.push_back(store_->arg(cur, 0));
       cur = store_->arg(cur, 1);
     } else {
-      conjuncts.push_back(cur);
+      conj_scratch_.push_back(cur);
       break;
     }
   }
-  for (size_t i = conjuncts.size(); i-- > 0;) {
-    goals_ = NewGoalNode(conjuncts[i], barrier, goals_);
+  for (size_t i = conj_scratch_.size(); i-- > 0;) {
+    goals_ = NewGoalNode(conj_scratch_[i], barrier, goals_);
   }
 }
 
@@ -113,10 +123,11 @@ void Machine::PushIfThenElse(TermRef cond, TermRef then_goal,
                              TermRef else_goal, uint32_t barrier) {
   // Else-branch choicepoint: resume with `else_goal ++ rest` on failure of
   // the condition.
-  GoalNode* else_cont = NewGoalNode(else_goal, barrier, goals_);
+  GoalRef else_cont = NewGoalNode(else_goal, barrier, goals_);
   Choicepoint cp;
   cp.kind = Choicepoint::Kind::kGoals;
   cp.continuation = else_cont;
+  cp.node_mark = static_cast<uint32_t>(node_pool_.size());
   cp.trail_mark = trail_.size();
   cp.heap_mark = store_->Watermark();
   cps_.push_back(cp);
@@ -125,33 +136,108 @@ void Machine::PushIfThenElse(TermRef cond, TermRef then_goal,
   // Marker: when the condition succeeds, commit (cut to `cut_to`) and run
   // the then-branch with the clause's own barrier.
   const TermRef marker_args[] = {then_goal, store_->MakeInt(barrier)};
-  TermRef marker =
-      store_->MakeStruct(store_->symbols().Intern(kIteThenMarker),
-                         marker_args);
-  GoalNode* marker_node = NewGoalNode(marker, cut_to, goals_);
+  TermRef marker = store_->MakeStruct(sym_ite_marker_, marker_args);
+  GoalRef marker_node = NewGoalNode(marker, cut_to, goals_);
 
   // Condition runs with a local cut barrier: a '!' inside the condition
   // must not remove the else-branch choicepoint (ISO semantics).
   goals_ = NewGoalNode(cond, static_cast<uint32_t>(cps_.size()), marker_node);
 }
 
+uint32_t Machine::ClauseScan::Next() {
+  const std::vector<CompiledClause>& clauses = entry->clauses;
+  switch (mode) {
+    case Mode::kAll:
+      while (pos < clause_limit) {
+        uint32_t i = pos++;
+        if (clauses[i].died_at > call_clock) return i;
+      }
+      return kNoClause;
+    case Mode::kPretest:
+      while (pos < clause_limit) {
+        uint32_t i = pos++;
+        if (clauses[i].died_at <= call_clock) continue;
+        if (Database::KeysCompatible(call_key, clauses[i].key)) return i;
+      }
+      return kNoClause;
+    case Mode::kBuckets:
+      // Lazy in-order merge of the key bucket with the var-headed list;
+      // both hold ascending positions, so once the minimum reaches
+      // clause_limit nothing visible remains.
+      while (true) {
+        uint32_t b = (bucket != nullptr && pos < bucket->size())
+                         ? (*bucket)[pos]
+                         : kNoClause;
+        uint32_t v = (var_list != nullptr && var_pos < var_list->size())
+                         ? (*var_list)[var_pos]
+                         : kNoClause;
+        uint32_t i = std::min(b, v);
+        if (i == kNoClause || i >= clause_limit) return kNoClause;
+        if (i == b) {
+          ++pos;
+        } else {
+          ++var_pos;
+        }
+        if (clauses[i].died_at <= call_clock) continue;
+        return i;
+      }
+  }
+  return kNoClause;
+}
+
+Machine::ClauseScan Machine::MakeScan(const PredEntry* entry,
+                                      TermRef goal) const {
+  ClauseScan scan;
+  scan.entry = entry;
+  scan.call_clock = db_->update_clock();
+  scan.clause_limit = static_cast<uint32_t>(entry->clauses.size());
+  if (!opts_.use_indexing) {
+    scan.mode = ClauseScan::Mode::kAll;
+    return scan;
+  }
+  FirstArgKey call_key = Database::KeyForCall(*store_, goal);
+  if (call_key.kind == FirstArgKey::Kind::kAny) {
+    // Unbound (or unindexable) first argument: every clause is a
+    // candidate — the sentinel "all clauses" scan, no merge, no copy.
+    scan.mode = ClauseScan::Mode::kAll;
+    return scan;
+  }
+  if (entry->indexed) {
+    scan.mode = ClauseScan::Mode::kBuckets;
+    scan.bucket = entry->index.Bucket(call_key);
+    scan.var_list =
+        entry->index.var_list.empty() ? nullptr : &entry->index.var_list;
+    return scan;
+  }
+  scan.mode = ClauseScan::Mode::kPretest;
+  scan.call_key = call_key;
+  return scan;
+}
+
+TermRef Machine::RenameHead(const CompiledClause& clause) {
+  regs_.assign(clause.num_vars, term::kNullTerm);
+  return store_->RenameSkeleton(clause.head, clause.var_base, regs_);
+}
+
 bool Machine::TryClauses(Choicepoint* cp) {
-  while (cp->next_clause < cp->candidates.size()) {
+  while (true) {
+    uint32_t idx = cp->scan.Next();
+    if (idx == kNoClause) return false;
     TrailUnwind(cp->trail_mark);
     if (CanReclaimHeap()) store_->Truncate(cp->heap_mark);
-    const CompiledClause& clause =
-        cp->entry->clauses[cp->candidates[cp->next_clause]];
-    ++cp->next_clause;
+    // Goal nodes pushed by a previously tried clause's body are
+    // unreachable once we are back at this choicepoint: recycle them.
+    if (node_pool_.size() > cp->node_mark) node_pool_.resize(cp->node_mark);
+    const CompiledClause& clause = cp->scan.entry->clauses[idx];
     ++metrics_.head_unifications;
-    std::unordered_map<uint32_t, TermRef> var_map;
-    TermRef head = store_->Rename(clause.head, &var_map);
+    TermRef head = RenameHead(clause);
     if (!Unify(cp->call_goal, head)) continue;
-    TermRef body = store_->Rename(clause.body, &var_map);
+    TermRef body =
+        store_->RenameSkeleton(clause.body, clause.var_base, regs_);
     goals_ = cp->continuation;
     PushConjunction(body, cp->body_barrier);
     return true;
   }
-  return false;
 }
 
 prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
@@ -168,44 +254,30 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
         prore::StrFormat("unknown predicate %s/%u",
                          store_->symbols().Name(id.name).c_str(), id.arity));
   }
-  // First-argument indexing: keep only candidate clauses.
-  std::vector<uint32_t> candidates;
-  candidates.reserve(entry->clauses.size());
-  if (opts_.use_indexing) {
-    FirstArgKey call_key = Database::KeyForCall(*store_, goal);
-    for (uint32_t i = 0; i < entry->clauses.size(); ++i) {
-      if (entry->clauses[i].dead) continue;  // retracted before this call
-      if (Database::KeysCompatible(call_key, entry->clauses[i].key)) {
-        candidates.push_back(i);
-      }
-    }
-  } else {
-    for (uint32_t i = 0; i < entry->clauses.size(); ++i) {
-      if (entry->clauses[i].dead) continue;
-      candidates.push_back(i);
-    }
-  }
-  if (candidates.empty()) {
+  ClauseScan scan = MakeScan(entry, goal);
+  ClauseScan peek = scan;  // cheap value copy; scan stays at the start
+  uint32_t first = peek.Next();
+  if (first == kNoClause) {
     *failed = true;
     return prore::Status::OK();
   }
 
   uint32_t body_barrier = static_cast<uint32_t>(cps_.size());
-  if (candidates.size() == 1) {
+  if (peek.Next() == kNoClause) {
     // Deterministic call: no choicepoint.
     size_t trail_mark = trail_.size();
     term::TermStore::Mark heap_mark = store_->Watermark();
-    const CompiledClause& clause = entry->clauses[candidates[0]];
+    const CompiledClause& clause = entry->clauses[first];
     ++metrics_.head_unifications;
-    std::unordered_map<uint32_t, TermRef> var_map;
-    TermRef head = store_->Rename(clause.head, &var_map);
+    TermRef head = RenameHead(clause);
     if (!Unify(goal, head)) {
       TrailUnwind(trail_mark);
       if (CanReclaimHeap()) store_->Truncate(heap_mark);
       *failed = true;
       return prore::Status::OK();
     }
-    TermRef body = store_->Rename(clause.body, &var_map);
+    TermRef body =
+        store_->RenameSkeleton(clause.body, clause.var_base, regs_);
     PushConjunction(body, body_barrier);
     return prore::Status::OK();
   }
@@ -213,12 +285,11 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
   Choicepoint cp;
   cp.kind = Choicepoint::Kind::kClauses;
   cp.continuation = goals_;
+  cp.node_mark = static_cast<uint32_t>(node_pool_.size());
   cp.trail_mark = trail_.size();
   cp.heap_mark = store_->Watermark();
   cp.call_goal = goal;
-  cp.entry = entry;
-  cp.next_clause = 0;
-  cp.candidates = std::move(candidates);
+  cp.scan = scan;
   cp.body_barrier = body_barrier;
   cps_.push_back(cp);
   if (!TryClauses(&cps_.back())) {
@@ -230,10 +301,11 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
 
 prore::Status Machine::Step(bool* failed) {
   *failed = false;
-  GoalNode* node = goals_;
-  TermRef g = store_->Deref(node->goal);
-  uint32_t barrier = node->cut_barrier;
-  goals_ = node->next;
+  // Copy, not reference: pushing goals below reallocates the pool.
+  const GoalNode node = node_pool_[goals_];
+  TermRef g = store_->Deref(node.goal);
+  uint32_t barrier = node.cut_barrier;
+  goals_ = node.next;
 
   Tag t = store_->tag(g);
   if (t == Tag::kVar) {
@@ -262,10 +334,11 @@ prore::Status Machine::Step(bool* failed) {
         return prore::Status::OK();
       }
       // Plain disjunction: choicepoint for the right branch.
-      GoalNode* right_cont = NewGoalNode(right, barrier, goals_);
+      GoalRef right_cont = NewGoalNode(right, barrier, goals_);
       Choicepoint cp;
       cp.kind = Choicepoint::Kind::kGoals;
       cp.continuation = right_cont;
+      cp.node_mark = static_cast<uint32_t>(node_pool_.size());
       cp.trail_mark = trail_.size();
       cp.heap_mark = store_->Watermark();
       cps_.push_back(cp);
@@ -278,9 +351,7 @@ prore::Status Machine::Step(bool* failed) {
                      store_->MakeAtom(SymbolTable::kFail), barrier);
       return prore::Status::OK();
     }
-    if ((sym == SymbolTable::kNot ||
-         store_->symbols().Name(sym) == "not") &&
-        arity == 1) {
+    if ((sym == SymbolTable::kNot || sym == sym_not_name_) && arity == 1) {
       // Negation as failure: (G -> fail ; true), G opaque to outer cut.
       PushIfThenElse(store_->arg(g, 0),
                      store_->MakeAtom(SymbolTable::kFail),
@@ -297,9 +368,9 @@ prore::Status Machine::Step(bool* failed) {
       goals_ = NewGoalNode(inner, static_cast<uint32_t>(cps_.size()), goals_);
       return prore::Status::OK();
     }
-    if (arity == 2 && store_->symbols().Name(sym) == kIteThenMarker) {
+    if (sym == sym_ite_marker_ && arity == 2) {
       // Condition of an if-then-else succeeded: commit and run then-branch.
-      CutTo(barrier);  // node->cut_barrier held the commit point
+      CutTo(barrier);  // node.cut_barrier held the commit point
       TermRef then_goal = store_->arg(g, 0);
       uint32_t clause_barrier = static_cast<uint32_t>(
           store_->int_value(store_->Deref(store_->arg(g, 1))));
@@ -313,8 +384,7 @@ prore::Status Machine::Step(bool* failed) {
       return prore::Status::OK();
     }
     if (sym == SymbolTable::kTrue) return prore::Status::OK();
-    if (sym == SymbolTable::kFail ||
-        store_->symbols().Name(sym) == "false") {
+    if (sym == SymbolTable::kFail || sym == sym_false_) {
       *failed = true;
       return prore::Status::OK();
     }
@@ -344,7 +414,7 @@ prore::Status Machine::Step(bool* failed) {
     }
     return CallUserPredicate(g, barrier, failed);
   }
-  uint64_t cache_key = (static_cast<uint64_t>(sym) << 8) | arity;
+  uint64_t cache_key = (static_cast<uint64_t>(sym) << 32) | arity;
   BuiltinFn fn;
   if (auto cit = builtin_cache_.find(cache_key);
       cit != builtin_cache_.end()) {
@@ -353,11 +423,10 @@ prore::Status Machine::Step(bool* failed) {
     fn = LookupBuiltin(store_->symbols().Name(sym), arity);
     builtin_cache_.emplace(cache_key, fn);
   }
-  const std::string& name = store_->symbols().Name(sym);
   if (fn != nullptr) {
     // '$'-prefixed builtins are harness-internal (dispatcher tag tests)
     // and cost no "call" in the paper's metric.
-    if (name[0] != '$') {
+    if (store_->symbols().Name(sym)[0] != '$') {
       ++metrics_.builtin_calls;
       if (metrics_.TotalCalls() > opts_.max_calls) {
         return prore::Status::ResourceExhausted("call limit exceeded");
@@ -378,6 +447,7 @@ bool Machine::Backtrack() {
     TrailUnwind(cp.trail_mark);
     if (CanReclaimHeap()) store_->Truncate(cp.heap_mark);
     if (cp.kind == Choicepoint::Kind::kGoals) {
+      if (node_pool_.size() > cp.node_mark) node_pool_.resize(cp.node_mark);
       goals_ = cp.continuation;
       cps_.pop_back();
       return true;
@@ -396,17 +466,18 @@ prore::Result<Metrics> Machine::Solve(TermRef goal,
   }
   solving_ = true;
   metrics_ = Metrics();
-  node_pool_.clear();
-  goals_ = nullptr;
+  node_pool_.clear();  // vector: capacity is retained across queries
+  goals_ = kNilGoal;
   cps_.clear();
   trail_.clear();
   term::TermStore::Mark query_mark = store_->Watermark();
+  if (reclaim_heap_) store_->ResetHighWater();
   query_db_generation_ = db_->generation();
 
-  goals_ = NewGoalNode(goal, 0, nullptr);
+  goals_ = NewGoalNode(goal, 0, kNilGoal);
   prore::Status status = prore::Status::OK();
   while (true) {
-    if (goals_ == nullptr) {
+    if (goals_ == kNilGoal) {
       ++metrics_.solutions;
       bool keep_going = on_solution ? on_solution() : true;
       if (!keep_going || metrics_.solutions >= opts_.max_solutions) break;
@@ -422,9 +493,10 @@ prore::Result<Metrics> Machine::Solve(TermRef goal,
     }
   }
 
+  metrics_.heap_cells += store_->HighWaterCells() - query_mark.cells;
   TrailUnwind(0);
   if (CanReclaimHeap()) store_->Truncate(query_mark);
-  goals_ = nullptr;
+  goals_ = kNilGoal;
   cps_.clear();
   node_pool_.clear();
   solving_ = false;
@@ -465,15 +537,16 @@ prore::Status Machine::SetInput(std::string_view text) {
   PRORE_ASSIGN_OR_RETURN(auto terms,
                          reader::ParseTermSequence(store_, text));
   input_terms_.clear();
+  input_head_ = 0;
   for (const reader::ReadTerm& rt : terms) input_terms_.push_back(rt.term);
   return prore::Status::OK();
 }
 
 term::TermRef Machine::NextInputTerm() {
-  if (input_terms_.empty()) return store_->MakeAtom("end_of_file");
-  TermRef t = input_terms_.front();
-  input_terms_.pop_front();
-  return t;
+  if (input_head_ >= input_terms_.size()) {
+    return store_->MakeAtom("end_of_file");
+  }
+  return input_terms_[input_head_++];
 }
 
 prore::Result<std::vector<TermRef>> Machine::FindAll(TermRef goal,

@@ -2,10 +2,10 @@
 #define PRORE_ENGINE_MACHINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -51,6 +51,15 @@ struct SolveOptions {
 ///
 /// A Machine may be re-used for several queries; heap space allocated by a
 /// query is reclaimed when Solve returns.
+///
+/// The steady-state resolution loop is allocation-free: clause heads and
+/// bodies are renamed from compiled skeletons through a reusable register
+/// file, candidate clauses are enumerated lazily from the database's
+/// bucketed first-argument index (no candidate vector per call), goal
+/// nodes live in a pooled stack recycled on backtracking, and the
+/// unification/conjunction scratch stacks are machine members. All
+/// containers retain capacity across Solve calls, so repeated queries on
+/// one Machine reach a fixed memory footprint.
 class Machine {
  public:
   Machine(term::TermStore* store, Database* db,
@@ -115,11 +124,52 @@ class Machine {
   /// Metrics of the query currently being solved (builtins may inspect).
   Metrics& current_metrics() { return metrics_; }
 
+  // ---- Introspection for allocation-regression tests ---------------------
+
+  /// Capacity of the pooled goal-node stack. Stable across repeated Solve
+  /// calls once warm (the stress test asserts this).
+  size_t GoalNodePoolCapacity() const { return node_pool_.capacity(); }
+  size_t TrailCapacity() const { return trail_.capacity(); }
+
  private:
+  /// Goal nodes are pool indices, not pointers: the pool is a stack that
+  /// grows during forward execution and is truncated to the choicepoint's
+  /// watermark on backtracking, so node storage is recycled and index
+  /// links survive pool reallocation.
+  using GoalRef = uint32_t;
+  static constexpr GoalRef kNilGoal = 0xFFFFFFFFu;
+  static constexpr uint32_t kNoClause = 0xFFFFFFFFu;
+
   struct GoalNode {
     term::TermRef goal;
     uint32_t cut_barrier;  ///< Cut here resizes the CP stack to this value.
-    GoalNode* next;
+    GoalRef next;
+  };
+
+  /// Lazy candidate-clause enumerator. Replaces the per-call candidate
+  /// vector: the next clause index is derived on demand from the
+  /// database's bucketed index (or a plain scan), with the logical update
+  /// view enforced by the (clause_limit, call_clock) snapshot. Plain
+  /// copyable value — peeking ahead is a struct copy.
+  struct ClauseScan {
+    enum class Mode : uint8_t {
+      kAll,      ///< Every clause: unindexed call or unbound first arg.
+      kPretest,  ///< Scan with on-the-fly first-arg compatibility test
+                 ///< (predicates whose bucket index was invalidated).
+      kBuckets   ///< Lazy merge of the call key's bucket with var_list.
+    };
+    Mode mode = Mode::kAll;
+    const PredEntry* entry = nullptr;
+    FirstArgKey call_key;     ///< kPretest only.
+    uint64_t call_clock = 0;  ///< db update clock at call time.
+    uint32_t clause_limit = 0;  ///< Clauses visible to this call.
+    const std::vector<uint32_t>* bucket = nullptr;    ///< kBuckets.
+    const std::vector<uint32_t>* var_list = nullptr;  ///< kBuckets.
+    uint32_t pos = 0;      ///< kAll/kPretest: next clause; kBuckets: bucket.
+    uint32_t var_pos = 0;  ///< kBuckets: position in var_list.
+
+    /// Next candidate clause position, kNoClause when exhausted.
+    uint32_t Next();
   };
 
   struct Choicepoint {
@@ -128,18 +178,17 @@ class Machine {
       kGoals     ///< An alternative goal continuation (disjunction/ite else).
     };
     Kind kind;
-    GoalNode* continuation;  ///< Goal list to resume with.
-    size_t trail_mark;
+    GoalRef continuation = kNilGoal;  ///< Goal list to resume with.
+    uint32_t node_mark = 0;  ///< Goal-node pool size at creation.
+    size_t trail_mark = 0;
     term::TermStore::Mark heap_mark;
     // kClauses:
     term::TermRef call_goal = term::kNullTerm;
-    const PredEntry* entry = nullptr;
-    uint32_t next_clause = 0;      ///< Index into candidates.
-    std::vector<uint32_t> candidates;  ///< Clause indices passing the index.
-    uint32_t body_barrier = 0;     ///< Barrier for the clause body's goals.
+    ClauseScan scan;
+    uint32_t body_barrier = 0;  ///< Barrier for the clause body's goals.
   };
 
-  GoalNode* NewGoalNode(term::TermRef goal, uint32_t barrier, GoalNode* next);
+  GoalRef NewGoalNode(term::TermRef goal, uint32_t barrier, GoalRef next);
   void TrailUnwind(size_t mark);
   /// Heap reclamation is allowed only while the database has not grown
   /// during this query: an asserted clause lives in the query's heap
@@ -161,6 +210,11 @@ class Machine {
 
   prore::Status CallUserPredicate(term::TermRef goal, uint32_t barrier,
                                   bool* failed);
+  /// Candidate enumeration state for a call to `entry` with `goal`.
+  ClauseScan MakeScan(const PredEntry* entry, term::TermRef goal) const;
+  /// Renames `clause`'s head skeleton through the register file. The
+  /// matching body rename must follow before the register file is reused.
+  term::TermRef RenameHead(const CompiledClause& clause);
   void PushConjunction(term::TermRef goal, uint32_t barrier);
   void PushIfThenElse(term::TermRef cond, term::TermRef then_goal,
                       term::TermRef else_goal, uint32_t barrier);
@@ -168,16 +222,30 @@ class Machine {
   term::TermStore* store_;
   Database* db_;
   SolveOptions opts_;
-  std::deque<term::TermRef> input_terms_;
+  /// Unread input terms for read/1 (head_ is the cursor; a vector so
+  /// SetInput/NextInputTerm never allocate node blocks).
+  std::vector<term::TermRef> input_terms_;
+  size_t input_head_ = 0;
 
   /// Memoized builtin lookups (symbol+arity -> fn or nullptr), avoiding a
   /// string hash per call.
   std::unordered_map<uint64_t, BuiltinFn> builtin_cache_;
 
-  std::deque<GoalNode> node_pool_;
-  GoalNode* goals_ = nullptr;
+  /// Pre-interned symbols the dispatcher tests against every step.
+  term::Symbol sym_ite_marker_;
+  term::Symbol sym_not_name_;
+  term::Symbol sym_false_;
+
+  std::vector<GoalNode> node_pool_;
+  GoalRef goals_ = kNilGoal;
   std::vector<Choicepoint> cps_;
   std::vector<term::TermRef> trail_;
+  /// Register file for skeleton renaming (clause.num_vars wide).
+  std::vector<term::TermRef> regs_;
+  /// Scratch for Unify's iterative worklist.
+  std::vector<std::pair<term::TermRef, term::TermRef>> unify_stack_;
+  /// Scratch for PushConjunction's flattening.
+  std::vector<term::TermRef> conj_scratch_;
   Metrics metrics_;
   Metrics total_metrics_;
   std::string output_;

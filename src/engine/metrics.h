@@ -13,6 +13,10 @@ struct Metrics {
   uint64_t head_unifications = 0;  ///< Clause-head unification attempts.
   uint64_t backtracks = 0;      ///< Failure-driven returns to a choicepoint.
   uint64_t solutions = 0;       ///< Answers delivered.
+  /// Peak term cells the query had live above its starting watermark
+  /// (engine-health stat for the perf trajectory, not a paper metric;
+  /// approximate when nested findall queries share the store).
+  uint64_t heap_cells = 0;
 
   /// The paper's headline number: every predicate call, user or built-in.
   uint64_t TotalCalls() const { return user_calls + builtin_calls; }
@@ -23,6 +27,7 @@ struct Metrics {
     head_unifications += o.head_unifications;
     backtracks += o.backtracks;
     solutions += o.solutions;
+    heap_cells += o.heap_cells;
     return *this;
   }
 };

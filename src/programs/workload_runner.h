@@ -1,0 +1,41 @@
+#ifndef PRORE_PROGRAMS_WORKLOAD_RUNNER_H_
+#define PRORE_PROGRAMS_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/machine.h"
+#include "engine/metrics.h"
+#include "programs/programs.h"
+
+namespace prore::programs {
+
+/// Expands a BenchmarkProgram's declared workloads into the concrete query
+/// strings the Table II/III/IV reproductions execute: every mode workload
+/// becomes one query per combination of universe constants over its '+'
+/// positions (the paper's Table II methodology), and every query workload
+/// contributes its queries verbatim. The expansion is deterministic, so the
+/// metrics-invariance test and the perf reporter measure exactly the same
+/// work.
+std::vector<std::string> WorkloadQueries(const BenchmarkProgram& program);
+
+/// Outcome of running a program's full workload on a fresh store/database/
+/// machine.
+struct WorkloadRun {
+  engine::Metrics metrics;   ///< Accumulated over all queries.
+  uint64_t wall_ns = 0;      ///< Wall-clock for the solve loop only
+                             ///< (parsing and database build excluded).
+  uint64_t answers = 0;      ///< Total solutions across all queries.
+};
+
+/// Parses `program`, builds its database (with the library), and solves
+/// every workload query to exhaustion. Queries are parsed up front so
+/// `wall_ns` covers only Machine::Solve.
+prore::Result<WorkloadRun> RunWorkload(const BenchmarkProgram& program,
+                                       const engine::SolveOptions& opts);
+
+}  // namespace prore::programs
+
+#endif  // PRORE_PROGRAMS_WORKLOAD_RUNNER_H_

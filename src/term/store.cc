@@ -127,6 +127,51 @@ TermRef TermStore::Rename(TermRef t,
   return t;
 }
 
+TermRef TermStore::RenameSkeleton(TermRef t, uint32_t var_base,
+                                  std::vector<TermRef>& regs) {
+  // Copy the cell fields up front: cells_ may reallocate while recursing
+  // (MakeVar/MakeStruct push new cells).
+  const Cell cell = cells_[t];
+  switch (cell.tag) {
+    case Tag::kVar: {
+      assert(cell.value < 0 && "skeleton variables are never bound");
+      uint32_t idx = cell.symbol - var_base;
+      assert(idx < regs.size());
+      TermRef r = regs[idx];
+      if (r == kNullTerm) {
+        r = MakeVar();
+        regs[idx] = r;
+      }
+      return r;
+    }
+    case Tag::kAtom:
+    case Tag::kInt:
+    case Tag::kFloat:
+      return t;
+    case Tag::kStruct: {
+      const size_t scratch_mark = skel_scratch_.size();
+      const size_t args_base = static_cast<size_t>(cell.value);
+      bool changed = false;
+      for (uint32_t i = 0; i < cell.arity; ++i) {
+        TermRef a = args_[args_base + i];
+        TermRef r = RenameSkeleton(a, var_base, regs);
+        changed |= (r != a);
+        skel_scratch_.push_back(r);
+      }
+      TermRef out = t;  // ground subterms are shared, like Rename
+      if (changed) {
+        out = MakeStruct(
+            cell.symbol,
+            std::span<const TermRef>(skel_scratch_.data() + scratch_mark,
+                                     cell.arity));
+      }
+      skel_scratch_.resize(scratch_mark);
+      return out;
+    }
+  }
+  return t;
+}
+
 bool TermStore::Equal(TermRef a, TermRef b) const {
   a = Deref(a);
   b = Deref(b);
@@ -254,6 +299,7 @@ void TermStore::CollectVars(TermRef t, std::vector<TermRef>* out) const {
 
 void TermStore::Truncate(const Mark& mark) {
   assert(mark.cells <= cells_.size() && mark.args <= args_.size());
+  if (cells_.size() > high_water_cells_) high_water_cells_ = cells_.size();
   cells_.resize(mark.cells);
   args_.resize(mark.args);
 }

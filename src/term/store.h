@@ -37,8 +37,14 @@ struct PredId {
 
 struct PredIdHash {
   size_t operator()(const PredId& p) const {
-    return std::hash<uint64_t>()((static_cast<uint64_t>(p.name) << 8) ^
-                                 p.arity);
+    // splitmix64 finalizer over the full (name, arity) pair. The obvious
+    // (name << 8) ^ arity drops the symbol's top bits and folds arity >= 256
+    // into the name byte.
+    uint64_t x = (static_cast<uint64_t>(p.name) << 32) | p.arity;
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31));
   }
 };
 
@@ -142,6 +148,20 @@ class TermStore {
   TermRef Rename(TermRef t,
                  std::unordered_map<uint32_t, TermRef>* var_map = nullptr);
 
+  /// The id the next MakeVar will receive. Clause-skeleton compilation uses
+  /// this to record the dense id range a Rename pass produced.
+  uint32_t next_var_id() const { return next_var_id_; }
+
+  /// Renames a compiled clause skeleton through a flat register file: the
+  /// skeleton's variables carry dense ids in [var_base, var_base +
+  /// regs.size()) and must all be unbound (guaranteed by skeleton
+  /// compilation — skeleton terms are never unified directly). regs[i] is
+  /// the fresh variable for skeleton variable var_base + i, kNullTerm until
+  /// first use. Unlike Rename this performs no hashing and, after warm-up,
+  /// no heap allocation beyond the term cells themselves.
+  TermRef RenameSkeleton(TermRef t, uint32_t var_base,
+                         std::vector<TermRef>& regs);
+
   /// Structural equality (==/2): variables equal only if identical.
   bool Equal(TermRef a, TermRef b) const;
 
@@ -172,6 +192,15 @@ class TermStore {
 
   size_t NumCells() const { return cells_.size(); }
 
+  /// Largest cell count seen since the last ResetHighWater (Truncate keeps
+  /// it alive across reclamation). The engine reports per-query peak heap
+  /// usage from this.
+  size_t HighWaterCells() const {
+    return high_water_cells_ > cells_.size() ? high_water_cells_
+                                             : cells_.size();
+  }
+  void ResetHighWater() { high_water_cells_ = cells_.size(); }
+
  private:
   struct Cell {
     Tag tag;
@@ -186,6 +215,10 @@ class TermStore {
   SymbolTable symbols_;
   std::vector<Cell> cells_;
   std::vector<TermRef> args_;  // argument blocks for kStruct cells
+  /// Argument scratch stack for RenameSkeleton (reused across calls so the
+  /// per-struct argument buffer costs no allocation after warm-up).
+  std::vector<TermRef> skel_scratch_;
+  size_t high_water_cells_ = 0;
   uint32_t next_var_id_ = 0;
   std::unordered_map<uint32_t, std::string> var_names_;
   std::string empty_name_;

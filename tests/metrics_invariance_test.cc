@@ -1,0 +1,84 @@
+// The engine-overhaul safety net: the hot-path optimizations (clause
+// skeletons, bucketed first-argument indexing, the allocation-free
+// resolution loop) must not change what the engine *counts*, only how fast
+// it counts it. `calls` and `head_unifications` are the paper's published
+// quantities, so they are pinned bit-for-bit against golden values recorded
+// from the seed engine (commit d373192) on the Table II/III/IV workloads,
+// with indexing both on and off. Indexing may only skip clause attempts the
+// seed index also skipped.
+
+#include <gtest/gtest.h>
+
+#include "engine/machine.h"
+#include "programs/programs.h"
+#include "programs/workload_runner.h"
+
+namespace prore {
+namespace {
+
+struct Golden {
+  const char* program;
+  bool use_indexing;
+  uint64_t calls;              ///< TotalCalls() over the full workload.
+  uint64_t head_unifications;
+  uint64_t answers;
+};
+
+// Recorded by running the seed engine through programs::RunWorkload (the
+// same expansion this test uses) — do not regenerate from a modified
+// engine.
+constexpr Golden kGoldens[] = {
+    {"family_tree", true, 545504ull, 1723484ull, 1956ull},
+    {"family_tree", false, 545504ull, 7434084ull, 1956ull},
+    {"corporate", true, 3932ull, 4234ull, 464ull},
+    {"corporate", false, 3932ull, 159381ull, 464ull},
+    {"geography", true, 15708ull, 26371ull, 52ull},
+    {"geography", false, 15708ull, 441990ull, 52ull},
+};
+
+const programs::BenchmarkProgram& ProgramByName(const std::string& name) {
+  for (const programs::BenchmarkProgram* p : programs::AllPrograms()) {
+    if (p->name == name) return *p;
+  }
+  ADD_FAILURE() << "unknown benchmark program " << name;
+  return programs::FamilyTree();
+}
+
+TEST(MetricsInvariance, MatchesSeedEngineCounters) {
+  for (const Golden& g : kGoldens) {
+    SCOPED_TRACE(std::string(g.program) +
+                 (g.use_indexing ? " indexed" : " unindexed"));
+    engine::SolveOptions opts;
+    opts.use_indexing = g.use_indexing;
+    auto run = programs::RunWorkload(ProgramByName(g.program), opts);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_EQ(run->metrics.TotalCalls(), g.calls);
+    EXPECT_EQ(run->metrics.head_unifications, g.head_unifications);
+    EXPECT_EQ(run->answers, g.answers);
+  }
+}
+
+TEST(MetricsInvariance, IndexingNeverChangesCallCounts) {
+  // Indexing prunes head-unification attempts, never predicate calls:
+  // a pruned clause is exactly one whose head unification would have
+  // failed. Check the relationship on every program, including the ones
+  // without pinned goldens.
+  for (const programs::BenchmarkProgram* p : programs::AllPrograms()) {
+    SCOPED_TRACE(p->name);
+    engine::SolveOptions on;
+    on.use_indexing = true;
+    engine::SolveOptions off;
+    off.use_indexing = false;
+    auto run_on = programs::RunWorkload(*p, on);
+    auto run_off = programs::RunWorkload(*p, off);
+    ASSERT_TRUE(run_on.ok()) << run_on.status().message();
+    ASSERT_TRUE(run_off.ok()) << run_off.status().message();
+    EXPECT_EQ(run_on->metrics.TotalCalls(), run_off->metrics.TotalCalls());
+    EXPECT_EQ(run_on->answers, run_off->answers);
+    EXPECT_LE(run_on->metrics.head_unifications,
+              run_off->metrics.head_unifications);
+  }
+}
+
+}  // namespace
+}  // namespace prore

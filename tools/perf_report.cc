@@ -1,0 +1,181 @@
+// Emits BENCH_engine.json: wall-clock and engine counters for the Table
+// II/III/IV workloads plus the unification-heavy microbench scenarios, so
+// the engine's perf trajectory is machine-readable across PRs.
+//
+// Schema: an array of
+//   {"workload": str, "wall_ns": int, "calls": int, "unifications": int,
+//    "heap_cells": int}
+// where `calls` is the paper's headline counter (user + builtin calls),
+// `unifications` counts clause-head unification attempts, and `heap_cells`
+// is the peak term cells live above the query watermark.
+//
+// Usage: perf_report [output.json]   (default BENCH_engine.json)
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/machine.h"
+#include "programs/programs.h"
+#include "programs/workload_runner.h"
+#include "reader/parser.h"
+#include "term/store.h"
+
+namespace {
+
+struct Row {
+  std::string workload;
+  uint64_t wall_ns = 0;
+  uint64_t calls = 0;
+  uint64_t unifications = 0;
+  uint64_t heap_cells = 0;
+};
+
+// Repeats a scenario until it has run for at least ~50ms and reports the
+// best-of-n wall time (steady-state, machine warm), with the counters of a
+// single run.
+template <typename Fn>
+Row Measure(const std::string& name, Fn&& run_once) {
+  Row row;
+  row.workload = name;
+  uint64_t total_ns = 0;
+  uint64_t best_ns = UINT64_MAX;
+  int runs = 0;
+  while (total_ns < 50'000'000 || runs < 3) {
+    auto t0 = std::chrono::steady_clock::now();
+    prore::engine::Metrics m = run_once();
+    auto t1 = std::chrono::steady_clock::now();
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    total_ns += ns;
+    if (ns < best_ns) best_ns = ns;
+    row.calls = m.TotalCalls();
+    row.unifications = m.head_unifications;
+    row.heap_cells = m.heap_cells;
+    if (++runs >= 200) break;
+  }
+  row.wall_ns = best_ns;
+  return row;
+}
+
+/// One warm machine per micro scenario: program text + goal text.
+struct MicroScenario {
+  const char* name;
+  const char* program;
+  const char* goal;
+};
+
+// The unification-heavy solve scenarios mirrored from bench/microbench.cc
+// (BM_Solve*) plus backtracking fan-outs from the stress test.
+const MicroScenario kMicro[] = {
+    {"micro_nrev30",
+     "nrev([], []).\n"
+     "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n"
+     "app([], L, L).\n"
+     "app([H|T], L, [H|R]) :- app(T, L, R).\n",
+     "nrev([0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,"
+     "24,25,26,27,28,29], R)"},
+    {"micro_between_fanout",
+     "pick(X) :- between(1, 2000, X), 0 is X mod 499.\n",
+     "pick(X), fail"},
+    {"micro_member_deep",
+     "probe(L) :- member(X, L), X == 199.\n", ""},  // goal built below
+};
+
+Row MeasureMicro(const MicroScenario& s, const std::string& goal_text) {
+  prore::term::TermStore store;
+  auto parsed = prore::reader::ParseProgramText(&store, s.program);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse %s: %s\n", s.name,
+                 parsed.status().message().c_str());
+    return Row{s.name};
+  }
+  auto db = prore::engine::Database::Build(&store, *parsed);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build %s: %s\n", s.name,
+                 db.status().message().c_str());
+    return Row{s.name};
+  }
+  prore::engine::Machine machine(&store, &*db);
+  auto q = prore::reader::ParseQueryText(&store, goal_text + ".");
+  if (!q.ok()) {
+    std::fprintf(stderr, "query %s: %s\n", s.name,
+                 q.status().message().c_str());
+    return Row{s.name};
+  }
+  return Measure(s.name, [&]() {
+    auto m = machine.Solve(q->term);
+    return m.ok() ? *m : prore::engine::Metrics{};
+  });
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  std::vector<Row> rows;
+
+  // Table II/III/IV (+ Warren geography) workloads, full query sets.
+  for (const prore::programs::BenchmarkProgram* p :
+       prore::programs::AllPrograms()) {
+    prore::engine::SolveOptions opts;
+    rows.push_back(Measure("table_" + p->name, [&]() {
+      auto run = prore::programs::RunWorkload(*p, opts);
+      if (!run.ok()) {
+        std::fprintf(stderr, "workload %s: %s\n", p->name.c_str(),
+                     run.status().message().c_str());
+        return prore::engine::Metrics{};
+      }
+      return run->metrics;
+    }));
+  }
+
+  // Unification-heavy micro scenarios on a warm machine.
+  rows.push_back(MeasureMicro(kMicro[0], kMicro[0].goal));
+  rows.push_back(MeasureMicro(kMicro[1], kMicro[1].goal));
+  {
+    std::string list = "[";
+    for (int i = 0; i < 200; ++i) {
+      if (i) list += ",";
+      list += std::to_string(i);
+    }
+    list += "]";
+    rows.push_back(MeasureMicro(kMicro[2], "probe(" + list + ")"));
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"workload\": \"%s\", \"wall_ns\": %llu, "
+                 "\"calls\": %llu, \"unifications\": %llu, "
+                 "\"heap_cells\": %llu}%s\n",
+                 JsonEscape(r.workload).c_str(),
+                 static_cast<unsigned long long>(r.wall_ns),
+                 static_cast<unsigned long long>(r.calls),
+                 static_cast<unsigned long long>(r.unifications),
+                 static_cast<unsigned long long>(r.heap_cells),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu workloads)\n", out_path, rows.size());
+  return 0;
+}
