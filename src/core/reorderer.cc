@@ -17,6 +17,7 @@
 #include "core/restrictions.h"
 #include "cost/cost_model.h"
 #include "engine/builtins.h"
+#include "lint/validate.h"
 #include "reader/writer.h"
 
 namespace prore::core {
@@ -97,6 +98,7 @@ class Pipeline {
 
   // Dispatchers and output assembly.
   void ComputeAliases();
+  std::string ResolveAlias(std::string name) const;
   TermRef RewriteAliases(TermRef t);
   std::string TargetFor(const PredId& pred, const Mode& combo) const;
   prore::Status EmitDispatcher(const PredId& pred, reader::Program* out);
@@ -127,7 +129,7 @@ class Pipeline {
   std::unordered_map<PredId, size_t, term::PredIdHash> scc_rank_;
   std::unordered_map<std::string, std::string> alias_;  // name -> canonical
   std::vector<PredModeReport> reports_;
-  std::vector<std::string> notes_;
+  std::vector<lint::Diagnostic> diagnostics_;
 };
 
 prore::Status Pipeline::Setup() {
@@ -672,8 +674,10 @@ void Pipeline::ComputeAliases() {
               ++j;
             }
             std::string var = text.substr(i, j - i);
-            auto [vit, fresh] = var_names.emplace(
-                var, "V" + std::to_string(var_names.size()));
+            std::string fresh_name = "V";
+            fresh_name += std::to_string(var_names.size());
+            auto [vit, fresh] = var_names.emplace(var,
+                                                  std::move(fresh_name));
             (void)fresh;
             normalized += vit->second;
             i = j;
@@ -694,6 +698,19 @@ void Pipeline::ComputeAliases() {
   }
 }
 
+/// Follows alias chains to the surviving canonical name: the fixpoint loop
+/// of ComputeAliases can merge A into B in one round and B into C in a
+/// later one, so a single map lookup may land on a name that was itself
+/// merged away.
+std::string Pipeline::ResolveAlias(std::string name) const {
+  auto it = alias_.find(name);
+  while (it != alias_.end()) {
+    name = it->second;
+    it = alias_.find(name);
+  }
+  return name;
+}
+
 TermRef Pipeline::RewriteAliases(TermRef t) {
   t = store_->Deref(t);
   switch (store_->tag(t)) {
@@ -702,9 +719,10 @@ TermRef Pipeline::RewriteAliases(TermRef t) {
     case Tag::kFloat:
       return t;
     case Tag::kAtom: {
-      auto it = alias_.find(store_->symbols().Name(store_->symbol(t)));
-      if (it == alias_.end()) return t;
-      return store_->MakeAtom(store_->symbols().Intern(it->second));
+      const std::string& name = store_->symbols().Name(store_->symbol(t));
+      std::string canonical = ResolveAlias(name);
+      if (canonical == name) return t;
+      return store_->MakeAtom(store_->symbols().Intern(canonical));
     }
     case Tag::kStruct: {
       std::vector<TermRef> args(store_->arity(t));
@@ -714,9 +732,10 @@ TermRef Pipeline::RewriteAliases(TermRef t) {
         if (args[i] != store_->Deref(store_->arg(t, i))) changed = true;
       }
       term::Symbol sym = store_->symbol(t);
-      auto it = alias_.find(store_->symbols().Name(sym));
-      if (it != alias_.end()) {
-        sym = store_->symbols().Intern(it->second);
+      const std::string& name = store_->symbols().Name(sym);
+      std::string canonical = ResolveAlias(name);
+      if (canonical != name) {
+        sym = store_->symbols().Intern(canonical);
         changed = true;
       }
       if (!changed) return t;
@@ -780,10 +799,8 @@ prore::Status Pipeline::EmitDispatcher(const PredId& pred,
   std::function<TermRef(uint32_t, Mode&)> build =
       [&](uint32_t i, Mode& combo) -> TermRef {
     if (i == pred.arity) {
-      std::string target = TargetFor(pred, combo);
       // Resolve aliases at dispatch time too.
-      auto ait = alias_.find(target);
-      if (ait != alias_.end()) target = ait->second;
+      std::string target = ResolveAlias(TargetFor(pred, combo));
       term::Symbol sym = store_->symbols().Intern(target);
       if (pred.arity == 0) return store_->MakeAtom(sym);
       return store_->MakeStruct(sym, args);
@@ -812,9 +829,7 @@ prore::Status Pipeline::EmitDispatcher(const PredId& pred,
       for (uint32_t i = 0; i < pred.arity; ++i) {
         m[i] = (bits >> i) & 1 ? ModeItem::kPlus : ModeItem::kMinus;
       }
-      std::string target = TargetFor(pred, m);
-      auto ait = alias_.find(target);
-      if (ait != alias_.end()) target = ait->second;
+      std::string target = ResolveAlias(TargetFor(pred, m));
       if (bits == 0) {
         single_target = target;
       } else if (target != single_target) {
@@ -900,9 +915,10 @@ prore::Result<ReorderResult> Pipeline::Run() {
       ++added;
     }
     if (added == 0) {
-      notes_.push_back("no legal {+,-} mode for " +
-                       reader::PredName(*store_, pred) +
-                       "; emitting it unspecialized");
+      diagnostics_.push_back(lint::Diagnostic{
+          "PL200", lint::Severity::kNote, {},
+          reader::PredName(*store_, pred),
+          "no legal {+,-} mode; emitting the predicate unspecialized"});
       EnsureVersion(pred, Mode(pred.arity, ModeItem::kAny));
     }
   }
@@ -912,9 +928,31 @@ prore::Result<ReorderResult> Pipeline::Run() {
 
   ReorderResult result;
   PRORE_ASSIGN_OR_RETURN(result.program, Assemble());
+
+  if (options_.validate_output) {
+    lint::ReorderCheckInput check;
+    check.original = &original_;
+    check.transformed = &result.program;
+    for (const PredModeReport& report : reports_) {
+      check.versions.push_back(
+          lint::VersionInfo{report.pred, report.mode, report.version_name});
+    }
+    check.modes = &modes_;
+    check.oracle = oracle_.get();
+    check.fixity = &fixity_;
+    for (const PredId& pred : original_.pred_order()) {
+      if (!AllowReorder(pred)) check.no_reorder.insert(pred);
+    }
+    std::vector<lint::Diagnostic> findings =
+        lint::ValidateReorder(store_, check);
+    diagnostics_.insert(diagnostics_.end(),
+                        std::make_move_iterator(findings.begin()),
+                        std::make_move_iterator(findings.end()));
+  }
+
   result.reports = std::move(reports_);
   result.modes = std::move(modes_);
-  result.notes = std::move(notes_);
+  result.diagnostics = std::move(diagnostics_);
   return result;
 }
 

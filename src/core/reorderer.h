@@ -8,6 +8,7 @@
 #include "analysis/modes.h"
 #include "common/result.h"
 #include "core/goal_order.h"
+#include "lint/diagnostic.h"
 #include "reader/program.h"
 #include "term/store.h"
 
@@ -43,6 +44,10 @@ struct ReorderOptions {
   uint32_t max_dispatch_arity = 6;
   /// Cap on generated versions per predicate.
   size_t max_versions_per_pred = 64;
+  /// Run the reorder validator (lint/validate.h) over the transformed
+  /// program and report its findings in ReorderResult::diagnostics. The
+  /// optimizer thereby verifies its own output on every run.
+  bool validate_output = true;
 };
 
 /// Per-(predicate, mode) account of what the reorderer did.
@@ -62,7 +67,11 @@ struct ReorderResult {
   reader::Program program;  ///< transformed program (versions + dispatchers)
   std::vector<PredModeReport> reports;
   analysis::ModeAnalysis modes;  ///< the inference results used
-  std::vector<std::string> notes;  ///< human-readable diagnostics
+  /// Structured diagnostics: the reorderer's own notes (PL2xx) plus, when
+  /// ReorderOptions::validate_output is on, the reorder validator's
+  /// findings (PL1xx). An error-severity entry means the transformation
+  /// failed self-verification. Render with Diagnostic::ToString().
+  std::vector<lint::Diagnostic> diagnostics;
 };
 
 /// The reordering system: ties together the restriction analyses (§IV),

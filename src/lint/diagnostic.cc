@@ -1,0 +1,161 @@
+#include "lint/diagnostic.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "common/str_util.h"
+
+namespace prore::lint {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out;
+  if (span.known()) {
+    out += prore::StrFormat("%d:%d: ", span.line, span.column);
+  }
+  out += SeverityName(severity);
+  out += ": ";
+  out += code;
+  out += ": ";
+  out += message;
+  if (!pred.empty()) {
+    out += " [";
+    out += pred;
+    out += "]";
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += prore::StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string Diagnostic::ToJson() const {
+  std::string out = "{\"code\":";
+  AppendJsonString(&out, code);
+  out += ",\"severity\":";
+  AppendJsonString(&out, SeverityName(severity));
+  out += prore::StrFormat(",\"line\":%d,\"column\":%d", span.line,
+                          span.column);
+  out += ",\"pred\":";
+  AppendJsonString(&out, pred);
+  out += ",\"message\":";
+  AppendJsonString(&out, message);
+  out += "}";
+  return out;
+}
+
+size_t DiagnosticSink::CountAtLeast(Severity s) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity >= s) ++n;
+  }
+  return n;
+}
+
+void DiagnosticSink::Sort() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.span.line, a.span.column, a.code,
+                                     a.pred, a.message) <
+                            std::tie(b.span.line, b.span.column, b.code,
+                                     b.pred, b.message);
+                   });
+}
+
+std::string RenderText(const std::vector<Diagnostic>& diags,
+                       std::string_view file) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    if (!file.empty()) {
+      out += file;
+      out += ":";
+    }
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<Diagnostic>& diags,
+                       std::string_view file) {
+  std::string out = "{\"file\":";
+  AppendJsonString(&out, file);
+  out += ",\"diagnostics\":[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    if (i) out += ",";
+    out += diags[i].ToJson();
+  }
+  size_t errors = 0, warnings = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+  }
+  out += prore::StrFormat("],\"errors\":%zu,\"warnings\":%zu}", errors,
+                          warnings);
+  return out;
+}
+
+Diagnostic FromParseStatus(const prore::Status& status) {
+  Diagnostic d;
+  d.code = "PL000";
+  d.severity = Severity::kError;
+  d.message = status.ToString();
+  // Parser/lexer messages embed "line <L> column <C>" or "line <L>".
+  const std::string& m = status.message();
+  size_t pos = m.rfind("line ");
+  if (pos != std::string::npos) {
+    int line = 0, column = 0;
+    if (std::sscanf(m.c_str() + pos, "line %d column %d", &line, &column) >=
+            1 &&
+        line > 0) {
+      d.span.line = line;
+      d.span.column = column > 0 ? column : 1;
+    }
+  }
+  return d;
+}
+
+}  // namespace prore::lint

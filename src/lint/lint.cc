@@ -1,0 +1,89 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace prore::lint {
+
+const LintPass* PassRegistry::Find(const std::string& name_or_code) const {
+  for (const auto& pass : passes_) {
+    if (name_or_code == pass->name() || name_or_code == pass->code()) {
+      return pass.get();
+    }
+  }
+  return nullptr;
+}
+
+prore::Result<std::vector<Diagnostic>> Linter::Run(
+    const term::TermStore& store, const reader::Program& program) const {
+  DiagnosticSink sink;
+  LintContext ctx;
+  ctx.store = &store;
+  ctx.program = &program;
+
+  // Shared analyses. Each failure downgrades the context instead of
+  // aborting the lint: the structural passes still run.
+  std::optional<analysis::Declarations> decls;
+  std::optional<analysis::CallGraph> graph;
+  std::optional<analysis::FixityResult> fixity;
+  std::optional<analysis::ModeAnalysis> modes;
+  std::unique_ptr<analysis::LegalityOracle> oracle;
+
+  auto note_unavailable = [&sink](const char* what, const prore::Status& st) {
+    sink.Report("PL000", Severity::kNote, reader::SourceSpan{}, "",
+                std::string(what) + " analysis unavailable: " + st.ToString());
+  };
+
+  if (auto d = analysis::ParseDeclarations(store, program); d.ok()) {
+    decls = std::move(d).value();
+    ctx.decls = &*decls;
+  } else {
+    note_unavailable("declaration", d.status());
+  }
+  if (auto g = analysis::CallGraph::Build(store, program); g.ok()) {
+    graph = std::move(g).value();
+    ctx.graph = &*graph;
+  } else {
+    note_unavailable("call-graph", g.status());
+  }
+  if (ctx.graph != nullptr) {
+    if (auto f = analysis::AnalyzeFixity(store, program, *graph); f.ok()) {
+      fixity = std::move(f).value();
+      ctx.fixity = &*fixity;
+    } else {
+      note_unavailable("fixity", f.status());
+    }
+    if (ctx.decls != nullptr) {
+      if (auto m = analysis::InferModes(store, program, *graph, *decls);
+          m.ok()) {
+        modes = std::move(m).value();
+        ctx.modes = &*modes;
+        oracle = std::make_unique<analysis::LegalityOracle>(
+            &store, &program, &*graph, &*modes);
+        ctx.oracle = oracle.get();
+        if (ctx.fixity != nullptr) {
+          // Best-effort: a failing refinement leaves the coarser fixity.
+          (void)analysis::RefineSemifixity(store, program, *graph,
+                                           oracle.get(), &*fixity);
+        }
+      } else {
+        note_unavailable("mode", m.status());
+      }
+    }
+  }
+
+  for (const auto& pass : PassRegistry::Default().passes()) {
+    if (!options_.only.empty() &&
+        std::none_of(options_.only.begin(), options_.only.end(),
+                     [&pass](const std::string& sel) {
+                       return sel == pass->name() || sel == pass->code();
+                     })) {
+      continue;
+    }
+    pass->Run(ctx, &sink);
+  }
+  sink.Sort();
+  return sink.Take();
+}
+
+}  // namespace prore::lint

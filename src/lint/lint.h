@@ -1,0 +1,86 @@
+#ifndef PRORE_LINT_LINT_H_
+#define PRORE_LINT_LINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/fixity.h"
+#include "analysis/mode_inference.h"
+#include "analysis/modes.h"
+#include "common/result.h"
+#include "lint/diagnostic.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::lint {
+
+/// Everything a lint pass may consult. The analyses are optional: building
+/// them can fail on programs outside the supported subset (e.g. variable
+/// goals), in which case the pointers are null and passes that need them
+/// skip — the linter itself reports the analysis failure as a PL000 note.
+struct LintContext {
+  const term::TermStore* store = nullptr;
+  const reader::Program* program = nullptr;
+  const analysis::Declarations* decls = nullptr;     // may be null
+  const analysis::CallGraph* graph = nullptr;        // may be null
+  const analysis::FixityResult* fixity = nullptr;    // may be null
+  const analysis::ModeAnalysis* modes = nullptr;     // may be null
+  analysis::LegalityOracle* oracle = nullptr;        // may be null
+};
+
+/// One analysis pass over a parsed program. Passes are stateless; a pass
+/// must not emit the same diagnostic twice (the fuzz suite asserts this).
+class LintPass {
+ public:
+  virtual ~LintPass() = default;
+  virtual const char* name() const = 0;         ///< e.g. "singleton-vars"
+  virtual const char* code() const = 0;         ///< primary code, "PL001"
+  virtual const char* description() const = 0;  ///< one-line summary
+  virtual void Run(const LintContext& ctx, DiagnosticSink* sink) const = 0;
+};
+
+/// The built-in passes, in registration (= documentation) order.
+class PassRegistry {
+ public:
+  /// The default registry holding every built-in pass.
+  static const PassRegistry& Default();
+
+  void Register(std::unique_ptr<LintPass> pass) {
+    passes_.push_back(std::move(pass));
+  }
+
+  const std::vector<std::unique_ptr<LintPass>>& passes() const {
+    return passes_;
+  }
+
+  /// Finds a pass by name or by code; nullptr if absent.
+  const LintPass* Find(const std::string& name_or_code) const;
+
+ private:
+  std::vector<std::unique_ptr<LintPass>> passes_;
+};
+
+struct LintOptions {
+  /// Restrict to these passes (matched by name or code); empty = all.
+  std::vector<std::string> only;
+};
+
+/// Runs the registered passes over a parsed program: builds the shared
+/// analyses (call graph, fixity, mode inference), tolerating failures, then
+/// runs each pass and returns the diagnostics in stable order.
+class Linter {
+ public:
+  explicit Linter(LintOptions options = {}) : options_(std::move(options)) {}
+
+  prore::Result<std::vector<Diagnostic>> Run(
+      const term::TermStore& store, const reader::Program& program) const;
+
+ private:
+  LintOptions options_;
+};
+
+}  // namespace prore::lint
+
+#endif  // PRORE_LINT_LINT_H_

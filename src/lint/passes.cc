@@ -1,0 +1,529 @@
+// The built-in lint passes (PL001..PL007). Each pass is stateless and
+// consults only the LintContext; passes needing an analysis that failed to
+// build (null pointer in the context) skip silently — the linter already
+// reported the failure as a PL000 note.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analysis/body.h"
+#include "analysis/fixity.h"
+#include "analysis/mode_inference.h"
+#include "analysis/modes.h"
+#include "common/str_util.h"
+#include "engine/builtins.h"
+#include "engine/database.h"
+#include "lint/lint.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+
+namespace prore::lint {
+namespace {
+
+using analysis::AbstractEnv;
+using analysis::BodyKind;
+using analysis::BodyNode;
+using analysis::Mode;
+using analysis::ModeItem;
+using analysis::VarState;
+using reader::Clause;
+using reader::SourceSpan;
+using term::PredId;
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+/// Span of a parsed term, falling back to the clause position for
+/// synthesized terms.
+SourceSpan SpanOf(const LintContext& ctx, TermRef t, const Clause& clause) {
+  SourceSpan s = ctx.program->TermSpan(t);
+  return s.known() ? s : clause.span;
+}
+
+std::string VarDisplayName(const TermStore& store, TermRef v) {
+  const std::string& name = store.var_name(v);
+  if (!name.empty()) return name;
+  return prore::StrFormat("_G%u", store.var_id(v));
+}
+
+/// Names of the predicates the bundled pure-Prolog library defines
+/// (append/3, member/2, ...). Calls to these are not "undefined" even
+/// though the linted program does not define them.
+const std::unordered_set<std::string>& LibraryPreds() {
+  static const std::unordered_set<std::string>* preds = [] {
+    auto* s = new std::unordered_set<std::string>();
+    term::TermStore store;
+    auto program = reader::ParseProgramText(&store, engine::LibrarySource());
+    if (program.ok()) {
+      for (const PredId& id : program.value().pred_order()) {
+        s->insert(reader::PredName(store, id));
+      }
+    }
+    return s;
+  }();
+  return *preds;
+}
+
+/// Visits every kCall goal of a body in execution order, passing the
+/// abstract environment as it stands *before* the call; environments
+/// advance exactly the way AdvanceEnvOverNode does, so the instantiation
+/// states a pass sees match what the reorderer's own threading computes.
+void WalkCallsWithEnv(
+    const TermStore& store, const BodyNode& node,
+    analysis::LegalityOracle* oracle, AbstractEnv* env,
+    const std::function<void(TermRef, const AbstractEnv&)>& on_call) {
+  switch (node.kind) {
+    case BodyKind::kTrue:
+    case BodyKind::kFail:
+    case BodyKind::kCut:
+      return;
+    case BodyKind::kConj:
+      for (const auto& child : node.children) {
+        WalkCallsWithEnv(store, *child, oracle, env, on_call);
+      }
+      return;
+    case BodyKind::kDisj: {
+      AbstractEnv left = *env, right = *env;
+      WalkCallsWithEnv(store, *node.children[0], oracle, &left, on_call);
+      WalkCallsWithEnv(store, *node.children[1], oracle, &right, on_call);
+      *env = AbstractEnv::Join(left, right);
+      return;
+    }
+    case BodyKind::kIfThenElse: {
+      AbstractEnv then_env = *env, else_env = *env;
+      WalkCallsWithEnv(store, *node.children[0], oracle, &then_env, on_call);
+      WalkCallsWithEnv(store, *node.children[1], oracle, &then_env, on_call);
+      WalkCallsWithEnv(store, *node.children[2], oracle, &else_env, on_call);
+      *env = AbstractEnv::Join(then_env, else_env);
+      return;
+    }
+    case BodyKind::kNeg: {
+      // Negation binds nothing outside; visit inner calls with a scratch
+      // environment.
+      AbstractEnv scratch = *env;
+      WalkCallsWithEnv(store, *node.children[0], oracle, &scratch, on_call);
+      return;
+    }
+    case BodyKind::kSetPred: {
+      AbstractEnv scratch = *env;
+      WalkCallsWithEnv(store, *node.children[0], oracle, &scratch, on_call);
+      analysis::AdvanceEnvOverNode(store, node, oracle, env);
+      return;
+    }
+    case BodyKind::kCall:
+      on_call(node.goal, *env);
+      analysis::AdvanceEnvOverNode(store, node, oracle, env);
+      return;
+  }
+}
+
+// ---- PL001: singleton variables -------------------------------------------
+
+class SingletonVarsPass : public LintPass {
+ public:
+  const char* name() const override { return "singleton-vars"; }
+  const char* code() const override { return "PL001"; }
+  const char* description() const override {
+    return "named variable used exactly once in its clause";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    const TermStore& store = *ctx.store;
+    for (const PredId& id : ctx.program->pred_order()) {
+      const std::string pred = reader::PredName(store, id);
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        std::unordered_map<uint32_t, int> counts;
+        std::vector<TermRef> order;  // first occurrence of each variable
+        Count(store, clause.head, &counts, &order);
+        Count(store, clause.body, &counts, &order);
+        for (TermRef v : order) {
+          if (counts[store.var_id(v)] != 1) continue;
+          const std::string& vname = store.var_name(v);
+          if (vname.empty() || vname[0] == '_') continue;  // intentional
+          sink->Report("PL001", Severity::kWarning, SpanOf(ctx, v, clause),
+                       pred,
+                       prore::StrFormat("singleton variable %s",
+                                        vname.c_str()));
+        }
+      }
+    }
+  }
+
+ private:
+  static void Count(const TermStore& store, TermRef t,
+                    std::unordered_map<uint32_t, int>* counts,
+                    std::vector<TermRef>* order) {
+    t = store.Deref(t);
+    switch (store.tag(t)) {
+      case Tag::kVar:
+        if (++(*counts)[store.var_id(t)] == 1) order->push_back(t);
+        return;
+      case Tag::kStruct:
+        for (uint32_t i = 0; i < store.arity(t); ++i) {
+          Count(store, store.arg(t, i), counts, order);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+};
+
+// ---- PL002: undefined predicates ------------------------------------------
+
+class UndefinedPredPass : public LintPass {
+ public:
+  const char* name() const override { return "undefined-predicate"; }
+  const char* code() const override { return "PL002"; }
+  const char* description() const override {
+    return "goal calls a predicate no clause, built-in or library defines";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    const TermStore& store = *ctx.store;
+    std::set<std::string> seen;  // dedup identical reports
+    for (const PredId& id : ctx.program->pred_order()) {
+      const std::string pred = reader::PredName(store, id);
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        auto body = analysis::ParseBody(store, clause.body);
+        if (!body.ok()) continue;  // variable goal etc.; PL000 covers it
+        std::vector<TermRef> goals;
+        analysis::CollectCalledGoals(store, *body.value(), &goals);
+        for (TermRef goal : goals) {
+          TermRef g = store.Deref(goal);
+          if (!store.IsCallable(g)) continue;
+          PredId callee = store.pred_id(g);
+          if (ctx.program->Has(callee)) continue;
+          const std::string callee_name =
+              reader::PredName(store, callee);
+          const std::string& bare = store.symbols().Name(callee.name);
+          if (engine::LookupBuiltin(bare, callee.arity) != nullptr) continue;
+          if (LibraryPreds().count(callee_name) > 0) continue;
+          Diagnostic d{"PL002", Severity::kWarning, SpanOf(ctx, g, clause),
+                       pred,
+                       prore::StrFormat(
+                           "call to undefined predicate %s",
+                           callee_name.c_str())};
+          if (seen.insert(d.ToString()).second) sink->Report(std::move(d));
+        }
+      }
+    }
+  }
+};
+
+// ---- PL003: clause unreachable after a catch-all cut ----------------------
+
+class UnreachableClausePass : public LintPass {
+ public:
+  const char* name() const override { return "unreachable-clause"; }
+  const char* code() const override { return "PL003"; }
+  const char* description() const override {
+    return "clause follows one that matches any call and cuts immediately";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    const TermStore& store = *ctx.store;
+    for (const PredId& id : ctx.program->pred_order()) {
+      const auto& clauses = ctx.program->ClausesOf(id);
+      const std::string pred = reader::PredName(store, id);
+      for (size_t i = 0; i + 1 < clauses.size(); ++i) {
+        if (!IsCatchAllCut(store, clauses[i])) continue;
+        for (size_t j = i + 1; j < clauses.size(); ++j) {
+          sink->Report(
+              "PL003", Severity::kWarning,
+              clauses[j].span.known() ? clauses[j].span
+                                      : SpanOf(ctx, clauses[j].head,
+                                               clauses[j]),
+              pred,
+              prore::StrFormat("clause %zu is unreachable: clause %zu "
+                               "matches any call and cuts immediately",
+                               j + 1, i + 1));
+        }
+        break;  // report against the first catch-all only
+      }
+    }
+  }
+
+ private:
+  /// True for `p(X, Y, ...) :- !, ...` with all-distinct unbound variable
+  /// head arguments: it unifies with every call and commits.
+  static bool IsCatchAllCut(const TermStore& store, const Clause& clause) {
+    TermRef head = store.Deref(clause.head);
+    std::unordered_set<uint32_t> seen;
+    for (uint32_t i = 0; i < store.arity(head); ++i) {
+      TermRef a = store.Deref(store.arg(head, i));
+      if (store.tag(a) != Tag::kVar) return false;
+      if (!seen.insert(store.var_id(a)).second) return false;
+    }
+    auto body = analysis::ParseBody(store, clause.body);
+    if (!body.ok()) return false;
+    const BodyNode* node = body.value().get();
+    while (node->kind == BodyKind::kConj && !node->children.empty()) {
+      node = node->children.front().get();
+    }
+    return node->kind == BodyKind::kCut;
+  }
+};
+
+// ---- PL004: goal unreachable after fail -----------------------------------
+
+class UnreachableGoalPass : public LintPass {
+ public:
+  const char* name() const override { return "unreachable-goal"; }
+  const char* code() const override { return "PL004"; }
+  const char* description() const override {
+    return "goal in a conjunction follows fail/false";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    const TermStore& store = *ctx.store;
+    for (const PredId& id : ctx.program->pred_order()) {
+      const std::string pred = reader::PredName(store, id);
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        auto body = analysis::ParseBody(store, clause.body);
+        if (!body.ok()) continue;
+        Walk(ctx, store, *body.value(), clause, pred, sink);
+      }
+    }
+  }
+
+ private:
+  static void Walk(const LintContext& ctx, const TermStore& store,
+                   const BodyNode& node, const Clause& clause,
+                   const std::string& pred, DiagnosticSink* sink) {
+    if (node.kind == BodyKind::kConj) {
+      for (size_t i = 0; i + 1 < node.children.size(); ++i) {
+        if (node.children[i]->kind != BodyKind::kFail) continue;
+        const BodyNode& next = *node.children[i + 1];
+        std::string what =
+            next.goal == term::kNullTerm
+                ? std::string("goal")
+                : reader::WriteTerm(store, next.goal);
+        sink->Report("PL004", Severity::kWarning,
+                     next.goal == term::kNullTerm
+                         ? clause.span
+                         : SpanOf(ctx, next.goal, clause),
+                     pred,
+                     prore::StrFormat("%s is unreachable: it follows fail",
+                                      what.c_str()));
+        break;  // one report per conjunction
+      }
+    }
+    for (const auto& child : node.children) {
+      Walk(ctx, store, *child, clause, pred, sink);
+    }
+  }
+};
+
+// ---- PL005: arithmetic on an unbound variable -----------------------------
+
+class UnboundArithmeticPass : public LintPass {
+ public:
+  const char* name() const override { return "unbound-arithmetic"; }
+  const char* code() const override { return "PL005"; }
+  const char* description() const override {
+    return "arithmetic evaluates a variable that is still unbound";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    if (ctx.modes == nullptr || ctx.oracle == nullptr) return;
+    const TermStore& store = *ctx.store;
+    for (const PredId& id : ctx.program->pred_order()) {
+      const std::string pred = reader::PredName(store, id);
+      std::vector<Mode> input_modes;
+      auto it = ctx.modes->observed_inputs.find(id);
+      if (it != ctx.modes->observed_inputs.end() && !it->second.empty()) {
+        input_modes = it->second;
+      } else {
+        input_modes.push_back(Mode(id.arity, ModeItem::kAny));
+      }
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        auto body = analysis::ParseBody(store, clause.body);
+        if (!body.ok()) continue;
+        // One report per (goal, variable, position), however many observed
+        // modes exhibit it.
+        std::set<std::pair<TermRef, uint64_t>> reported;
+        for (const Mode& mode : input_modes) {
+          AbstractEnv env =
+              analysis::EnvFromHead(store, clause.head, mode);
+          WalkCallsWithEnv(
+              store, *body.value(), ctx.oracle, &env,
+              [&](TermRef goal, const AbstractEnv& before) {
+                CheckGoal(ctx, store, goal, before, clause, pred, &reported,
+                          sink);
+              });
+        }
+      }
+    }
+  }
+
+ private:
+  static void CheckGoal(const LintContext& ctx, const TermStore& store,
+                        TermRef goal, const AbstractEnv& env,
+                        const Clause& clause, const std::string& pred,
+                        std::set<std::pair<TermRef, uint64_t>>* reported,
+                        DiagnosticSink* sink) {
+    TermRef g = store.Deref(goal);
+    if (store.tag(g) != Tag::kStruct) return;
+    PredId callee = store.pred_id(g);
+    const std::string& name = store.symbols().Name(callee.name);
+    std::vector<uint32_t> eval_positions;
+    if (name == "is" && callee.arity == 2) {
+      eval_positions = {1};
+    } else if (callee.arity == 2 &&
+               (name == "=:=" || name == "=\\=" || name == "<" ||
+                name == ">" || name == "=<" || name == ">=")) {
+      eval_positions = {0, 1};
+    } else {
+      return;
+    }
+    for (uint32_t p : eval_positions) {
+      std::vector<TermRef> vars;
+      store.CollectVars(store.arg(g, p), &vars);
+      for (TermRef v : vars) {
+        if (env.Get(store.var_id(v)) != VarState::kFree) continue;
+        uint64_t key = (static_cast<uint64_t>(p) << 32) | store.var_id(v);
+        if (!reported->insert({g, key}).second) continue;
+        sink->Report(
+            "PL005", Severity::kWarning, SpanOf(ctx, g, clause), pred,
+            prore::StrFormat(
+                "variable %s is unbound when %s/%u evaluates argument %u",
+                VarDisplayName(store, v).c_str(), name.c_str(), callee.arity,
+                p + 1));
+      }
+    }
+  }
+};
+
+// ---- PL006: side-effect goals are pinned ----------------------------------
+
+class PinnedSideEffectPass : public LintPass {
+ public:
+  const char* name() const override { return "pinned-side-effect"; }
+  const char* code() const override { return "PL006"; }
+  const char* description() const override {
+    return "side-effect goal is immobile and pins clause order (fixity)";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    const TermStore& store = *ctx.store;
+    std::set<std::string> seen;
+    for (const PredId& id : ctx.program->pred_order()) {
+      const std::string pred = reader::PredName(store, id);
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        auto body = analysis::ParseBody(store, clause.body);
+        if (!body.ok()) continue;
+        std::vector<TermRef> goals;
+        analysis::CollectCalledGoals(store, *body.value(), &goals);
+        for (TermRef goal : goals) {
+          TermRef g = store.Deref(goal);
+          if (!store.IsCallable(g)) continue;
+          PredId callee = store.pred_id(g);
+          const std::string& bare = store.symbols().Name(callee.name);
+          std::string message;
+          if (analysis::IsSideEffectBuiltin(bare, callee.arity)) {
+            message = prore::StrFormat(
+                "side-effect goal %s/%u is immobile: the reorderer keeps "
+                "it in place",
+                bare.c_str(), callee.arity);
+          } else if (ctx.fixity != nullptr && ctx.program->Has(callee) &&
+                     ctx.fixity->IsFixed(callee)) {
+            message = prore::StrFormat(
+                "goal %s/%u calls a fixed predicate (side effects in its "
+                "descendants): it will not be moved",
+                bare.c_str(), callee.arity);
+          } else {
+            continue;
+          }
+          Diagnostic d{"PL006", Severity::kNote, SpanOf(ctx, g, clause),
+                       pred, std::move(message)};
+          if (seen.insert(d.ToString()).second) sink->Report(std::move(d));
+        }
+      }
+    }
+  }
+};
+
+// ---- PL007: discontiguous clause groups -----------------------------------
+
+class DiscontiguousPass : public LintPass {
+ public:
+  const char* name() const override { return "discontiguous"; }
+  const char* code() const override { return "PL007"; }
+  const char* description() const override {
+    return "clauses of a predicate are interleaved with other predicates";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    const TermStore& store = *ctx.store;
+    // All clauses with known positions, in source order.
+    struct Entry {
+      SourceSpan span;
+      std::string pred;
+    };
+    std::vector<Entry> entries;
+    for (const PredId& id : ctx.program->pred_order()) {
+      const std::string pred = reader::PredName(store, id);
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        if (!clause.span.known()) continue;
+        entries.push_back({clause.span, pred});
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return std::tie(a.span.line, a.span.column) <
+                       std::tie(b.span.line, b.span.column);
+              });
+
+    std::string current;
+    int last_line = 0;
+    std::unordered_map<std::string, int> group_end_line;
+    std::unordered_set<std::string> reported;
+    for (const Entry& e : entries) {
+      if (e.pred != current) {
+        auto it = group_end_line.find(e.pred);
+        if (it != group_end_line.end() && reported.insert(e.pred).second) {
+          sink->Report(
+              "PL007", Severity::kWarning, e.span, e.pred,
+              prore::StrFormat("clauses of %s are discontiguous: the "
+                               "previous group ended at line %d",
+                               e.pred.c_str(), it->second));
+        }
+        if (!current.empty()) {
+          // Close the group we are leaving at the last line it covered.
+          group_end_line[current] = last_line;
+        }
+        current = e.pred;
+      }
+      last_line = e.span.line;
+    }
+  }
+};
+
+}  // namespace
+
+const PassRegistry& PassRegistry::Default() {
+  static const PassRegistry* registry = [] {
+    auto* r = new PassRegistry();
+    r->Register(std::make_unique<SingletonVarsPass>());
+    r->Register(std::make_unique<UndefinedPredPass>());
+    r->Register(std::make_unique<UnreachableClausePass>());
+    r->Register(std::make_unique<UnreachableGoalPass>());
+    r->Register(std::make_unique<UnboundArithmeticPass>());
+    r->Register(std::make_unique<PinnedSideEffectPass>());
+    r->Register(std::make_unique<DiscontiguousPass>());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace prore::lint

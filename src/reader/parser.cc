@@ -43,17 +43,23 @@ prore::Result<TermRef> Parser::ParsePrimary(int max_priority) {
     case TokenKind::kInteger: {
       Bump();
       g_last_priority.value = 0;
-      return store_->MakeInt(std::stoll(tok.text));
+      TermRef t = store_->MakeInt(std::stoll(tok.text));
+      NoteSpan(t, tok);
+      return t;
     }
     case TokenKind::kFloat: {
       Bump();
       g_last_priority.value = 0;
-      return store_->MakeFloat(std::stod(tok.text));
+      TermRef t = store_->MakeFloat(std::stod(tok.text));
+      NoteSpan(t, tok);
+      return t;
     }
     case TokenKind::kVariable: {
       Bump();
       g_last_priority.value = 0;
-      return VarFor(tok.text);
+      TermRef t = VarFor(tok.text);
+      NoteSpan(t, tok);  // first occurrence wins
+      return t;
     }
     case TokenKind::kPunct: {
       if (tok.text == "(") {
@@ -68,7 +74,9 @@ prore::Result<TermRef> Parser::ParsePrimary(int max_priority) {
       }
       if (tok.text == "[") {
         Bump();
-        return ParseList();
+        PRORE_ASSIGN_OR_RETURN(TermRef list, ParseList());
+        NoteSpan(list, tok);
+        return list;
       }
       if (tok.text == "{") {
         Bump();
@@ -79,7 +87,9 @@ prore::Result<TermRef> Parser::ParsePrimary(int max_priority) {
         Bump();
         g_last_priority.value = 0;
         const TermRef args[] = {inner};
-        return store_->MakeStruct(SymbolTable::kCurly, args);
+        TermRef t = store_->MakeStruct(SymbolTable::kCurly, args);
+        NoteSpan(t, tok);
+        return t;
       }
       return ErrorHere("unexpected token");
     }
@@ -88,7 +98,9 @@ prore::Result<TermRef> Parser::ParsePrimary(int max_priority) {
       if (tok.functor_paren) {
         Bump();  // atom
         Bump();  // '('
-        return ParseArgList(sym);
+        PRORE_ASSIGN_OR_RETURN(TermRef t, ParseArgList(sym));
+        NoteSpan(t, tok);
+        return t;
       }
       // Prefix operator?
       auto prefix = ops_->Prefix(tok.text);
@@ -118,20 +130,26 @@ prore::Result<TermRef> Parser::ParsePrimary(int max_priority) {
             int64_t v = std::stoll(Cur().text);
             Bump();
             g_last_priority.value = 0;
-            return store_->MakeInt(-v);
+            TermRef t = store_->MakeInt(-v);
+            NoteSpan(t, tok);
+            return t;
           }
           if (tok.text == "-" && Cur().kind == TokenKind::kFloat) {
             double v = std::stod(Cur().text);
             Bump();
             g_last_priority.value = 0;
-            return store_->MakeFloat(-v);
+            TermRef t = store_->MakeFloat(-v);
+            NoteSpan(t, tok);
+            return t;
           }
           int arg_max = prefix->type == OpType::kFy ? prefix->priority
                                                     : prefix->priority - 1;
           PRORE_ASSIGN_OR_RETURN(TermRef arg, ParseTerm(arg_max));
           g_last_priority.value = prefix->priority;
           const TermRef args[] = {arg};
-          return store_->MakeStruct(sym, args);
+          TermRef t = store_->MakeStruct(sym, args);
+          NoteSpan(t, tok);
+          return t;
         }
       }
       // Plain atom (possibly an operator name used as an atom). An operator
@@ -146,7 +164,9 @@ prore::Result<TermRef> Parser::ParsePrimary(int max_priority) {
         p = std::max(p, pre->priority);
       }
       g_last_priority.value = p;
-      return store_->MakeAtom(sym);
+      TermRef t = store_->MakeAtom(sym);
+      NoteSpan(t, tok);
+      return t;
     }
     case TokenKind::kEnd:
       return ErrorHere("unexpected end of clause");
@@ -218,7 +238,7 @@ prore::Result<TermRef> Parser::ParseTerm(int max_priority) {
     if (Cur().kind == TokenKind::kAtom) {
       op_name = Cur().text;
     } else if (Cur().kind == TokenKind::kPunct && Cur().text == ",") {
-      op_name = ",";
+      op_name = ',';  // single-char assign: GCC 12 -Wrestrict false positive
     } else {
       break;
     }
@@ -229,11 +249,13 @@ prore::Result<TermRef> Parser::ParseTerm(int max_priority) {
     int left_max = infix->type == OpType::kYfx ? p : p - 1;
     int right_max = infix->type == OpType::kXfy ? p : p - 1;
     if (left_priority > left_max) break;
+    const Token op_tok = Cur();
     Bump();
     PRORE_ASSIGN_OR_RETURN(TermRef right, ParseTerm(right_max));
     term::Symbol sym = store_->symbols().Intern(op_name);
     const TermRef args[] = {left, right};
     left = store_->MakeStruct(sym, args);
+    NoteSpan(left, op_tok);
     left_priority = p;
   }
   g_last_priority.value = left_priority;
@@ -289,10 +311,12 @@ prore::Result<Program> Parser::ParseProgram(std::string_view text) {
   Lexer lexer(text);
   PRORE_ASSIGN_OR_RETURN(tokens_, lexer.Tokenize());
   tpos_ = 0;
+  spans_.clear();
   Program program;
   while (Cur().kind != TokenKind::kEof) {
     clause_vars_.clear();
     var_order_.clear();
+    const SourceSpan clause_span{Cur().line, Cur().column};
     PRORE_ASSIGN_OR_RETURN(TermRef t, ParseTerm(1200));
     if (Cur().kind != TokenKind::kEnd) {
       return ErrorHere("expected '.' at end of clause");
@@ -316,10 +340,13 @@ prore::Result<Program> Parser::ParseProgram(std::string_view text) {
       continue;
     }
     PRORE_ASSIGN_OR_RETURN(Clause clause, SplitClause(store_, t));
+    clause.span = clause_span;
     if (!program.AddClause(*store_, clause)) {
       return prore::Status::TypeError("clause head is not callable");
     }
   }
+  program.SetTermSpans(std::move(spans_));
+  spans_ = {};
   return program;
 }
 
@@ -332,6 +359,7 @@ prore::Result<std::vector<ReadTerm>> Parser::ParseTermSequenceText(
   while (Cur().kind != TokenKind::kEof) {
     clause_vars_.clear();
     var_order_.clear();
+    const SourceSpan span{Cur().line, Cur().column};
     PRORE_ASSIGN_OR_RETURN(TermRef t, ParseTerm(1200));
     if (Cur().kind != TokenKind::kEnd) {
       return ErrorHere("expected '.' after term");
@@ -340,6 +368,7 @@ prore::Result<std::vector<ReadTerm>> Parser::ParseTermSequenceText(
     ReadTerm rt;
     rt.term = t;
     rt.var_names = var_order_;
+    rt.span = span;
     out.push_back(std::move(rt));
   }
   return out;
@@ -351,6 +380,7 @@ prore::Result<ReadTerm> Parser::ParseTermText(std::string_view text) {
   tpos_ = 0;
   clause_vars_.clear();
   var_order_.clear();
+  const SourceSpan span{Cur().line, Cur().column};
   PRORE_ASSIGN_OR_RETURN(TermRef t, ParseTerm(1200));
   if (Cur().kind == TokenKind::kEnd) Bump();
   if (Cur().kind != TokenKind::kEof) {
@@ -359,6 +389,7 @@ prore::Result<ReadTerm> Parser::ParseTermText(std::string_view text) {
   ReadTerm out;
   out.term = t;
   out.var_names = var_order_;
+  out.span = span;
   return out;
 }
 

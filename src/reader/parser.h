@@ -21,6 +21,7 @@ namespace prore::reader {
 struct ReadTerm {
   term::TermRef term = term::kNullTerm;
   std::vector<std::pair<std::string, term::TermRef>> var_names;
+  SourceSpan span;  ///< position of the term's first token
 };
 
 /// Operator-precedence parser for the DEC-10 Prolog subset used throughout
@@ -53,6 +54,12 @@ class Parser {
   /// user-declared operator (copy-on-write over the standard table).
   prore::Status ApplyOpDirective(term::TermRef goal);
 
+  /// Records where `t` was parsed (first writer wins, so a variable keeps
+  /// the position of its first occurrence in the clause).
+  void NoteSpan(term::TermRef t, const Token& tok) {
+    spans_.emplace(t, SourceSpan{tok.line, tok.column});
+  }
+
   const Token& Cur() const { return tokens_[tpos_]; }
   const Token& Next() const {
     return tokens_[tpos_ + 1 < tokens_.size() ? tpos_ + 1 : tpos_];
@@ -69,6 +76,9 @@ class Parser {
   size_t tpos_ = 0;
   std::unordered_map<std::string, term::TermRef> clause_vars_;
   std::vector<std::pair<std::string, term::TermRef>> var_order_;
+  /// Source position of every term created while parsing, keyed by ref.
+  /// ParseProgram moves this into the returned Program for diagnostics.
+  std::unordered_map<term::TermRef, SourceSpan> spans_;
 };
 
 /// Convenience one-shots using the standard operator table.

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/str_util.h"
 #include "core/evaluation.h"
 #include "core/reorderer.h"
+#include "lint/diagnostic.h"
+#include "lint/lint.h"
 #include "reader/parser.h"
 #include "reader/writer.h"
 #include "term/store.h"
@@ -187,12 +190,40 @@ TEST_P(ReorderFuzzTest, RandomProgramStaysSetEquivalent) {
   auto reordered = reorderer.Run(*program);
   ASSERT_TRUE(reordered.ok()) << reordered.status().ToString();
 
+  // The reorderer validates its own output (ReorderOptions::validate_output
+  // defaults on); an error-severity diagnostic means self-verification
+  // failed.
+  for (const lint::Diagnostic& d : reordered->diagnostics) {
+    EXPECT_NE(d.severity, lint::Severity::kError) << d.ToString();
+  }
+
   core::Evaluator eval(&store, *program, reordered->program);
   for (const std::string& query : generated.queries) {
     auto c = eval.CompareQuery(query);
     ASSERT_TRUE(c.ok()) << query << ": " << c.status().ToString();
     EXPECT_TRUE(c->set_equivalent) << query;
     EXPECT_EQ(c->original_answers, c->reordered_answers) << query;
+  }
+}
+
+TEST_P(ReorderFuzzTest, LintPassesAreCrashFreeAndDuplicateFree) {
+  ProgramGenerator gen(GetParam() ^ 0x51A7u);
+  auto generated = gen.Generate();
+  SCOPED_TRACE(generated.source);
+
+  term::TermStore store;
+  auto program = reader::ParseProgramText(&store, generated.source);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  lint::Linter linter;
+  auto diags = linter.Run(store, *program);
+  ASSERT_TRUE(diags.ok()) << diags.status().ToString();
+
+  // Passes must never emit the same finding twice.
+  std::set<std::string> unique;
+  for (const lint::Diagnostic& d : *diags) {
+    EXPECT_TRUE(unique.insert(d.ToString()).second)
+        << "duplicate diagnostic: " << d.ToString();
   }
 }
 

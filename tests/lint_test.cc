@@ -1,0 +1,452 @@
+// Tests for the prolint diagnostics subsystem: one positive and one
+// negative snippet per pass (PL001..PL007), parse-error span recovery
+// (PL000), the pass registry, and the reorder validator — both the clean
+// path (the optimizer's own output verifies) and corruption paths where a
+// tampered transformation must be caught (PL100..PL103).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/mode_inference.h"
+#include "analysis/modes.h"
+#include "core/reorderer.h"
+#include "lint/diagnostic.h"
+#include "lint/lint.h"
+#include "lint/validate.h"
+#include "programs/programs.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+#include "term/store.h"
+
+namespace prore::lint {
+namespace {
+
+using analysis::Mode;
+using analysis::ModeItem;
+using term::PredId;
+using term::TermStore;
+
+std::vector<Diagnostic> WithCode(const std::vector<Diagnostic>& diags,
+                                 const std::string& code) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags) {
+    if (d.code == code) out.push_back(d);
+  }
+  return out;
+}
+
+bool HasError(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+class LintPassTest : public ::testing::Test {
+ protected:
+  std::vector<Diagnostic> Lint(const std::string& source,
+                               LintOptions options = {}) {
+    auto program = reader::ParseProgramText(&store_, source);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    if (!program.ok()) return {};
+    Linter linter(std::move(options));
+    auto diags = linter.Run(store_, *program);
+    EXPECT_TRUE(diags.ok()) << diags.status().ToString();
+    return diags.ok() ? std::move(diags).value() : std::vector<Diagnostic>{};
+  }
+
+  TermStore store_;
+};
+
+// ---- PL001: singleton variables ---------------------------------------------
+
+TEST_F(LintPassTest, SingletonVariableReported) {
+  auto diags = Lint("q(1).\np(X, Y) :- q(X).\n");
+  auto found = WithCode(diags, "PL001");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kWarning);
+  EXPECT_EQ(found[0].pred, "p/2");
+  EXPECT_NE(found[0].message.find("Y"), std::string::npos);
+  EXPECT_EQ(found[0].span.line, 2);
+}
+
+TEST_F(LintPassTest, NoSingletonForRepeatedOrUnderscoreVars) {
+  auto diags = Lint("q(1).\np(X, _Ignored) :- q(X).\nr(_) :- q(1).\n");
+  EXPECT_TRUE(WithCode(diags, "PL001").empty());
+}
+
+// ---- PL002: undefined predicates --------------------------------------------
+
+TEST_F(LintPassTest, UndefinedPredicateReported) {
+  auto diags = Lint("p(X) :- missing(X).\n");
+  auto found = WithCode(diags, "PL002");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kWarning);
+  EXPECT_NE(found[0].message.find("missing/1"), std::string::npos);
+}
+
+TEST_F(LintPassTest, DefinedBuiltinAndLibraryCallsAreNotUndefined) {
+  auto diags = Lint(
+      "q(1).\n"
+      "p(X) :- q(X), X = 1, append([], [], _L).\n");
+  EXPECT_TRUE(WithCode(diags, "PL002").empty());
+}
+
+// ---- PL003: clause unreachable after a catch-all cut ------------------------
+
+TEST_F(LintPassTest, ClauseAfterCatchAllCutReported) {
+  auto diags = Lint(
+      "q(1).\nr(1).\n"
+      "p(X) :- !, q(X).\n"
+      "p(X) :- r(X).\n");
+  auto found = WithCode(diags, "PL003");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].pred, "p/1");
+  EXPECT_EQ(found[0].span.line, 4);
+}
+
+TEST_F(LintPassTest, BoundHeadOrLateCutIsNotCatchAll) {
+  auto diags = Lint(
+      "q(1).\nr(1).\n"
+      "p(1) :- !, q(1).\n"       // head is bound: not a catch-all
+      "p(X) :- r(X).\n"
+      "s(X) :- q(X), !.\n"       // cut is not first
+      "s(X) :- r(X).\n");
+  EXPECT_TRUE(WithCode(diags, "PL003").empty());
+}
+
+// ---- PL004: goal unreachable after fail -------------------------------------
+
+TEST_F(LintPassTest, GoalAfterFailReported) {
+  auto diags = Lint("q(1).\np(X) :- fail, q(X).\n");
+  auto found = WithCode(diags, "PL004");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].message.find("unreachable"), std::string::npos);
+}
+
+TEST_F(LintPassTest, TrailingFailIsFine) {
+  auto diags = Lint("q(1).\np(X) :- q(X), fail.\n");
+  EXPECT_TRUE(WithCode(diags, "PL004").empty());
+}
+
+// ---- PL005: arithmetic on an unbound variable -------------------------------
+
+TEST_F(LintPassTest, ArithmeticOnFreshVariableReported) {
+  auto diags = Lint("p(Y) :- Y is X + 1.\n");
+  auto found = WithCode(diags, "PL005");
+  ASSERT_GE(found.size(), 1u);
+  EXPECT_NE(found[0].message.find("X"), std::string::npos);
+  EXPECT_NE(found[0].message.find("is/2"), std::string::npos);
+}
+
+TEST_F(LintPassTest, ArithmeticOnGroundedVariableIsFine) {
+  auto diags = Lint("q(1).\np(X, Y) :- q(X), Y is X + 1.\n");
+  EXPECT_TRUE(WithCode(diags, "PL005").empty());
+}
+
+// ---- PL006: side-effect goals are pinned ------------------------------------
+
+TEST_F(LintPassTest, SideEffectGoalNoted) {
+  auto diags = Lint("q(1).\np(X) :- q(X), write(X).\n");
+  auto found = WithCode(diags, "PL006");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kNote);
+  EXPECT_NE(found[0].message.find("write/1"), std::string::npos);
+}
+
+TEST_F(LintPassTest, PureGoalsAreNotPinned) {
+  auto diags = Lint("q(1).\np(X) :- q(X).\n");
+  EXPECT_TRUE(WithCode(diags, "PL006").empty());
+}
+
+// ---- PL007: discontiguous clause groups -------------------------------------
+
+TEST_F(LintPassTest, DiscontiguousClausesReported) {
+  auto diags = Lint("p(1).\nq(1).\np(2).\n");
+  auto found = WithCode(diags, "PL007");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].pred, "p/1");
+  EXPECT_EQ(found[0].span.line, 3);
+}
+
+TEST_F(LintPassTest, ContiguousClausesAreFine) {
+  auto diags = Lint("p(1).\np(2).\nq(1).\n");
+  EXPECT_TRUE(WithCode(diags, "PL007").empty());
+}
+
+// ---- PL000: parse-error span recovery ---------------------------------------
+
+TEST(DiagnosticTest, ParseErrorRecoversSpan) {
+  TermStore store;
+  auto program = reader::ParseProgramText(&store, "q(1).\np(X) :- .\n");
+  ASSERT_FALSE(program.ok());
+  Diagnostic d = FromParseStatus(program.status());
+  EXPECT_EQ(d.code, "PL000");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_GE(d.span.line, 1);
+}
+
+TEST(DiagnosticTest, RenderingCarriesCodeSeverityAndSpan) {
+  Diagnostic d{"PL001", Severity::kWarning, {12, 3}, "aunt/2",
+               "singleton variable X"};
+  std::string text = d.ToString();
+  EXPECT_NE(text.find("12:3"), std::string::npos);
+  EXPECT_NE(text.find("warning"), std::string::npos);
+  EXPECT_NE(text.find("PL001"), std::string::npos);
+  EXPECT_NE(text.find("aunt/2"), std::string::npos);
+  std::string json = RenderJson({d}, "demo.pl");
+  EXPECT_NE(json.find("\"code\""), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos);
+}
+
+// ---- Registry and pass selection --------------------------------------------
+
+TEST(RegistryTest, AllPassesRegisteredWithUniqueCodes) {
+  const PassRegistry& registry = PassRegistry::Default();
+  EXPECT_EQ(registry.passes().size(), 7u);
+  std::set<std::string> codes;
+  for (const auto& pass : registry.passes()) {
+    EXPECT_TRUE(codes.insert(pass->code()).second)
+        << "duplicate code " << pass->code();
+    EXPECT_EQ(registry.Find(pass->name()), pass.get());
+    EXPECT_EQ(registry.Find(pass->code()), pass.get());
+  }
+  EXPECT_EQ(registry.Find("no-such-pass"), nullptr);
+}
+
+TEST_F(LintPassTest, OnlyOptionRestrictsPasses) {
+  // The snippet triggers PL001 (singleton S) and PL002 (missing/1).
+  const char* source = "p(X, S) :- missing(X).\n";
+  auto all = Lint(source);
+  EXPECT_FALSE(WithCode(all, "PL001").empty());
+  EXPECT_FALSE(WithCode(all, "PL002").empty());
+  LintOptions only;
+  only.only = {"PL001"};
+  auto restricted = Lint(source, only);
+  EXPECT_FALSE(WithCode(restricted, "PL001").empty());
+  EXPECT_TRUE(WithCode(restricted, "PL002").empty());
+}
+
+// ---- Bundled corpora gate ---------------------------------------------------
+
+TEST(CorpusLintTest, BundledProgramsLintWithoutErrorsAndSelfVerify) {
+  for (const programs::BenchmarkProgram* bench : programs::AllPrograms()) {
+    SCOPED_TRACE(bench->name);
+    TermStore store;
+    auto program = reader::ParseProgramText(&store, bench->source);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    Linter linter;
+    auto diags = linter.Run(store, *program);
+    ASSERT_TRUE(diags.ok()) << diags.status().ToString();
+    for (const Diagnostic& d : *diags) {
+      EXPECT_NE(d.severity, Severity::kError) << d.ToString();
+    }
+    // The reorderer validates its own output (PL1xx would be errors).
+    core::Reorderer reorderer(&store);
+    auto reordered = reorderer.Run(*program);
+    ASSERT_TRUE(reordered.ok()) << reordered.status().ToString();
+    for (const Diagnostic& d : reordered->diagnostics) {
+      EXPECT_NE(d.severity, Severity::kError) << d.ToString();
+    }
+  }
+}
+
+// ---- Reorder validator ------------------------------------------------------
+
+constexpr const char* kFamilyProgram = R"(
+wife(john, jane).
+wife(paul, mary).
+mother(john, joan).
+mother(jane, june).
+mother(paul, joan).
+female(Woman) :- wife(_, Woman).
+grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+parent(C, P) :- mother(C, P).
+parent(C, P) :- mother(C, M), wife(P, M).
+)";
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  reader::Program Parse(const std::string& text) {
+    auto p = reader::ParseProgramText(&store_, text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return p.ok() ? std::move(p).value() : reader::Program{};
+  }
+
+  PredId Pred(const std::string& name, uint32_t arity) {
+    return PredId{store_.symbols().Intern(name), arity};
+  }
+
+  /// Runs the real reorderer and converts its reports into the validator's
+  /// version list, so corruption tests exercise genuine optimizer output.
+  core::ReorderResult Reorder(const reader::Program& original) {
+    core::ReorderOptions opts;
+    opts.validate_output = false;  // tests call the validator directly
+    core::Reorderer reorderer(&store_, opts);
+    auto r = reorderer.Run(original);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : core::ReorderResult{};
+  }
+
+  static std::vector<VersionInfo> VersionsOf(const core::ReorderResult& r) {
+    std::vector<VersionInfo> versions;
+    for (const core::PredModeReport& report : r.reports) {
+      versions.push_back(
+          VersionInfo{report.pred, report.mode, report.version_name});
+    }
+    return versions;
+  }
+
+  TermStore store_;
+};
+
+TEST_F(ValidatorTest, IdentityTransformationVerifies) {
+  reader::Program program = Parse("a(1).\nb(1).\np(X) :- a(X), b(X).\n");
+  ReorderCheckInput input;
+  input.original = &program;
+  input.transformed = &program;
+  for (const PredId& pred : program.pred_order()) {
+    input.versions.push_back(VersionInfo{
+        pred, Mode(pred.arity, ModeItem::kAny),
+        store_.symbols().Name(pred.name)});
+    input.no_reorder.insert(pred);
+  }
+  EXPECT_TRUE(ValidateReorder(&store_, input).empty());
+}
+
+TEST_F(ValidatorTest, RealReorderOutputVerifiesClean) {
+  reader::Program original = Parse(kFamilyProgram);
+  core::ReorderResult result = Reorder(original);
+  ReorderCheckInput input;
+  input.original = &original;
+  input.transformed = &result.program;
+  input.versions = VersionsOf(result);
+  for (const Diagnostic& d : ValidateReorder(&store_, input)) {
+    ADD_FAILURE() << d.ToString();
+  }
+}
+
+TEST_F(ValidatorTest, MissingPredicateIsPL103) {
+  reader::Program original = Parse("p(1).\nq(2).\n");
+  reader::Program transformed = Parse("p(1).\n");
+  ReorderCheckInput input;
+  input.original = &original;
+  input.transformed = &transformed;
+  auto diags = ValidateReorder(&store_, input);
+  auto found = WithCode(diags, "PL103");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kError);
+  EXPECT_EQ(found[0].pred, "q/1");
+}
+
+TEST_F(ValidatorTest, DroppedClauseIsPL101) {
+  reader::Program original = Parse(kFamilyProgram);
+  core::ReorderResult result = Reorder(original);
+  // Tamper: drop one clause of the first multi-clause emitted version.
+  bool tampered = false;
+  for (const core::PredModeReport& report : result.reports) {
+    PredId vid = Pred(report.version_name, report.pred.arity);
+    auto* clauses = result.program.MutableClausesOf(vid);
+    if (clauses != nullptr && clauses->size() > 1) {
+      clauses->pop_back();
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  ReorderCheckInput input;
+  input.original = &original;
+  input.transformed = &result.program;
+  input.versions = VersionsOf(result);
+  EXPECT_TRUE(HasError(WithCode(ValidateReorder(&store_, input), "PL101")));
+}
+
+TEST_F(ValidatorTest, ReorderedNoReorderPredicateIsPL101) {
+  reader::Program original = Parse("a(1).\nb(1).\np(X) :- a(X), b(X).\n");
+  reader::Program transformed = Parse("a(1).\nb(1).\np(X) :- b(X), a(X).\n");
+  ReorderCheckInput input;
+  input.original = &original;
+  input.transformed = &transformed;
+  PredId p = Pred("p", 1);
+  input.versions.push_back(VersionInfo{p, Mode(1, ModeItem::kAny), "p"});
+  input.no_reorder.insert(p);
+  auto found = WithCode(ValidateReorder(&store_, input), "PL101");
+  ASSERT_GE(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kError);
+  EXPECT_EQ(found[0].pred, "p/1");
+}
+
+TEST_F(ValidatorTest, DuplicatedDispatcherClauseIsPL102) {
+  reader::Program original = Parse(kFamilyProgram);
+  core::ReorderResult result = Reorder(original);
+  // Tamper: duplicate the dispatcher clause of a specialized predicate.
+  bool tampered = false;
+  for (const core::PredModeReport& report : result.reports) {
+    if (report.version_name ==
+        store_.symbols().Name(report.pred.name)) {
+      continue;  // unspecialized: no dispatcher
+    }
+    auto* clauses = result.program.MutableClausesOf(report.pred);
+    if (clauses != nullptr && clauses->size() == 1) {
+      clauses->push_back(clauses->front());
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  ReorderCheckInput input;
+  input.original = &original;
+  input.transformed = &result.program;
+  input.versions = VersionsOf(result);
+  EXPECT_TRUE(HasError(WithCode(ValidateReorder(&store_, input), "PL102")));
+}
+
+TEST_F(ValidatorTest, DispatcherTargetingMissingVersionIsPL102) {
+  reader::Program original = Parse("p(1).\n");
+  reader::Program transformed = Parse("p(X) :- p_u(X).\n");
+  ReorderCheckInput input;
+  input.original = &original;
+  input.transformed = &transformed;
+  PredId p = Pred("p", 1);
+  input.versions.push_back(VersionInfo{p, Mode{ModeItem::kPlus}, "p_i"});
+  input.versions.push_back(VersionInfo{p, Mode{ModeItem::kMinus}, "p_u"});
+  auto found = WithCode(ValidateReorder(&store_, input), "PL102");
+  ASSERT_GE(found.size(), 1u);
+  EXPECT_NE(found[0].message.find("missing"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, IllegalCallModeInVersionIsPL100) {
+  reader::Program original = Parse("a(1).\na(2).\np(X) :- a(X), X > 1.\n");
+  // The corrupted version evaluates X > 1 before a/1 grounds X, under a
+  // mode that leaves X a free variable — a demand violation the original
+  // goal order did not have.
+  reader::Program transformed =
+      Parse("a(1).\na(2).\np_u(X) :- X > 1, a(X).\np(X) :- p_u(X).\n");
+  auto graph = analysis::CallGraph::Build(store_, original);
+  ASSERT_TRUE(graph.ok());
+  auto decls = analysis::ParseDeclarations(store_, original);
+  ASSERT_TRUE(decls.ok());
+  auto modes =
+      analysis::InferModes(store_, original, *graph, *decls);
+  ASSERT_TRUE(modes.ok());
+  analysis::LegalityOracle oracle(&store_, &original, &*graph, &*modes);
+  ReorderCheckInput input;
+  input.original = &original;
+  input.transformed = &transformed;
+  input.versions.push_back(
+      VersionInfo{Pred("p", 1), Mode{ModeItem::kMinus}, "p_u"});
+  input.modes = &*modes;
+  input.oracle = &oracle;
+  auto found = WithCode(ValidateReorder(&store_, input), "PL100");
+  ASSERT_GE(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kError);
+  EXPECT_NE(found[0].message.find(">"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prore::lint

@@ -1,0 +1,161 @@
+// prolint — Prolog diagnostics tool built on the prore lint subsystem.
+//
+// Runs the registered lint passes (PL001..PL007) over each input file and,
+// unless --no-check-reorder is given, reorders the program and runs the
+// reorder validator (PL100..PL103) over the result — exercising the same
+// self-verification path the optimizer uses.
+//
+// Usage:
+//   prolint [options] file.pl...
+//
+// Options:
+//   --format=text|json  output format (default text)
+//   --werror            treat warnings as errors (exit 1)
+//   --no-check-reorder  skip the reorder + validate step
+//   --only=NAME|CODE    run only the named pass (repeatable)
+//   --list-passes       list the registered passes and exit
+//
+// Exit codes: 0 clean (or warnings without --werror), 1 diagnostics at the
+// gating severity or a file error, 2 usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/reorderer.h"
+#include "lint/diagnostic.h"
+#include "lint/lint.h"
+#include "reader/parser.h"
+#include "term/store.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: prolint [--format=text|json] [--werror]\n"
+               "               [--no-check-reorder] [--only=PASS]\n"
+               "               [--list-passes] file.pl...\n");
+  return 2;
+}
+
+int ListPasses() {
+  for (const auto& pass : prore::lint::PassRegistry::Default().passes()) {
+    std::printf("%s  %-20s %s\n", pass->code(), pass->name(),
+                pass->description());
+  }
+  std::printf("PL100-PL103 reorder-validator   "
+              "self-verification of the reorderer's output\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  bool check_reorder = true;
+  prore::lint::LintOptions lint_options;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--no-check-reorder") {
+      check_reorder = false;
+    } else if (arg.rfind("--only=", 0) == 0) {
+      std::string sel = arg.substr(7);
+      if (prore::lint::PassRegistry::Default().Find(sel) == nullptr) {
+        std::fprintf(stderr, "prolint: unknown pass %s\n", sel.c_str());
+        return 2;
+      }
+      lint_options.only.push_back(std::move(sel));
+    } else if (arg == "--list-passes") {
+      return ListPasses();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "prolint: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) return Usage();
+
+  const prore::lint::Severity gate = werror
+                                         ? prore::lint::Severity::kWarning
+                                         : prore::lint::Severity::kError;
+  bool any_gating = false;
+  bool any_io_error = false;
+
+  for (size_t f = 0; f < files.size(); ++f) {
+    const std::string& path = files[f];
+    std::vector<prore::lint::Diagnostic> diags;
+
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "prolint: cannot open %s\n", path.c_str());
+      any_io_error = true;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    prore::term::TermStore store;
+    auto program = prore::reader::ParseProgramText(&store, buffer.str());
+    if (!program.ok()) {
+      diags.push_back(prore::lint::FromParseStatus(program.status()));
+    } else {
+      prore::lint::Linter linter(lint_options);
+      auto run = linter.Run(store, *program);
+      if (!run.ok()) {
+        std::fprintf(stderr, "prolint: %s: %s\n", path.c_str(),
+                     run.status().ToString().c_str());
+        any_io_error = true;
+        continue;
+      }
+      diags = std::move(run).value();
+
+      if (check_reorder && lint_options.only.empty()) {
+        // Reorder and self-verify; the reorderer embeds the validator
+        // (ReorderOptions::validate_output), so its diagnostics carry the
+        // PL1xx findings. A program the reorderer rejects outright is not
+        // a lint finding — the reorderer covers a subset of Prolog — so
+        // that failure is reported as a plain note.
+        prore::core::ReorderOptions options;
+        prore::core::Reorderer reorderer(&store, options);
+        auto reordered = reorderer.Run(*program);
+        if (reordered.ok()) {
+          for (prore::lint::Diagnostic& d : reordered->diagnostics) {
+            diags.push_back(std::move(d));
+          }
+        } else {
+          diags.push_back(prore::lint::Diagnostic{
+              "PL000", prore::lint::Severity::kNote, {}, "",
+              "reorder check skipped: " +
+                  reordered.status().ToString()});
+        }
+      }
+    }
+
+    for (const auto& d : diags) {
+      if (d.severity >= gate) {
+        any_gating = true;
+        break;
+      }
+    }
+    if (json) {
+      std::printf("%s\n", prore::lint::RenderJson(diags, path).c_str());
+    } else {
+      std::fputs(prore::lint::RenderText(diags, path).c_str(), stdout);
+    }
+  }
+
+  if (any_io_error) return 1;
+  return any_gating ? 1 : 0;
+}

@@ -16,6 +16,8 @@
 //   --no-clauses        keep clause order (goals only)
 //   --no-goals          keep goal order (clauses only)
 //   --warren            order by Warren's heuristic instead of the chains
+//   --lint              run the lint passes over the input program and
+//                       print their diagnostics to stderr
 //   --report            print per-predicate predicted costs
 //   --compare QUERY     run QUERY on both programs and report call counts
 //   --emit-original     also echo the parsed original (normalization check)
@@ -31,6 +33,7 @@
 
 #include "analysis/modes.h"
 #include "core/evaluation.h"
+#include "lint/lint.h"
 #include "core/reorderer.h"
 #include "core/disjunction.h"
 #include "core/unfold.h"
@@ -44,8 +47,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: prore [--unfold] [--factor] [--guards]\n"
                "             [--no-specialize] [--no-clauses] [--no-goals]\n"
-               "             [--warren] [--report] [--compare QUERY]\n"
-               "             [--emit-original] input.pl [output.pl]\n");
+               "             [--warren] [--lint] [--report]\n"
+               "             [--compare QUERY] [--emit-original]\n"
+               "             input.pl [output.pl]\n");
   return 2;
 }
 
@@ -54,6 +58,7 @@ int Usage() {
 int main(int argc, char** argv) {
   prore::core::ReorderOptions options;
   bool report = false;
+  bool lint = false;
   bool emit_original = false;
   bool unfold = false;
   bool factor = false;
@@ -76,6 +81,8 @@ int main(int argc, char** argv) {
       options.reorder_goals = false;
     } else if (arg == "--warren") {
       options.goal_search.warren_heuristic = true;
+    } else if (arg == "--lint") {
+      lint = true;
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--emit-original") {
@@ -117,6 +124,18 @@ int main(int argc, char** argv) {
                  prore::reader::WriteProgram(store, *program).c_str());
   }
 
+  if (lint) {
+    prore::lint::Linter linter;
+    auto diags = linter.Run(store, *program);
+    if (!diags.ok()) {
+      std::fprintf(stderr, "prore: lint failed: %s\n",
+                   diags.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(
+        prore::lint::RenderText(*diags, input_path).c_str(), stderr);
+  }
+
   if (unfold) {
     auto unfolded = prore::core::UnfoldProgram(&store, *program);
     if (!unfolded.ok()) {
@@ -150,8 +169,8 @@ int main(int argc, char** argv) {
                  reordered.status().ToString().c_str());
     return 1;
   }
-  for (const std::string& note : reordered->notes) {
-    std::fprintf(stderr, "prore: note: %s\n", note.c_str());
+  for (const prore::lint::Diagnostic& d : reordered->diagnostics) {
+    std::fprintf(stderr, "prore: %s\n", d.ToString().c_str());
   }
 
   std::string text =
