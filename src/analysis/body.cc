@@ -116,6 +116,25 @@ prore::Result<std::unique_ptr<BodyNode>> Parse(const TermStore& store,
     }
     return Parse(store, inner);
   }
+  if (name == "catch" && arity == 3) {
+    // catch(Goal, Catcher, Recovery): Goal and Recovery are goals, the
+    // catcher is a pattern. If either goal position is a variable we fall
+    // back to treating the whole catch/3 as an opaque call (the engine
+    // handles it; the reorderer must not look inside).
+    TermRef goal_arg = store.Deref(store.arg(t, 0));
+    TermRef recovery_arg = store.Deref(store.arg(t, 2));
+    if (store.tag(goal_arg) == Tag::kVar ||
+        store.tag(recovery_arg) == Tag::kVar) {
+      node->kind = BodyKind::kCall;
+      return node;
+    }
+    node->kind = BodyKind::kCatch;
+    PRORE_ASSIGN_OR_RETURN(auto goal_n, Parse(store, goal_arg));
+    PRORE_ASSIGN_OR_RETURN(auto recovery_n, Parse(store, recovery_arg));
+    node->children.push_back(std::move(goal_n));
+    node->children.push_back(std::move(recovery_n));
+    return node;
+  }
   if (IsSetPredName(name, arity)) {
     node->kind = BodyKind::kSetPred;
     // The second argument is the inner conjunction (strip ^/2 wrappers).
@@ -160,6 +179,7 @@ void CollectCalledGoals(const TermStore& store, const BodyNode& node,
     case BodyKind::kDisj:
     case BodyKind::kIfThenElse:
     case BodyKind::kNeg:
+    case BodyKind::kCatch:
       for (const auto& child : node.children) {
         CollectCalledGoals(store, *child, out);
       }
@@ -177,6 +197,7 @@ bool ContainsClauseCut(const BodyNode& node) {
       return false;
     case BodyKind::kNeg:
     case BodyKind::kSetPred:
+    case BodyKind::kCatch:
       return false;  // cuts inside are local
     case BodyKind::kConj:
     case BodyKind::kDisj:

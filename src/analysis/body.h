@@ -22,12 +22,16 @@ enum class BodyKind {
   kIfThenElse,  ///< (C -> T ; E) — premise immobile (§IV-D.3).
   kNeg,         ///< \+/1 or not/1 — semifixed wrapper (§IV-D.5).
   kSetPred,     ///< findall/bagof/setof — semifixed wrapper (§IV-D.6).
+  kCatch,       ///< catch/3 — opaque control construct; never floated.
 };
 
 /// Parsed body tree. kCall/kCut/kTrue/kFail are leaves; kConj has N
 /// children; kDisj has 2 (left, right); kIfThenElse has 3 (cond, then,
 /// else); kNeg has 1 (the negated conjunction); kSetPred has 1 (the inner
-/// conjunction) and keeps `goal` as the whole findall/bagof/setof term.
+/// conjunction) and keeps `goal` as the whole findall/bagof/setof term;
+/// kCatch has 2 (the protected goal and the recovery goal) and keeps `goal`
+/// as the whole catch/3 term. The catcher pattern (arg 1) is not a goal and
+/// has no child.
 struct BodyNode {
   BodyKind kind = BodyKind::kTrue;
   term::TermRef goal = term::kNullTerm;

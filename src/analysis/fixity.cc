@@ -22,13 +22,16 @@ bool IsSideEffectBuiltin(std::string_view name, uint32_t arity) {
     return name == "nl" || name == "told" || name == "seen" || name == "ttynl";
   }
   if (arity == 1) {
+    // throw/1 is pinned like I/O: moving it changes which goals execute
+    // before the exception aborts the clause (observable via side effects
+    // and via which catcher receives the ball).
     return name == "write" || name == "print" || name == "writeln" ||
            name == "read" || name == "get" || name == "get0" ||
            name == "put" || name == "tab" || name == "see" ||
            name == "tell" || name == "display" ||
            name == "write_canonical" || name == "assert" ||
            name == "asserta" || name == "assertz" || name == "retract" ||
-           name == "abolish";
+           name == "abolish" || name == "throw";
   }
   return false;
 }
@@ -191,6 +194,7 @@ std::vector<TermRef> ModeSensitiveVars(const TermStore& store,
       return out;
     case BodyKind::kNeg:
     case BodyKind::kSetPred:
+    case BodyKind::kCatch:
       add_vars_of(node.goal);
       return out;
     case BodyKind::kConj:
@@ -291,10 +295,13 @@ bool SeedClause(const TermStore& store, const reader::Clause& clause,
             walk(*node.children[0], &scratch);
             return;
           }
-          case BodyKind::kSetPred: {
+          case BodyKind::kSetPred:
+          case BodyKind::kCatch: {
             check_culprits(node, *e);
-            AbstractEnv scratch = *e;
-            walk(*node.children[0], &scratch);
+            for (const auto& child : node.children) {
+              AbstractEnv scratch = *e;
+              walk(*child, &scratch);
+            }
             AdvanceEnvOverNode(store, node, oracle, e);
             return;
           }

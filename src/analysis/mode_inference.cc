@@ -322,6 +322,27 @@ class Inferencer {
         }
         return prore::Status::OK();
       }
+      case BodyKind::kCatch: {
+        // Either the goal completes (its bindings persist) or an exception
+        // unwinds it, the catcher is unified with the ball, and the
+        // recovery runs from the pre-goal environment. Join both futures.
+        AbstractEnv goal_env = *env;
+        PRORE_RETURN_IF_ERROR(WalkBody(*node.children[0], &goal_env,
+                                       used_unstable));
+        AbstractEnv rec_env = *env;
+        TermRef goal = store_.Deref(node.goal);
+        std::vector<TermRef> catcher_vars;
+        store_.CollectVars(store_.arg(goal, 1), &catcher_vars);
+        for (TermRef v : catcher_vars) {
+          if (rec_env.Get(store_.var_id(v)) == VarState::kFree) {
+            rec_env.Set(store_.var_id(v), VarState::kUnknown);
+          }
+        }
+        PRORE_RETURN_IF_ERROR(WalkBody(*node.children[1], &rec_env,
+                                       used_unstable));
+        *env = AbstractEnv::Join(goal_env, rec_env);
+        return prore::Status::OK();
+      }
       case BodyKind::kCall:
         return WalkCall(node.goal, env, used_unstable);
     }
@@ -538,6 +559,23 @@ void AdvanceEnvOverNode(const TermStore& store, const BodyNode& node,
       }
       return;
     }
+    case BodyKind::kCatch: {
+      // Join "goal completed" with "recovery ran from the pre-goal env"
+      // (the catcher may bind variables of the catcher pattern).
+      AbstractEnv goal_env = *env, rec_env = *env;
+      AdvanceEnvOverNode(store, *node.children[0], oracle, &goal_env);
+      term::TermRef goal = store.Deref(node.goal);
+      std::vector<term::TermRef> catcher_vars;
+      store.CollectVars(store.arg(goal, 1), &catcher_vars);
+      for (term::TermRef v : catcher_vars) {
+        if (rec_env.Get(store.var_id(v)) == VarState::kFree) {
+          rec_env.Set(store.var_id(v), VarState::kUnknown);
+        }
+      }
+      AdvanceEnvOverNode(store, *node.children[1], oracle, &rec_env);
+      *env = AbstractEnv::Join(goal_env, rec_env);
+      return;
+    }
     case BodyKind::kCall: {
       term::TermRef goal = store.Deref(node.goal);
       PredId callee = store.pred_id(goal);
@@ -597,6 +635,21 @@ bool LegalityOracle::WalkCheck(const BodyNode& node, AbstractEnv* env) {
           env->Set(store_->var_id(v), VarState::kUnknown);
         }
       }
+      return true;
+    }
+    case BodyKind::kCatch: {
+      AbstractEnv goal_env = *env, rec_env = *env;
+      if (!WalkCheck(*node.children[0], &goal_env)) return false;
+      term::TermRef goal = store_->Deref(node.goal);
+      std::vector<term::TermRef> catcher_vars;
+      store_->CollectVars(store_->arg(goal, 1), &catcher_vars);
+      for (term::TermRef v : catcher_vars) {
+        if (rec_env.Get(store_->var_id(v)) == VarState::kFree) {
+          rec_env.Set(store_->var_id(v), VarState::kUnknown);
+        }
+      }
+      if (!WalkCheck(*node.children[1], &rec_env)) return false;
+      *env = AbstractEnv::Join(goal_env, rec_env);
       return true;
     }
     case BodyKind::kCall: {

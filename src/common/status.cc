@@ -24,6 +24,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kEvaluationError:
+      return "EvaluationError";
+    case StatusCode::kPrologThrow:
+      return "PrologThrow";
   }
   return "Unknown";
 }

@@ -17,9 +17,11 @@ enum class StatusCode {
   kExistenceError,   ///< Unknown predicate, symbol, or file.
   kModeError,        ///< A call violated the legal-mode table.
   kInvalidArgument,  ///< Bad argument to a library function.
-  kResourceExhausted,  ///< Step/solution limits exceeded.
+  kResourceExhausted,  ///< Step/solution/budget limits exceeded.
   kInternal,         ///< Invariant violation inside the library.
   kUnsupported,      ///< Construct outside the supported Prolog subset.
+  kEvaluationError,  ///< Arithmetic evaluation error (e.g. zero divisor).
+  kPrologThrow,      ///< A Prolog exception (throw/1 ball) left uncaught.
 };
 
 /// Returns a stable human-readable name, e.g. "ParseError".
@@ -64,10 +66,29 @@ class Status {
   static Status Unsupported(std::string m) {
     return Status(StatusCode::kUnsupported, std::move(m));
   }
+  static Status EvaluationError(std::string m) {
+    return Status(StatusCode::kEvaluationError, std::move(m));
+  }
+
+  /// Attaches the canonical text of a structured Prolog error term. For
+  /// statuses produced by library code (e.g. arithmetic) this is the ISO
+  /// error payload such as "evaluation_error(zero_divisor)"; for statuses
+  /// returned from Machine::Solve it is the complete thrown ball, e.g.
+  /// "error(type_error(evaluable, foo/1), is/2)".
+  Status&& WithErrorTerm(std::string term) && {
+    error_term_ = std::move(term);
+    return std::move(*this);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Canonical text of the associated Prolog error term, or "" if the
+  /// failure has no structured representation (internal errors, parse
+  /// errors, ...). See WithErrorTerm.
+  const std::string& error_term() const { return error_term_; }
+  bool has_error_term() const { return !error_term_.empty(); }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -75,6 +96,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  std::string error_term_;
 };
 
 /// Propagates a non-OK Status out of the enclosing function.

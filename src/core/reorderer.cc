@@ -279,6 +279,22 @@ prore::Result<std::unique_ptr<BodyNode>> Pipeline::ReorderNode(
       costs_->AdvanceEnv(node, env);
       return clone;
     }
+    case BodyKind::kCatch: {
+      // Opaque control construct: never permute inside catch/3 — moving a
+      // goal across the protection boundary changes which exceptions the
+      // catcher sees (clone with allow=false, like the ITE premise).
+      AbstractEnv goal_env = *env, rec_env = *env;
+      PRORE_ASSIGN_OR_RETURN(auto goal_n,
+                             ReorderSeq(*node.children[0], &goal_env,
+                                        /*allow=*/false, changed));
+      PRORE_ASSIGN_OR_RETURN(auto rec_n,
+                             ReorderSeq(*node.children[1], &rec_env,
+                                        /*allow=*/false, changed));
+      clone->children.push_back(std::move(goal_n));
+      clone->children.push_back(std::move(rec_n));
+      costs_->AdvanceEnv(node, env);
+      return clone;
+    }
   }
   return clone;
 }
@@ -420,6 +436,23 @@ prore::Result<TermRef> Pipeline::EmitNode(const BodyNode& node,
       TermRef goal = store_->Deref(node.goal);
       const TermRef args[] = {store_->arg(goal, 0), inner,
                               store_->arg(goal, 2)};
+      TermRef rebuilt = store_->MakeStruct(store_->symbol(goal), args);
+      costs_->AdvanceEnv(node, env);
+      return rebuilt;
+    }
+    case BodyKind::kCatch: {
+      // Rebuild catch(Goal, Catcher, Recovery) verbatim (goals emitted in
+      // place, never renamed: a mode-specialized version may commit to a
+      // different clause order, changing which exception escapes first).
+      AbstractEnv goal_env = *env, rec_env = *env;
+      PRORE_ASSIGN_OR_RETURN(TermRef inner,
+                             EmitSeq(*node.children[0], &goal_env,
+                                     /*rename=*/false));
+      PRORE_ASSIGN_OR_RETURN(TermRef recovery,
+                             EmitSeq(*node.children[1], &rec_env,
+                                     /*rename=*/false));
+      TermRef goal = store_->Deref(node.goal);
+      const TermRef args[] = {inner, store_->arg(goal, 1), recovery};
       TermRef rebuilt = store_->MakeStruct(store_->symbol(goal), args);
       costs_->AdvanceEnv(node, env);
       return rebuilt;

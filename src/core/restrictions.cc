@@ -31,6 +31,10 @@ bool IsImmobile(const TermStore& store, const BodyNode& node,
     case BodyKind::kSetPred:
       // Mobile as a unit unless something inside has side-effects.
       return IsImmobile(store, *node.children[0], fixity);
+    case BodyKind::kCatch:
+      // catch/3 is an opaque control construct: moving it changes which
+      // goals execute under its protection, so it is always a barrier.
+      return true;
     case BodyKind::kConj:
     case BodyKind::kDisj:
     case BodyKind::kIfThenElse:

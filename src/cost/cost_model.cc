@@ -379,6 +379,25 @@ PredModeStats CostModel::NodeStats(const BodyNode& node,
       s.expected_solutions = s.success_prob;
       return s;
     }
+    case BodyKind::kCatch: {
+      // Cost ≈ the protected goal's; success accounts for the recovery
+      // taking over when the goal throws (probability unknown — fold the
+      // recovery in at half weight to stay between the two futures).
+      AbstractEnv goal_env = env, rec_env = env;
+      auto goal_e = EvaluateSequence(TopSequence(*node.children[0]), goal_env);
+      auto rec_e = EvaluateSequence(TopSequence(*node.children[1]), rec_env);
+      PredModeStats s;
+      double pg = goal_e.ok() ? Clamp01(goal_e->chain.success_prob) : 0.5;
+      double cg = goal_e.ok() ? ClampCost(goal_e->chain.cost_single) : 1.0;
+      double pr = rec_e.ok() ? Clamp01(rec_e->chain.success_prob) : 0.5;
+      s.success_prob = Clamp01(0.5 * pg + 0.5 * Clamp01(pg + (1 - pg) * pr));
+      s.cost_single = ClampCost(1.0 + cg);
+      s.cost_all = s.cost_single;
+      s.expected_solutions = goal_e.ok()
+                                 ? goal_e->chain.expected_solutions
+                                 : s.success_prob;
+      return s;
+    }
     case BodyKind::kConj: {
       auto eval = EvaluateSequence(TopSequence(node),
                                    env);
@@ -431,6 +450,21 @@ void CostModel::ApplyNode(const BodyNode& node, AbstractEnv* env) {
       }
       return;
     }
+    case BodyKind::kCatch: {
+      AbstractEnv goal_env = *env, rec_env = *env;
+      ApplyNode(*node.children[0], &goal_env);
+      TermRef goal = store_->Deref(node.goal);
+      std::vector<TermRef> catcher_vars;
+      store_->CollectVars(store_->arg(goal, 1), &catcher_vars);
+      for (TermRef v : catcher_vars) {
+        if (rec_env.Get(store_->var_id(v)) == analysis::VarState::kFree) {
+          rec_env.Set(store_->var_id(v), analysis::VarState::kUnknown);
+        }
+      }
+      ApplyNode(*node.children[1], &rec_env);
+      *env = AbstractEnv::Join(goal_env, rec_env);
+      return;
+    }
     case BodyKind::kCall: {
       TermRef goal = store_->Deref(node.goal);
       PredId callee = store_->pred_id(goal);
@@ -476,6 +510,9 @@ bool CostModel::NodeLegal(const BodyNode& node, const AbstractEnv& env) {
       return NodeLegal(*node.children[0], env);
     case BodyKind::kSetPred:
       return NodeLegal(*node.children[0], env);
+    case BodyKind::kCatch:
+      return NodeLegal(*node.children[0], env) &&
+             NodeLegal(*node.children[1], env);
     case BodyKind::kCall: {
       TermRef goal = store_->Deref(node.goal);
       PredId callee = store_->pred_id(goal);

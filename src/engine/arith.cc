@@ -13,8 +13,35 @@ using term::TermStore;
 
 namespace {
 
+// Error helpers attach the ISO error *payload* as text via WithErrorTerm();
+// Machine::ThrowStatus parses the payload and wraps it into a full
+// error(Payload, Context) ball, so arithmetic stays independent of the
+// term store that will host the exception.
+
 prore::Status ZeroDivisor() {
-  return prore::Status::TypeError("arithmetic: zero divisor");
+  return prore::Status::EvaluationError("arithmetic: zero divisor")
+      .WithErrorTerm("evaluation_error(zero_divisor)");
+}
+
+prore::Status UnknownEvaluable(const std::string& name, uint32_t arity) {
+  return prore::Status::TypeError(
+             prore::StrFormat("arithmetic: unknown function %s/%u",
+                              name.c_str(), arity))
+      .WithErrorTerm(prore::StrFormat("type_error(evaluable, '%s'/%u)",
+                                      name.c_str(), arity));
+}
+
+prore::Status IntegerExpected(const Number& v) {
+  std::string shown = v.is_float
+                          ? prore::StrFormat("%g", v.f)
+                          : prore::StrFormat("%lld", static_cast<long long>(v.i));
+  return prore::Status::TypeError("arithmetic: integer expected")
+      .WithErrorTerm(
+          prore::StrFormat("type_error(integer, %s)", shown.c_str()));
+}
+
+prore::Status NeedIntegers(const Number& a, const Number& b) {
+  return IntegerExpected(a.is_float ? a : b);
 }
 
 }  // namespace
@@ -24,15 +51,14 @@ prore::Result<Number> EvalArith(const TermStore& store, TermRef expr) {
   switch (store.tag(expr)) {
     case Tag::kVar:
       return prore::Status::InstantiationError(
-          "arithmetic: unbound variable in expression");
+                 "arithmetic: unbound variable in expression")
+          .WithErrorTerm("instantiation_error");
     case Tag::kInt:
       return Number::Int(store.int_value(expr));
     case Tag::kFloat:
       return Number::Float(store.float_value(expr));
     case Tag::kAtom:
-      return prore::Status::TypeError(prore::StrFormat(
-          "arithmetic: atom '%s' is not a number",
-          store.symbols().Name(store.symbol(expr)).c_str()));
+      return UnknownEvaluable(store.symbols().Name(store.symbol(expr)), 0);
     case Tag::kStruct:
       break;
   }
@@ -59,8 +85,7 @@ prore::Result<Number> EvalArith(const TermStore& store, TermRef expr) {
     if (name == "sqrt") return Number::Float(std::sqrt(a.AsDouble()));
     if (name == "log") return Number::Float(std::log(a.AsDouble()));
     if (name == "exp") return Number::Float(std::exp(a.AsDouble()));
-    return prore::Status::TypeError(
-        prore::StrFormat("arithmetic: unknown function %s/1", name.c_str()));
+    return UnknownEvaluable(name, 1);
   }
   if (n == 2) {
     PRORE_ASSIGN_OR_RETURN(Number a, EvalArith(store, store.arg(expr, 0)));
@@ -89,25 +114,19 @@ prore::Result<Number> EvalArith(const TermStore& store, TermRef expr) {
       return Number::Float(a.AsDouble() / b.AsDouble());
     }
     if (name == "//") {
-      if (fl) {
-        return prore::Status::TypeError("arithmetic: '//' needs integers");
-      }
+      if (fl) return NeedIntegers(a, b);
       if (b.i == 0) return ZeroDivisor();
       return Number::Int(a.i / b.i);
     }
     if (name == "mod") {
-      if (fl) {
-        return prore::Status::TypeError("arithmetic: 'mod' needs integers");
-      }
+      if (fl) return NeedIntegers(a, b);
       if (b.i == 0) return ZeroDivisor();
       int64_t m = a.i % b.i;
       if (m != 0 && ((m < 0) != (b.i < 0))) m += b.i;  // floor semantics
       return Number::Int(m);
     }
     if (name == "rem") {
-      if (fl) {
-        return prore::Status::TypeError("arithmetic: 'rem' needs integers");
-      }
+      if (fl) return NeedIntegers(a, b);
       if (b.i == 0) return ZeroDivisor();
       return Number::Int(a.i % b.i);
     }
@@ -118,9 +137,7 @@ prore::Result<Number> EvalArith(const TermStore& store, TermRef expr) {
       return a.AsDouble() >= b.AsDouble() ? a : b;
     }
     if (name == ">>" || name == "<<" || name == "/\\" || name == "\\/") {
-      if (fl) {
-        return prore::Status::TypeError("arithmetic: bit ops need integers");
-      }
+      if (fl) return NeedIntegers(a, b);
       if (name == ">>") return Number::Int(a.i >> b.i);
       if (name == "<<") return Number::Int(a.i << b.i);
       if (name == "/\\") return Number::Int(a.i & b.i);
@@ -134,18 +151,14 @@ prore::Result<Number> EvalArith(const TermStore& store, TermRef expr) {
       }
       return Number::Float(std::pow(a.AsDouble(), b.AsDouble()));
     }
-    return prore::Status::TypeError(
-        prore::StrFormat("arithmetic: unknown function %s/2", name.c_str()));
+    return UnknownEvaluable(name, 2);
   }
-  return prore::Status::TypeError(prore::StrFormat(
-      "arithmetic: unknown function %s/%u", name.c_str(), n));
+  return UnknownEvaluable(name, n);
 }
 
 prore::Result<int64_t> EvalArithInt(const TermStore& store, TermRef expr) {
   PRORE_ASSIGN_OR_RETURN(Number v, EvalArith(store, expr));
-  if (v.is_float) {
-    return prore::Status::TypeError("arithmetic: integer expected");
-  }
+  if (v.is_float) return IntegerExpected(v);
   return v.i;
 }
 

@@ -22,6 +22,36 @@ TermRef Arg(Machine* m, TermRef goal, uint32_t i) {
   return m->store().Deref(m->store().arg(goal, i));
 }
 
+// ---- ISO error balls -------------------------------------------------------
+// Every error a builtin raises is a structured, catchable term
+// error(Payload, Context) delivered through the machine's exception
+// machinery; see Machine::ThrowError.
+
+prore::Status ThrowInstantiation(Machine* m, const char* context) {
+  return m->ThrowError(m->store().MakeAtom("instantiation_error"), context);
+}
+
+prore::Status ThrowTypeError(Machine* m, const char* type, TermRef culprit,
+                             const char* context) {
+  TermStore& s = m->store();
+  const TermRef args[] = {s.MakeAtom(type), culprit};
+  return m->ThrowError(s.MakeStruct("type_error", args), context);
+}
+
+prore::Status ThrowDomainError(Machine* m, const char* domain,
+                               TermRef culprit, const char* context) {
+  TermStore& s = m->store();
+  const TermRef args[] = {s.MakeAtom(domain), culprit};
+  return m->ThrowError(s.MakeStruct("domain_error", args), context);
+}
+
+prore::Status ThrowRepresentationError(Machine* m, const char* flag,
+                                       const char* context) {
+  TermStore& s = m->store();
+  const TermRef args[] = {s.MakeAtom(flag)};
+  return m->ThrowError(s.MakeStruct("representation_error", args), context);
+}
+
 /// Converts a proper list to a vector; false if not a proper list.
 bool ListToVector(const TermStore& store, TermRef list,
                   std::vector<TermRef>* out) {
@@ -137,40 +167,50 @@ prore::Status BiIsList(Machine* m, TermRef g, bool* success) {
 // ---- Arithmetic ------------------------------------------------------------
 
 prore::Status BiIs(Machine* m, TermRef g, bool* success) {
-  PRORE_ASSIGN_OR_RETURN(Number v, EvalArith(m->store(), Arg(m, g, 1)));
-  *success = m->Unify(Arg(m, g, 0), v.ToTerm(&m->store()));
+  auto v = EvalArith(m->store(), Arg(m, g, 1));
+  if (!v.ok()) return m->ThrowStatus(v.status(), "is/2");
+  *success = m->Unify(Arg(m, g, 0), v->ToTerm(&m->store()));
   return prore::Status::OK();
 }
 
 template <typename Cmp>
-prore::Status BiArithCompare(Machine* m, TermRef g, bool* success, Cmp cmp) {
-  PRORE_ASSIGN_OR_RETURN(Number a, EvalArith(m->store(), Arg(m, g, 0)));
-  PRORE_ASSIGN_OR_RETURN(Number b, EvalArith(m->store(), Arg(m, g, 1)));
-  if (!a.is_float && !b.is_float) {
-    *success = cmp(a.i, b.i);  // exact integer comparison
+prore::Status BiArithCompare(Machine* m, TermRef g, bool* success,
+                             const char* context, Cmp cmp) {
+  auto a = EvalArith(m->store(), Arg(m, g, 0));
+  if (!a.ok()) return m->ThrowStatus(a.status(), context);
+  auto b = EvalArith(m->store(), Arg(m, g, 1));
+  if (!b.ok()) return m->ThrowStatus(b.status(), context);
+  if (!a->is_float && !b->is_float) {
+    *success = cmp(a->i, b->i);  // exact integer comparison
   } else {
-    *success = cmp(a.AsDouble(), b.AsDouble());
+    *success = cmp(a->AsDouble(), b->AsDouble());
   }
   return prore::Status::OK();
 }
 
 prore::Status BiLt(Machine* m, TermRef g, bool* success) {
-  return BiArithCompare(m, g, success, [](auto a, auto b) { return a < b; });
+  return BiArithCompare(m, g, success, "</2",
+                        [](auto a, auto b) { return a < b; });
 }
 prore::Status BiGt(Machine* m, TermRef g, bool* success) {
-  return BiArithCompare(m, g, success, [](auto a, auto b) { return a > b; });
+  return BiArithCompare(m, g, success, ">/2",
+                        [](auto a, auto b) { return a > b; });
 }
 prore::Status BiLe(Machine* m, TermRef g, bool* success) {
-  return BiArithCompare(m, g, success, [](auto a, auto b) { return a <= b; });
+  return BiArithCompare(m, g, success, "=</2",
+                        [](auto a, auto b) { return a <= b; });
 }
 prore::Status BiGe(Machine* m, TermRef g, bool* success) {
-  return BiArithCompare(m, g, success, [](auto a, auto b) { return a >= b; });
+  return BiArithCompare(m, g, success, ">=/2",
+                        [](auto a, auto b) { return a >= b; });
 }
 prore::Status BiArithEq(Machine* m, TermRef g, bool* success) {
-  return BiArithCompare(m, g, success, [](auto a, auto b) { return a == b; });
+  return BiArithCompare(m, g, success, "=:=/2",
+                        [](auto a, auto b) { return a == b; });
 }
 prore::Status BiArithNeq(Machine* m, TermRef g, bool* success) {
-  return BiArithCompare(m, g, success, [](auto a, auto b) { return a != b; });
+  return BiArithCompare(m, g, success, "=\\=/2",
+                        [](auto a, auto b) { return a != b; });
 }
 
 // ---- Term construction and inspection --------------------------------------
@@ -195,27 +235,31 @@ prore::Status BiFunctor(Machine* m, TermRef g, bool* success) {
       break;
   }
   // Construction mode: functor(-T, +Name, +Arity).
+  if (store.tag(arity) == Tag::kVar) {
+    return ThrowInstantiation(m, "functor/3");
+  }
   if (store.tag(arity) != Tag::kInt) {
-    return prore::Status::InstantiationError(
-        "functor/3: arity must be bound to an integer");
+    return ThrowTypeError(m, "integer", arity, "functor/3");
   }
   int64_t n = store.int_value(arity);
   if (n == 0) {
     if (store.tag(name) == Tag::kVar) {
-      return prore::Status::InstantiationError(
-          "functor/3: name must be bound");
+      return ThrowInstantiation(m, "functor/3");
     }
     *success = m->Unify(t, name);
     return prore::Status::OK();
   }
   if (store.tag(name) == Tag::kVar) {
-    return prore::Status::InstantiationError("functor/3: name must be bound");
+    return ThrowInstantiation(m, "functor/3");
   }
   if (store.tag(name) != Tag::kAtom) {
-    return prore::Status::TypeError("functor/3: functor name must be an atom");
+    return ThrowTypeError(m, "atom", name, "functor/3");
   }
-  if (n < 0 || n > 1024) {
-    return prore::Status::TypeError("functor/3: bad arity");
+  if (n < 0) {
+    return ThrowDomainError(m, "not_less_than_zero", arity, "functor/3");
+  }
+  if (n > 1024) {
+    return ThrowRepresentationError(m, "max_arity", "functor/3");
   }
   std::vector<TermRef> args(static_cast<size_t>(n));
   for (auto& a : args) a = store.MakeVar();
@@ -228,9 +272,14 @@ prore::Status BiArg(Machine* m, TermRef g, bool* success) {
   TermRef n = Arg(m, g, 0);
   TermRef t = Arg(m, g, 1);
   *success = false;
-  if (store.tag(n) != Tag::kInt || store.tag(t) != Tag::kStruct) {
-    return prore::Status::InstantiationError(
-        "arg/3: first two arguments must be an integer and a compound");
+  if (store.tag(n) == Tag::kVar || store.tag(t) == Tag::kVar) {
+    return ThrowInstantiation(m, "arg/3");
+  }
+  if (store.tag(n) != Tag::kInt) {
+    return ThrowTypeError(m, "integer", n, "arg/3");
+  }
+  if (store.tag(t) != Tag::kStruct) {
+    return ThrowTypeError(m, "compound", t, "arg/3");
   }
   int64_t i = store.int_value(n);
   if (i < 1 || i > store.arity(t)) return prore::Status::OK();  // fails
@@ -265,17 +314,22 @@ prore::Status BiUniv(Machine* m, TermRef g, bool* success) {
     return prore::Status::OK();
   }
   std::vector<TermRef> items;
+  if (store.tag(list) == Tag::kVar) {
+    return ThrowInstantiation(m, "=../2");
+  }
   if (!ListToVector(store, list, &items) || items.empty()) {
-    return prore::Status::InstantiationError(
-        "=../2: second argument must be a non-empty proper list");
+    return ThrowTypeError(m, "list", list, "=../2");
   }
   TermRef head = store.Deref(items[0]);
   if (items.size() == 1) {
     *success = m->Unify(t, head);
     return prore::Status::OK();
   }
+  if (store.tag(head) == Tag::kVar) {
+    return ThrowInstantiation(m, "=../2");
+  }
   if (store.tag(head) != Tag::kAtom) {
-    return prore::Status::TypeError("=../2: functor name must be an atom");
+    return ThrowTypeError(m, "atom", head, "=../2");
   }
   std::vector<TermRef> args(items.begin() + 1, items.end());
   *success = m->Unify(t, store.MakeStruct(store.symbol(head), args));
@@ -312,7 +366,9 @@ prore::Status BiNl(Machine* m, TermRef g, bool* success) {
 }
 
 prore::Status BiTab(Machine* m, TermRef g, bool* success) {
-  PRORE_ASSIGN_OR_RETURN(int64_t n, EvalArithInt(m->store(), Arg(m, g, 0)));
+  auto ev = EvalArithInt(m->store(), Arg(m, g, 0));
+  if (!ev.ok()) return m->ThrowStatus(ev.status(), "tab/1");
+  int64_t n = *ev;
   m->AppendOutput(std::string(static_cast<size_t>(std::max<int64_t>(0, n)), ' '));
   *success = true;
   return prore::Status::OK();
@@ -377,9 +433,12 @@ prore::Status SortList(Machine* m, TermRef g, bool dedup, bool* success) {
   TermStore& store = m->store();
   std::vector<TermRef> items;
   *success = false;
-  if (!ListToVector(store, Arg(m, g, 0), &items)) {
-    return prore::Status::InstantiationError(
-        "sort/2: first argument must be a proper list");
+  TermRef input = Arg(m, g, 0);
+  if (!ListToVector(store, input, &items)) {
+    if (store.tag(input) == Tag::kVar) {
+      return ThrowInstantiation(m, "sort/2");
+    }
+    return ThrowTypeError(m, "list", input, "sort/2");
   }
   std::sort(items.begin(), items.end(),
             [&](TermRef a, TermRef b) { return store.Compare(a, b) < 0; });
@@ -404,7 +463,8 @@ prore::Status BiMsort(Machine* m, TermRef g, bool* success) {
 
 // ---- Atom/string built-ins ---------------------------------------------------
 
-prore::Status AtomName(Machine* m, TermRef t, std::string* out) {
+prore::Status AtomName(Machine* m, TermRef t, std::string* out,
+                       const char* context) {
   TermStore& store = m->store();
   t = store.Deref(t);
   switch (store.tag(t)) {
@@ -420,18 +480,17 @@ prore::Status AtomName(Machine* m, TermRef t, std::string* out) {
       *out = buf;
       return prore::Status::OK();
     }
+    case Tag::kVar:
+      return ThrowInstantiation(m, context);
     default:
-      return prore::Status::TypeError("expected an atomic term");
+      return ThrowTypeError(m, "atomic", t, context);
   }
 }
 
 prore::Status BiAtomLength(Machine* m, TermRef g, bool* success) {
   TermRef a = Arg(m, g, 0);
-  if (m->store().tag(a) == Tag::kVar) {
-    return prore::Status::InstantiationError("atom_length/2: unbound atom");
-  }
   std::string name;
-  PRORE_RETURN_IF_ERROR(AtomName(m, a, &name));
+  PRORE_RETURN_IF_ERROR(AtomName(m, a, &name, "atom_length/2"));
   *success = m->Unify(Arg(m, g, 1),
                       m->store().MakeInt(static_cast<int64_t>(name.size())));
   return prore::Status::OK();
@@ -443,22 +502,25 @@ prore::Status BiAtomCodes(Machine* m, TermRef g, bool* success) {
   *success = false;
   if (store.tag(a) != Tag::kVar) {
     std::string name;
-    PRORE_RETURN_IF_ERROR(AtomName(m, a, &name));
+    PRORE_RETURN_IF_ERROR(AtomName(m, a, &name, "atom_codes/2"));
     std::vector<TermRef> codes;
     for (unsigned char c : name) codes.push_back(store.MakeInt(c));
     *success = m->Unify(Arg(m, g, 1), store.MakeList(codes));
     return prore::Status::OK();
   }
   std::vector<TermRef> items;
-  if (!ListToVector(store, Arg(m, g, 1), &items)) {
-    return prore::Status::InstantiationError(
-        "atom_codes/2: both arguments unbound");
+  TermRef codes_arg = Arg(m, g, 1);
+  if (!ListToVector(store, codes_arg, &items)) {
+    if (store.tag(codes_arg) == Tag::kVar) {
+      return ThrowInstantiation(m, "atom_codes/2");
+    }
+    return ThrowTypeError(m, "list", codes_arg, "atom_codes/2");
   }
   std::string name;
   for (TermRef item : items) {
     item = store.Deref(item);
     if (store.tag(item) != Tag::kInt) {
-      return prore::Status::TypeError("atom_codes/2: non-code in list");
+      return ThrowTypeError(m, "integer", item, "atom_codes/2");
     }
     name.push_back(static_cast<char>(store.int_value(item)));
   }
@@ -472,22 +534,25 @@ prore::Status BiAtomChars(Machine* m, TermRef g, bool* success) {
   *success = false;
   if (store.tag(a) != Tag::kVar) {
     std::string name;
-    PRORE_RETURN_IF_ERROR(AtomName(m, a, &name));
+    PRORE_RETURN_IF_ERROR(AtomName(m, a, &name, "atom_chars/2"));
     std::vector<TermRef> chars;
     for (char c : name) chars.push_back(store.MakeAtom(std::string(1, c)));
     *success = m->Unify(Arg(m, g, 1), store.MakeList(chars));
     return prore::Status::OK();
   }
   std::vector<TermRef> items;
-  if (!ListToVector(store, Arg(m, g, 1), &items)) {
-    return prore::Status::InstantiationError(
-        "atom_chars/2: both arguments unbound");
+  TermRef chars_arg = Arg(m, g, 1);
+  if (!ListToVector(store, chars_arg, &items)) {
+    if (store.tag(chars_arg) == Tag::kVar) {
+      return ThrowInstantiation(m, "atom_chars/2");
+    }
+    return ThrowTypeError(m, "list", chars_arg, "atom_chars/2");
   }
   std::string name;
   for (TermRef item : items) {
     item = store.Deref(item);
     if (store.tag(item) != Tag::kAtom) {
-      return prore::Status::TypeError("atom_chars/2: non-char in list");
+      return ThrowTypeError(m, "character", item, "atom_chars/2");
     }
     name += store.symbols().Name(store.symbol(item));
   }
@@ -503,7 +568,7 @@ prore::Status BiCharCode(Machine* m, TermRef g, bool* success) {
   if (store.tag(ch) == Tag::kAtom) {
     const std::string& name = store.symbols().Name(store.symbol(ch));
     if (name.size() != 1) {
-      return prore::Status::TypeError("char_code/2: not a one-char atom");
+      return ThrowTypeError(m, "character", ch, "char_code/2");
     }
     *success = m->Unify(code, store.MakeInt(
                                    static_cast<unsigned char>(name[0])));
@@ -514,8 +579,7 @@ prore::Status BiCharCode(Machine* m, TermRef g, bool* success) {
     *success = m->Unify(ch, store.MakeAtom(std::string(1, c)));
     return prore::Status::OK();
   }
-  return prore::Status::InstantiationError(
-      "char_code/2: both arguments unbound");
+  return ThrowInstantiation(m, "char_code/2");
 }
 
 prore::Status BiNumberCodes(Machine* m, TermRef g, bool* success) {
@@ -524,22 +588,25 @@ prore::Status BiNumberCodes(Machine* m, TermRef g, bool* success) {
   *success = false;
   if (store.tag(n) == Tag::kInt || store.tag(n) == Tag::kFloat) {
     std::string text;
-    PRORE_RETURN_IF_ERROR(AtomName(m, n, &text));
+    PRORE_RETURN_IF_ERROR(AtomName(m, n, &text, "number_codes/2"));
     std::vector<TermRef> codes;
     for (unsigned char c : text) codes.push_back(store.MakeInt(c));
     *success = m->Unify(Arg(m, g, 1), store.MakeList(codes));
     return prore::Status::OK();
   }
   std::vector<TermRef> items;
-  if (!ListToVector(store, Arg(m, g, 1), &items)) {
-    return prore::Status::InstantiationError(
-        "number_codes/2: both arguments unbound");
+  TermRef codes_arg = Arg(m, g, 1);
+  if (!ListToVector(store, codes_arg, &items)) {
+    if (store.tag(codes_arg) == Tag::kVar) {
+      return ThrowInstantiation(m, "number_codes/2");
+    }
+    return ThrowTypeError(m, "list", codes_arg, "number_codes/2");
   }
   std::string text;
   for (TermRef item : items) {
     item = store.Deref(item);
     if (store.tag(item) != Tag::kInt) {
-      return prore::Status::TypeError("number_codes/2: non-code in list");
+      return ThrowTypeError(m, "integer", item, "number_codes/2");
     }
     text.push_back(static_cast<char>(store.int_value(item)));
   }
@@ -550,13 +617,13 @@ prore::Status BiNumberCodes(Machine* m, TermRef g, bool* success) {
       text.find('e') != std::string::npos) {
     double v = std::strtod(begin, &end);
     if (end == begin || *end != '\0') {
-      return prore::Status::TypeError("number_codes/2: not a number: " + text);
+      return ThrowTypeError(m, "number", n, "number_codes/2");
     }
     *success = m->Unify(n, store.MakeFloat(v));
   } else {
     long long v = std::strtoll(begin, &end, 10);
     if (end == begin || *end != '\0') {
-      return prore::Status::TypeError("number_codes/2: not a number: " + text);
+      return ThrowTypeError(m, "number", n, "number_codes/2");
     }
     *success = m->Unify(n, store.MakeInt(v));
   }
@@ -571,12 +638,11 @@ prore::Status BiAtomConcat(Machine* m, TermRef g, bool* success) {
   if (store.tag(a) == Tag::kVar || store.tag(b) == Tag::kVar) {
     // The enumerating (?,?,+) mode needs choicepoints; this engine keeps
     // atom_concat deterministic (mode (+,+,?)), like early DEC-10 libs.
-    return prore::Status::InstantiationError(
-        "atom_concat/3: first two arguments must be bound");
+    return ThrowInstantiation(m, "atom_concat/3");
   }
   std::string na, nb;
-  PRORE_RETURN_IF_ERROR(AtomName(m, a, &na));
-  PRORE_RETURN_IF_ERROR(AtomName(m, b, &nb));
+  PRORE_RETURN_IF_ERROR(AtomName(m, a, &na, "atom_concat/3"));
+  PRORE_RETURN_IF_ERROR(AtomName(m, b, &nb, "atom_concat/3"));
   *success = m->Unify(Arg(m, g, 2), store.MakeAtom(na + nb));
   return prore::Status::OK();
 }
@@ -588,7 +654,7 @@ prore::Status BiSucc(Machine* m, TermRef g, bool* success) {
   *success = false;
   if (store.tag(a) == Tag::kInt) {
     if (store.int_value(a) < 0) {
-      return prore::Status::TypeError("succ/2: negative argument");
+      return ThrowTypeError(m, "not_less_than_zero", a, "succ/2");
     }
     *success = m->Unify(b, store.MakeInt(store.int_value(a) + 1));
     return prore::Status::OK();
@@ -598,7 +664,7 @@ prore::Status BiSucc(Machine* m, TermRef g, bool* success) {
     *success = m->Unify(a, store.MakeInt(store.int_value(b) - 1));
     return prore::Status::OK();
   }
-  return prore::Status::InstantiationError("succ/2: both arguments unbound");
+  return ThrowInstantiation(m, "succ/2");
 }
 
 // ---- Dynamic clauses and input (substrate features; excluded from the
@@ -608,7 +674,10 @@ prore::Status BiAssert(Machine* m, TermRef g, bool* success, bool front) {
   TermStore& store = m->store();
   TermRef clause = store.Deref(store.arg(g, 0));
   if (!store.IsCallable(clause)) {
-    return prore::Status::TypeError("assert: argument must be callable");
+    if (store.tag(clause) == Tag::kVar) {
+      return ThrowInstantiation(m, "assert/1");
+    }
+    return ThrowTypeError(m, "callable", clause, "assert/1");
   }
   // Store an independent copy: later binding changes must not affect the
   // database (ISO semantics).
@@ -638,7 +707,10 @@ prore::Status BiRetract(Machine* m, TermRef g, bool* success) {
     pat_body = store.Deref(store.arg(pattern, 1));
   }
   if (!store.IsCallable(pat_head)) {
-    return prore::Status::TypeError("retract: head must be callable");
+    if (store.tag(pat_head) == Tag::kVar) {
+      return ThrowInstantiation(m, "retract/1");
+    }
+    return ThrowTypeError(m, "callable", pat_head, "retract/1");
   }
   term::PredId id = store.pred_id(pat_head);
   const PredEntry* entry = m->db().Lookup(id);
@@ -665,6 +737,27 @@ prore::Status BiRetract(Machine* m, TermRef g, bool* success) {
 prore::Status BiRead(Machine* m, TermRef g, bool* success) {
   *success = m->Unify(Arg(m, g, 0), m->NextInputTerm());
   return prore::Status::OK();
+}
+
+// ---- Exceptions -------------------------------------------------------------
+// throw/1 and catch/3 are dispatched natively by the machine (they are
+// control constructs, ISO 7.8.9/7.8.10: uncounted, with the catch frame
+// living on the choicepoint stack). The registry entries exist so the
+// static analyses — PL002 undefined-predicate lint, callgraph, cost
+// model — recognize them as defined; BiThrow also serves nested machines
+// that dispatch via the builtin table.
+
+prore::Status BiThrow(Machine* m, TermRef g, bool* success) {
+  *success = false;
+  return m->ThrowTerm(m->store().arg(g, 0));
+}
+
+prore::Status BiCatch(Machine* m, TermRef g, bool* success) {
+  (void)m;
+  (void)g;
+  (void)success;
+  return prore::Status::Internal(
+      "catch/3 must be dispatched by the machine, not the builtin table");
 }
 
 struct NameArity {
@@ -738,6 +831,8 @@ const std::unordered_map<NameArity, BuiltinFn, NameArityHash>& Registry() {
       {{"asserta", 1}, BiAssertA},
       {{"retract", 1}, BiRetract},
       {{"read", 1}, BiRead},
+      {{"throw", 1}, BiThrow},
+      {{"catch", 3}, BiCatch},
   };
   return table;
 }

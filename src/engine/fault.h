@@ -1,0 +1,88 @@
+#ifndef PRORE_ENGINE_FAULT_H_
+#define PRORE_ENGINE_FAULT_H_
+
+#include <cstdint>
+
+namespace prore::engine {
+
+/// Deterministic fault-injection plan consulted by the Machine on its hot
+/// paths. Used by the differential harness (tests/fault_injection_test.cc)
+/// to force error conditions at chosen points of a resolution and check
+/// that (a) the engine's exception machinery unwinds cleanly, (b) the
+/// Machine stays reusable afterwards, and (c) faults are catchable
+/// in-program like any other structured error.
+///
+/// A Machine consults the injector through SolveOptions::fault; the same
+/// injector is shared with nested findall/bagof/setof machines (the plan
+/// counts every resolved call, exactly like the paper's call metric).
+/// All counters are plain increments — with no plan armed the per-call
+/// cost is one pointer test in the Machine.
+///
+/// Counting reference points:
+///  - `calls` are counted calls (user predicates + non-'$' builtins), in
+///    the same order as Metrics::TotalCalls();
+///  - `unifications` are head-unification attempts, in the same order as
+///    Metrics::head_unifications — a proxy for resolution depth that is
+///    stable across engine configurations.
+class FaultInjector {
+ public:
+  /// What the Machine should do at a counted call. The fault fires exactly
+  /// once; counters keep advancing afterwards.
+  enum class CallAction : uint8_t {
+    kNone,
+    kThrow,    ///< throw error(fault_injected(N), fault)
+    kExhaust,  ///< throw error(resource_error(fault), fault)
+  };
+
+  // ---- Plan (set before solving; 0 disables a channel) -------------------
+  uint64_t throw_at_call = 0;        ///< Throw on the Nth counted call.
+  uint64_t exhaust_at_call = 0;      ///< Budget-style fault on the Nth call.
+  uint64_t fail_unification_at = 0;  ///< Nth head unification fails.
+
+  /// Rewinds the counters so a plan can be replayed on a fresh query.
+  void Reset() {
+    calls_seen_ = 0;
+    unifications_seen_ = 0;
+    fired_ = 0;
+  }
+
+  /// Advances the call counter and reports the action for this call.
+  CallAction OnCall() {
+    ++calls_seen_;
+    if (throw_at_call != 0 && calls_seen_ == throw_at_call) {
+      ++fired_;
+      return CallAction::kThrow;
+    }
+    if (exhaust_at_call != 0 && calls_seen_ == exhaust_at_call) {
+      ++fired_;
+      return CallAction::kExhaust;
+    }
+    return CallAction::kNone;
+  }
+
+  /// Advances the unification counter; true if this head unification must
+  /// be reported as a failure regardless of the terms.
+  bool SabotageUnification() {
+    ++unifications_seen_;
+    if (fail_unification_at != 0 &&
+        unifications_seen_ == fail_unification_at) {
+      ++fired_;
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t calls_seen() const { return calls_seen_; }
+  uint64_t unifications_seen() const { return unifications_seen_; }
+  /// Number of faults actually delivered (0 if the plan never triggered).
+  uint64_t fired() const { return fired_; }
+
+ private:
+  uint64_t calls_seen_ = 0;
+  uint64_t unifications_seen_ = 0;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace prore::engine
+
+#endif  // PRORE_ENGINE_FAULT_H_

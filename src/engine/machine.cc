@@ -16,7 +16,59 @@ using term::TermRef;
 
 namespace {
 constexpr const char* kIteThenMarker = "$ite_then";
+constexpr const char* kCatchDoneMarker = "$catch_done";
+
+/// Maps a thrown ball onto the Status taxonomy: error/2 balls with a
+/// recognized ISO payload keep their library-level code (so callers that
+/// predate the exception machinery still see e.g. kTypeError), anything
+/// else is an uncaught user throw.
+prore::StatusCode ClassifyBall(const term::TermStore& s, TermRef ball,
+                               term::Symbol sym_error) {
+  ball = s.Deref(ball);
+  if (s.tag(ball) != Tag::kStruct || s.symbol(ball) != sym_error ||
+      s.arity(ball) != 2) {
+    return prore::StatusCode::kPrologThrow;
+  }
+  TermRef payload = s.Deref(s.arg(ball, 0));
+  Tag t = s.tag(payload);
+  if (t != Tag::kAtom && t != Tag::kStruct) {
+    return prore::StatusCode::kPrologThrow;
+  }
+  const std::string& name = s.symbols().Name(s.symbol(payload));
+  if (name == "instantiation_error") {
+    return prore::StatusCode::kInstantiationError;
+  }
+  if (name == "type_error" || name == "domain_error" ||
+      name == "representation_error") {
+    return prore::StatusCode::kTypeError;
+  }
+  if (name == "existence_error") return prore::StatusCode::kExistenceError;
+  if (name == "evaluation_error") return prore::StatusCode::kEvaluationError;
+  if (name == "resource_error") return prore::StatusCode::kResourceExhausted;
+  return prore::StatusCode::kPrologThrow;
+}
+
+/// True for status codes that exist as Prolog exceptions (convertible to a
+/// ball); parse/internal/invalid-argument failures abort the query instead.
+bool IsPrologLevel(prore::StatusCode code) {
+  switch (code) {
+    case prore::StatusCode::kTypeError:
+    case prore::StatusCode::kInstantiationError:
+    case prore::StatusCode::kExistenceError:
+    case prore::StatusCode::kEvaluationError:
+    case prore::StatusCode::kResourceExhausted:
+    case prore::StatusCode::kPrologThrow:
+      return true;
+    default:
+      return false;
+  }
+}
 }  // namespace
+
+std::optional<PrologError> PrologErrorFromStatus(const prore::Status& status) {
+  if (status.ok() || !status.has_error_term()) return std::nullopt;
+  return PrologError{status.code(), status.error_term(), status.message()};
+}
 
 Machine::Machine(term::TermStore* store, Database* db,
                  SolveOptions opts)
@@ -25,6 +77,10 @@ Machine::Machine(term::TermStore* store, Database* db,
   sym_ite_marker_ = store_->symbols().Intern(kIteThenMarker);
   sym_not_name_ = store_->symbols().Intern("not");
   sym_false_ = store_->symbols().Intern("false");
+  sym_catch_ = store_->symbols().Intern("catch");
+  sym_throw_ = store_->symbols().Intern("throw");
+  sym_catch_done_ = store_->symbols().Intern(kCatchDoneMarker);
+  sym_error_ = store_->symbols().Intern("error");
 }
 
 Machine::GoalRef Machine::NewGoalNode(TermRef goal, uint32_t barrier,
@@ -45,6 +101,189 @@ void Machine::CutTo(uint32_t barrier) {
   // reachable from goals_, which is why the node pool is only truncated on
   // backtracking, never here).
   if (cps_.size() > barrier) cps_.resize(barrier);
+}
+
+void Machine::CatchLogUnwind(size_t mark) {
+  // Replays catch-frame deactivations in LIFO order. An entry may be stale
+  // (its frame was discarded by a cut); the guards make replay a no-op
+  // then: a frame index beyond the stack is gone, and a frame created
+  // after the entry was logged records a catch_log_mark above this entry,
+  // so it is popped — truncating nothing below its own mark — before any
+  // unwind that could reach this entry (re-arming an active frame is
+  // idempotent anyway).
+  while (catch_log_.size() > mark) {
+    uint32_t idx = catch_log_.back();
+    catch_log_.pop_back();
+    if (idx < cps_.size() && cps_[idx].kind == Choicepoint::Kind::kCatch) {
+      cps_[idx].catch_active = true;
+    }
+  }
+}
+
+prore::Status Machine::ThrowTerm(TermRef ball) {
+  TermRef b = store_->Deref(ball);
+  if (store_->tag(b) == Tag::kVar) {
+    // throw/1 demands a bound ball; the error it raises instead is itself
+    // catchable.
+    const TermRef args[] = {store_->MakeAtom("instantiation_error"),
+                            store_->MakeAtom("throw/1")};
+    ball_ = store_->MakeStruct(sym_error_, args);
+  } else {
+    // Copy: the ball must survive the unwinding of the thrower's bindings.
+    ball_ = store_->Rename(b);
+  }
+  return prore::Status(prore::StatusCode::kPrologThrow, "prolog exception");
+}
+
+prore::Status Machine::ThrowError(TermRef payload,
+                                  std::string_view context) {
+  // Context rendered as a predicate indicator when it looks like one
+  // ("name/arity"), else a plain atom.
+  TermRef ctx = term::kNullTerm;
+  size_t slash = context.rfind('/');
+  if (slash != std::string_view::npos && slash > 0 &&
+      slash + 1 < context.size()) {
+    std::string_view digits = context.substr(slash + 1);
+    bool numeric = true;
+    for (char c : digits) numeric = numeric && c >= '0' && c <= '9';
+    if (numeric) {
+      const TermRef pi_args[] = {
+          store_->MakeAtom(context.substr(0, slash)),
+          store_->MakeInt(std::stoll(std::string(digits)))};
+      ctx = store_->MakeStruct("/", pi_args);
+    }
+  }
+  if (ctx == term::kNullTerm) ctx = store_->MakeAtom(context);
+  const TermRef args[] = {payload, ctx};
+  return ThrowTerm(store_->MakeStruct(sym_error_, args));
+}
+
+prore::Status Machine::ThrowStatus(const prore::Status& status,
+                                   std::string_view context) {
+  if (status.ok()) return status;
+  if (status.code() == prore::StatusCode::kPrologThrow &&
+      ball_ != term::kNullTerm) {
+    return status;  // already in flight
+  }
+  TermRef payload = term::kNullTerm;
+  if (status.has_error_term()) {
+    auto parsed = reader::ParseQueryText(store_, status.error_term());
+    if (parsed.ok()) payload = parsed->term;
+  }
+  if (payload == term::kNullTerm) {
+    const TermRef args[] = {store_->MakeAtom(status.message())};
+    payload = store_->MakeStruct("system_error", args);
+  }
+  return ThrowError(payload, context);
+}
+
+prore::Status Machine::RaiseResource(const char* what,
+                                     const char* limit_name) {
+  const TermRef payload_args[] = {store_->MakeAtom(what)};
+  TermRef payload = store_->MakeStruct("resource_error", payload_args);
+  const TermRef args[] = {payload, store_->MakeAtom(limit_name)};
+  ball_ = store_->MakeStruct(sym_error_, args);
+  return prore::Status::ResourceExhausted(
+      prore::StrFormat("%s limit exceeded", limit_name));
+}
+
+prore::Status Machine::ApplyCallFault() {
+  switch (opts_.fault->OnCall()) {
+    case FaultInjector::CallAction::kNone:
+      return prore::Status::OK();
+    case FaultInjector::CallAction::kThrow: {
+      const TermRef payload_args[] = {store_->MakeInt(
+          static_cast<int64_t>(opts_.fault->calls_seen()))};
+      TermRef payload = store_->MakeStruct("fault_injected", payload_args);
+      return ThrowError(payload, "fault");
+    }
+    case FaultInjector::CallAction::kExhaust:
+      return RaiseResource("fault", "fault");
+  }
+  return prore::Status::OK();
+}
+
+prore::Status Machine::CheckBudgets() {
+  if (opts_.max_depth != 0 && node_pool_.size() > opts_.max_depth) {
+    return RaiseResource("depth", "max_depth");
+  }
+  if (has_heap_limit_ && store_->NumCells() > heap_cell_limit_) {
+    return RaiseResource("heap", "max_heap_cells");
+  }
+  // The clock is sampled every 256 steps: cheap enough to leave budgeted
+  // runs comparable with unbudgeted ones, precise enough for a wall-clock
+  // guard.
+  if (has_deadline_ && (++budget_tick_ & 0xFFu) == 0 &&
+      std::chrono::steady_clock::now() > deadline_) {
+    return RaiseResource("time", "timeout");
+  }
+  return prore::Status::OK();
+}
+
+prore::Status Machine::HandleException(prore::Status status) {
+  TermRef ball = ball_;
+  ball_ = term::kNullTerm;
+  if (ball == term::kNullTerm) {
+    // No pre-built ball: the status bubbled out of library code (arith via
+    // a builtin that did not convert it) or a nested findall machine.
+    if (!IsPrologLevel(status.code())) return status;
+    if (status.has_error_term()) {
+      auto parsed = reader::ParseQueryText(store_, status.error_term());
+      if (parsed.ok()) ball = parsed->term;
+    }
+    if (ball == term::kNullTerm) {
+      const TermRef payload_args[] = {store_->MakeAtom(status.message())};
+      TermRef payload = store_->MakeStruct("system_error", payload_args);
+      const TermRef args[] = {payload, store_->MakeAtom("prore")};
+      ball = store_->MakeStruct(sym_error_, args);
+    }
+  }
+
+  // Unwind to the nearest active catch frame. Bindings are undone through
+  // the trail but the heap is NOT truncated: the ball was copied above
+  // every candidate frame's heap mark and must reach the handler intact
+  // (ordinary backtracking below the handler reclaims those cells later,
+  // after the trail has unlinked every reference into them).
+  while (!cps_.empty()) {
+    Choicepoint cp = cps_.back();  // copy: popped or mutated below
+    if (cp.kind == Choicepoint::Kind::kCatch && cp.catch_active) {
+      TrailUnwind(cp.trail_mark);
+      CatchLogUnwind(cp.catch_log_mark);
+      if (node_pool_.size() > cp.node_mark) node_pool_.resize(cp.node_mark);
+      TermRef catcher = store_->arg(cp.call_goal, 1);
+      size_t mark = trail_.size();
+      if (Unify(catcher, ball)) {
+        cps_.pop_back();
+        goals_ = cp.continuation;
+        // The recovery goal runs like call/1: cut inside it is local.
+        goals_ = NewGoalNode(store_->arg(cp.call_goal, 2),
+                             static_cast<uint32_t>(cps_.size()), goals_);
+        return prore::Status::OK();
+      }
+      // Ball mismatch: undo the trial unification and rethrow outward.
+      TrailUnwind(mark);
+      cps_.pop_back();
+      continue;
+    }
+    TrailUnwind(cp.trail_mark);
+    CatchLogUnwind(cp.catch_log_mark);
+    cps_.pop_back();
+  }
+
+  // Uncaught: surface as a typed PrologError. Render the ball before
+  // Solve's cleanup truncates the heap.
+  TrailUnwind(0);
+  std::string text = reader::WriteTerm(*store_, ball);
+  prore::StatusCode code = ClassifyBall(*store_, ball, sym_error_);
+  std::string message = status.message().empty()
+                            ? prore::StrFormat("uncaught exception: %s",
+                                               text.c_str())
+                            : status.message();
+  if (code == prore::StatusCode::kPrologThrow) {
+    message = prore::StrFormat("uncaught exception: %s", text.c_str());
+  }
+  return prore::Status(code, std::move(message))
+      .WithErrorTerm(std::move(text));
 }
 
 bool Machine::Unify(TermRef a, TermRef b) {
@@ -224,6 +463,7 @@ bool Machine::TryClauses(Choicepoint* cp) {
     uint32_t idx = cp->scan.Next();
     if (idx == kNoClause) return false;
     TrailUnwind(cp->trail_mark);
+    CatchLogUnwind(cp->catch_log_mark);
     if (CanReclaimHeap()) store_->Truncate(cp->heap_mark);
     // Goal nodes pushed by a previously tried clause's body are
     // unreachable once we are back at this choicepoint: recycle them.
@@ -231,6 +471,9 @@ bool Machine::TryClauses(Choicepoint* cp) {
     const CompiledClause& clause = cp->scan.entry->clauses[idx];
     ++metrics_.head_unifications;
     TermRef head = RenameHead(clause);
+    if (opts_.fault != nullptr && opts_.fault->SabotageUnification()) {
+      continue;
+    }
     if (!Unify(cp->call_goal, head)) continue;
     TermRef body =
         store_->RenameSkeleton(clause.body, clause.var_base, regs_);
@@ -250,9 +493,16 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
       *failed = true;
       return prore::Status::OK();
     }
-    return prore::Status::ExistenceError(
-        prore::StrFormat("unknown predicate %s/%u",
-                         store_->symbols().Name(id.name).c_str(), id.arity));
+    // error(existence_error(procedure, Name/Arity), Name/Arity).
+    const TermRef pi_args[] = {store_->MakeAtom(id.name),
+                               store_->MakeInt(id.arity)};
+    TermRef pi = store_->MakeStruct("/", pi_args);
+    const TermRef payload_args[] = {store_->MakeAtom("procedure"), pi};
+    std::string indicator =
+        prore::StrFormat("%s/%u", store_->symbols().Name(id.name).c_str(),
+                         id.arity);
+    return ThrowError(store_->MakeStruct("existence_error", payload_args),
+                      indicator);
   }
   ClauseScan scan = MakeScan(entry, goal);
   ClauseScan peek = scan;  // cheap value copy; scan stays at the start
@@ -270,7 +520,9 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
     const CompiledClause& clause = entry->clauses[first];
     ++metrics_.head_unifications;
     TermRef head = RenameHead(clause);
-    if (!Unify(goal, head)) {
+    bool sabotaged =
+        opts_.fault != nullptr && opts_.fault->SabotageUnification();
+    if (sabotaged || !Unify(goal, head)) {
       TrailUnwind(trail_mark);
       if (CanReclaimHeap()) store_->Truncate(heap_mark);
       *failed = true;
@@ -309,10 +561,11 @@ prore::Status Machine::Step(bool* failed) {
 
   Tag t = store_->tag(g);
   if (t == Tag::kVar) {
-    return prore::Status::InstantiationError("unbound variable as goal");
+    return ThrowError(store_->MakeAtom("instantiation_error"), "call/1");
   }
   if (t == Tag::kInt || t == Tag::kFloat) {
-    return prore::Status::TypeError("number is not a callable goal");
+    const TermRef args[] = {store_->MakeAtom("callable"), g};
+    return ThrowError(store_->MakeStruct("type_error", args), "call/1");
   }
 
   term::Symbol sym = store_->symbol(g);
@@ -361,11 +614,55 @@ prore::Status Machine::Step(bool* failed) {
     if (sym == SymbolTable::kCall && arity == 1) {
       TermRef inner = store_->Deref(store_->arg(g, 0));
       if (!store_->IsCallable(inner)) {
-        return prore::Status::InstantiationError(
-            "call/1: argument is not callable");
+        if (store_->tag(inner) == Tag::kVar) {
+          return ThrowError(store_->MakeAtom("instantiation_error"),
+                            "call/1");
+        }
+        const TermRef args[] = {store_->MakeAtom("callable"), inner};
+        return ThrowError(store_->MakeStruct("type_error", args), "call/1");
       }
       // Cut inside call/1 is local.
       goals_ = NewGoalNode(inner, static_cast<uint32_t>(cps_.size()), goals_);
+      return prore::Status::OK();
+    }
+    if (sym == sym_catch_ && arity == 3) {
+      // catch(Goal, Catcher, Recovery): push a handler frame, then run
+      // Goal like call/1 (cut inside it is local, ISO 7.8.9). The frame
+      // carries no alternatives — on ordinary backtracking it is popped
+      // transparently.
+      Choicepoint cp;
+      cp.kind = Choicepoint::Kind::kCatch;
+      cp.continuation = goals_;
+      cp.node_mark = static_cast<uint32_t>(node_pool_.size());
+      cp.trail_mark = trail_.size();
+      cp.heap_mark = store_->Watermark();
+      cp.catch_log_mark = catch_log_.size();
+      cp.call_goal = g;
+      cp.catch_active = true;
+      cps_.push_back(cp);
+      // Once Goal completes, the frame no longer protects the
+      // continuation; the marker deactivates it (and backtracking back
+      // into Goal re-arms it through the catch log).
+      const TermRef marker_args[] = {
+          store_->MakeInt(static_cast<int64_t>(cps_.size() - 1))};
+      TermRef marker = store_->MakeStruct(sym_catch_done_, marker_args);
+      GoalRef marker_node = NewGoalNode(marker, barrier, goals_);
+      goals_ = NewGoalNode(store_->arg(g, 0),
+                           static_cast<uint32_t>(cps_.size()), marker_node);
+      return prore::Status::OK();
+    }
+    if (sym == sym_throw_ && arity == 1) {
+      return ThrowTerm(store_->arg(g, 0));
+    }
+    if (sym == sym_catch_done_ && arity == 1) {
+      size_t idx = static_cast<size_t>(
+          store_->int_value(store_->Deref(store_->arg(g, 0))));
+      if (idx < cps_.size() &&
+          cps_[idx].kind == Choicepoint::Kind::kCatch &&
+          cps_[idx].catch_active) {
+        cps_[idx].catch_active = false;
+        catch_log_.push_back(static_cast<uint32_t>(idx));
+      }
       return prore::Status::OK();
     }
     if (sym == sym_ite_marker_ && arity == 2) {
@@ -395,8 +692,15 @@ prore::Status Machine::Step(bool* failed) {
   term::PredId id{sym, arity};
   if (db_->Lookup(id) != nullptr) {
     ++metrics_.user_calls;
-    if (metrics_.TotalCalls() > opts_.max_calls) {
-      return prore::Status::ResourceExhausted("call limit exceeded");
+    if (metrics_.TotalCalls() > call_limit_) {
+      // Re-arm with fresh headroom so a handler's recovery goal can run
+      // (otherwise its first call would re-trip the already-spent budget
+      // with the catch frame gone, making the error uncatchable).
+      call_limit_ += opts_.max_calls;
+      return RaiseResource("calls", "max_calls");
+    }
+    if (opts_.fault != nullptr) {
+      PRORE_RETURN_IF_ERROR(ApplyCallFault());
     }
     if (opts_.mode_observer) {
       std::string mode;
@@ -428,8 +732,12 @@ prore::Status Machine::Step(bool* failed) {
     // and cost no "call" in the paper's metric.
     if (store_->symbols().Name(sym)[0] != '$') {
       ++metrics_.builtin_calls;
-      if (metrics_.TotalCalls() > opts_.max_calls) {
-        return prore::Status::ResourceExhausted("call limit exceeded");
+      if (metrics_.TotalCalls() > call_limit_) {
+        call_limit_ += opts_.max_calls;  // see the user-predicate site
+        return RaiseResource("calls", "max_calls");
+      }
+      if (opts_.fault != nullptr) {
+        PRORE_RETURN_IF_ERROR(ApplyCallFault());
       }
     }
     bool success = false;
@@ -445,12 +753,19 @@ bool Machine::Backtrack() {
   while (!cps_.empty()) {
     Choicepoint& cp = cps_.back();
     TrailUnwind(cp.trail_mark);
+    CatchLogUnwind(cp.catch_log_mark);
     if (CanReclaimHeap()) store_->Truncate(cp.heap_mark);
     if (cp.kind == Choicepoint::Kind::kGoals) {
       if (node_pool_.size() > cp.node_mark) node_pool_.resize(cp.node_mark);
       goals_ = cp.continuation;
       cps_.pop_back();
       return true;
+    }
+    if (cp.kind == Choicepoint::Kind::kCatch) {
+      // A handler frame holds no alternatives: backtracking out of the
+      // catch goal just discards it.
+      cps_.pop_back();
+      continue;
     }
     if (TryClauses(&cp)) return true;
     cps_.pop_back();
@@ -470,9 +785,27 @@ prore::Result<Metrics> Machine::Solve(TermRef goal,
   goals_ = kNilGoal;
   cps_.clear();
   trail_.clear();
+  ball_ = term::kNullTerm;
+  catch_log_.clear();
   term::TermStore::Mark query_mark = store_->Watermark();
   if (reclaim_heap_) store_->ResetHighWater();
   query_db_generation_ = db_->generation();
+
+  // Budgets are resolved once per query; with none armed the solve loop
+  // pays a single branch per step.
+  budget_tick_ = 0;
+  call_limit_ = opts_.max_calls;
+  has_deadline_ = opts_.timeout_ms != 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(opts_.timeout_ms);
+  }
+  has_heap_limit_ = opts_.max_heap_cells != 0;
+  if (has_heap_limit_) {
+    heap_cell_limit_ = store_->NumCells() + opts_.max_heap_cells;
+  }
+  const bool budgets_active =
+      opts_.max_depth != 0 || has_heap_limit_ || has_deadline_;
 
   goals_ = NewGoalNode(goal, 0, kNilGoal);
   prore::Status status = prore::Status::OK();
@@ -485,8 +818,19 @@ prore::Result<Metrics> Machine::Solve(TermRef goal,
       continue;
     }
     bool failed = false;
-    status = Step(&failed);
-    if (!status.ok()) break;
+    if (budgets_active) {
+      status = CheckBudgets();
+      if (status.ok()) status = Step(&failed);
+    } else {
+      status = Step(&failed);
+    }
+    if (!status.ok()) {
+      // ISO exception propagation: unwind to the nearest active catch/3
+      // frame; OK means a handler took over with its recovery goal.
+      status = HandleException(std::move(status));
+      if (!status.ok()) break;
+      continue;
+    }
     if (failed) {
       ++metrics_.backtracks;
       if (!Backtrack()) break;

@@ -1,9 +1,11 @@
 #ifndef PRORE_ENGINE_MACHINE_H_
 #define PRORE_ENGINE_MACHINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <unordered_map>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +13,7 @@
 #include "common/result.h"
 #include "engine/builtins.h"
 #include "engine/database.h"
+#include "engine/fault.h"
 #include "engine/metrics.h"
 #include "term/store.h"
 
@@ -24,10 +27,28 @@ using ModeObserver =
     std::function<void(const term::PredId& pred, const std::string& mode)>;
 
 struct SolveOptions {
-  /// Abort with ResourceExhausted after this many calls (runaway guard).
+  /// Raise a catchable error(resource_error(calls), max_calls) after this
+  /// many calls (runaway guard).
   uint64_t max_calls = 100'000'000;
   /// Stop searching after this many solutions.
   uint64_t max_solutions = UINT64_MAX;
+  /// Wall-clock budget for one Solve, in milliseconds; 0 = unlimited.
+  /// Exhaustion raises a catchable error(resource_error(time), timeout).
+  /// The clock is sampled every 256 resolution steps, so enforcement is
+  /// approximate but the non-budgeted hot path stays untouched.
+  uint64_t timeout_ms = 0;
+  /// Maximum resolution depth, measured as the number of live goal nodes
+  /// (pending goals plus suspended continuations); 0 = unlimited.
+  /// Exhaustion raises a catchable error(resource_error(depth), max_depth).
+  uint64_t max_depth = 0;
+  /// Maximum heap cells a query may allocate beyond the store's size at
+  /// Solve entry; 0 = unlimited. Exhaustion raises a catchable
+  /// error(resource_error(heap), max_heap_cells).
+  uint64_t max_heap_cells = 0;
+  /// Optional fault-injection plan (not owned; see engine/fault.h).
+  /// Shared with nested findall machines so call counting matches the
+  /// paper's metric.
+  FaultInjector* fault = nullptr;
   /// First-argument clause indexing (paper §III-A discusses its interaction
   /// with clause reordering; the ablation bench toggles it).
   bool use_indexing = true;
@@ -38,6 +59,21 @@ struct SolveOptions {
   /// default).
   ModeObserver mode_observer;
 };
+
+/// Typed view of an uncaught Prolog exception carried by a non-OK Status
+/// from Machine::Solve. `ball` is the canonical text of the thrown term —
+/// e.g. "error(existence_error(procedure, foo/1), foo/1)" for a system
+/// error, or the user's own term for an uncaught throw/1.
+struct PrologError {
+  prore::StatusCode code;
+  std::string ball;
+  std::string message;
+};
+
+/// Decodes `status` into a PrologError if it carries a thrown ball;
+/// nullopt for OK statuses and for engine failures that never existed as
+/// Prolog exceptions (parse errors, internal invariant violations, ...).
+std::optional<PrologError> PrologErrorFromStatus(const prore::Status& status);
 
 /// SLD-resolution interpreter with chronological backtracking — the
 /// substrate standing in for the paper's instrumented C-Prolog 1.5 /
@@ -114,6 +150,26 @@ class Machine {
   size_t TrailMark() const { return trail_.size(); }
   void TrailUndo(size_t mark) { TrailUnwind(mark); }
 
+  // ---- ISO exceptions ----------------------------------------------------
+
+  /// Records a copy of `ball` as the in-flight exception and returns the
+  /// kPrologThrow signal status; the solve loop unwinds to the nearest
+  /// active catch/3 (or surfaces the ball as an uncaught PrologError).
+  /// This is how built-ins raise catchable errors.
+  prore::Status ThrowTerm(term::TermRef ball);
+
+  /// Throws error(Payload, Context) — the ISO ball shape. `context` is
+  /// parsed-ish: an atom or predicate indicator rendered from text, e.g.
+  /// "atom_length/2".
+  prore::Status ThrowError(term::TermRef payload, std::string_view context);
+
+  /// Converts a payload-carrying Status (see Status::error_term) from a
+  /// machine-less helper such as EvalArith into a thrown ball with the
+  /// given context. Statuses without a structured payload become
+  /// error(system_error, 'message').
+  prore::Status ThrowStatus(const prore::Status& status,
+                            std::string_view context);
+
   /// Text written by write/1, nl/0, tab/1 since last ClearOutput.
   const std::string& output() const { return output_; }
   void ClearOutput() { output_.clear(); }
@@ -175,17 +231,27 @@ class Machine {
   struct Choicepoint {
     enum class Kind : uint8_t {
       kClauses,  ///< Remaining candidate clauses of a user predicate call.
-      kGoals     ///< An alternative goal continuation (disjunction/ite else).
+      kGoals,    ///< An alternative goal continuation (disjunction/ite else).
+      kCatch     ///< A catch/3 frame: handler metadata, no alternatives.
     };
     Kind kind;
     GoalRef continuation = kNilGoal;  ///< Goal list to resume with.
     uint32_t node_mark = 0;  ///< Goal-node pool size at creation.
     size_t trail_mark = 0;
     term::TermStore::Mark heap_mark;
+    /// catch_log_ size at creation: backtracking past this choicepoint
+    /// replays deactivations recorded after it (re-arming catch frames
+    /// whose goal is re-entered).
+    size_t catch_log_mark = 0;
     // kClauses:
-    term::TermRef call_goal = term::kNullTerm;
+    term::TermRef call_goal = term::kNullTerm;  ///< kCatch: the catch/3 term.
     ClauseScan scan;
     uint32_t body_barrier = 0;  ///< Barrier for the clause body's goals.
+    // kCatch:
+    /// A catch frame only intercepts exceptions while its goal argument is
+    /// still running; once the goal succeeds the frame is deactivated (and
+    /// re-armed if backtracking re-enters the goal).
+    bool catch_active = false;
   };
 
   GoalRef NewGoalNode(term::TermRef goal, uint32_t barrier, GoalRef next);
@@ -210,6 +276,20 @@ class Machine {
 
   prore::Status CallUserPredicate(term::TermRef goal, uint32_t barrier,
                                   bool* failed);
+  /// Replays catch-frame deactivations recorded after `mark` (LIFO), then
+  /// truncates the log — the undo side of the `$catch_done` marker.
+  void CatchLogUnwind(size_t mark);
+  /// Converts a non-OK Step status (or the pending ball_) into exception
+  /// unwinding. Returns OK when an active catch frame caught the ball and
+  /// installed its recovery goal; otherwise the final (uncaught) status.
+  prore::Status HandleException(prore::Status status);
+  /// Raises a catchable error(resource_error(what), limit_name) ball.
+  prore::Status RaiseResource(const char* what, const char* limit_name);
+  /// Consults the armed FaultInjector at a counted call; OK (and no side
+  /// effect) unless this call is the planned fault point.
+  prore::Status ApplyCallFault();
+  /// Checks depth/heap/time budgets; OK when all are within limits.
+  prore::Status CheckBudgets();
   /// Candidate enumeration state for a call to `entry` with `goal`.
   ClauseScan MakeScan(const PredEntry* entry, term::TermRef goal) const;
   /// Renames `clause`'s head skeleton through the register file. The
@@ -235,6 +315,10 @@ class Machine {
   term::Symbol sym_ite_marker_;
   term::Symbol sym_not_name_;
   term::Symbol sym_false_;
+  term::Symbol sym_catch_;
+  term::Symbol sym_throw_;
+  term::Symbol sym_catch_done_;
+  term::Symbol sym_error_;
 
   std::vector<GoalNode> node_pool_;
   GoalRef goals_ = kNilGoal;
@@ -256,6 +340,29 @@ class Machine {
   /// must survive the continued search.
   bool reclaim_heap_ = true;
   uint64_t query_db_generation_ = 0;
+
+  // ---- Exception state ---------------------------------------------------
+  /// The in-flight ball (a Rename'd copy, independent of the thrower's
+  /// bindings), or kNullTerm. Set by ThrowTerm, consumed by
+  /// HandleException.
+  term::TermRef ball_ = term::kNullTerm;
+  /// Catch frames deactivated since their creation (indices into cps_),
+  /// replayed on backtracking so a re-entered catch goal is protected
+  /// again. Empty for catch-free programs — zero steady-state cost.
+  std::vector<uint32_t> catch_log_;
+
+  // ---- Budget state (recomputed per Solve) -------------------------------
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_ = false;
+  /// Absolute cell count above which the heap budget is exhausted.
+  size_t heap_cell_limit_ = 0;
+  bool has_heap_limit_ = false;
+  /// Step counter for the periodic (every 256 steps) deadline sample.
+  uint32_t budget_tick_ = 0;
+  /// Current calls budget; starts at opts_.max_calls and is re-armed with
+  /// another increment each time it trips, so a caught resource_error
+  /// leaves headroom for the handler's recovery goal.
+  uint64_t call_limit_ = 0;
 };
 
 }  // namespace prore::engine

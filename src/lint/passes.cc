@@ -1,4 +1,4 @@
-// The built-in lint passes (PL001..PL007). Each pass is stateless and
+// The built-in lint passes (PL001..PL008). Each pass is stateless and
 // consults only the LintContext; passes needing an analysis that failed to
 // build (null pointer in the context) skip silently — the linter already
 // reported the failure as a PL000 note.
@@ -116,6 +116,14 @@ void WalkCallsWithEnv(
     case BodyKind::kSetPred: {
       AbstractEnv scratch = *env;
       WalkCallsWithEnv(store, *node.children[0], oracle, &scratch, on_call);
+      analysis::AdvanceEnvOverNode(store, node, oracle, env);
+      return;
+    }
+    case BodyKind::kCatch: {
+      for (const auto& child : node.children) {
+        AbstractEnv scratch = *env;
+        WalkCallsWithEnv(store, *child, oracle, &scratch, on_call);
+      }
       analysis::AdvanceEnvOverNode(store, node, oracle, env);
       return;
     }
@@ -509,6 +517,115 @@ class DiscontiguousPass : public LintPass {
   }
 };
 
+// ---- PL008: exception-handling pitfalls -----------------------------------
+
+class ExceptionHygienePass : public LintPass {
+ public:
+  const char* name() const override { return "exception-hygiene"; }
+  const char* code() const override { return "PL008"; }
+  const char* description() const override {
+    return "catch/3 whose catcher is unreachable, or throw/1 of an unbound "
+           "ball";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    const TermStore& store = *ctx.store;
+    for (const PredId& id : ctx.program->pred_order()) {
+      const std::string pred = reader::PredName(store, id);
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        auto body = analysis::ParseBody(store, clause.body);
+        if (!body.ok()) continue;
+        std::unordered_map<uint32_t, int> var_counts;
+        CountVars(store, clause.head, &var_counts);
+        CountVars(store, clause.body, &var_counts);
+        Walk(ctx, store, *body.value(), clause, pred, var_counts, sink);
+      }
+    }
+  }
+
+ private:
+  static void CountVars(const TermStore& store, TermRef t,
+                        std::unordered_map<uint32_t, int>* counts) {
+    t = store.Deref(t);
+    switch (store.tag(t)) {
+      case Tag::kVar:
+        ++(*counts)[store.var_id(t)];
+        return;
+      case Tag::kStruct:
+        for (uint32_t i = 0; i < store.arity(t); ++i) {
+          CountVars(store, store.arg(t, i), counts);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  /// True if the subtree contains a throw/1 call (at any depth): such a
+  /// recovery can re-deliver a ball to an enclosing catcher.
+  static bool ContainsThrow(const TermStore& store, const BodyNode& node) {
+    std::vector<TermRef> goals;
+    analysis::CollectCalledGoals(store, node, &goals);
+    for (TermRef g : goals) {
+      g = store.Deref(g);
+      if (!store.IsCallable(g)) continue;
+      PredId id = store.pred_id(g);
+      if (id.arity == 1 && store.symbols().Name(id.name) == "throw") {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Walk(const LintContext& ctx, const TermStore& store,
+            const BodyNode& node, const Clause& clause,
+            const std::string& pred,
+            const std::unordered_map<uint32_t, int>& var_counts,
+            DiagnosticSink* sink) const {
+    if (node.kind == BodyKind::kCatch) {
+      // catch(catch(G, FreshVar, R), Catcher, _): the inner variable
+      // catcher intercepts every ball G throws; unless R rethrows, the
+      // outer Catcher can never fire from the protected goal.
+      const BodyNode& inner = *node.children[0];
+      if (inner.kind == BodyKind::kCatch) {
+        TermRef inner_catcher =
+            store.Deref(store.arg(store.Deref(inner.goal), 1));
+        if (store.tag(inner_catcher) == Tag::kVar &&
+            !ContainsThrow(store, *inner.children[1])) {
+          sink->Report(
+              "PL008", Severity::kWarning,
+              SpanOf(ctx, node.goal, clause), pred,
+              "outer catcher is unreachable: the inner catch/3 has a "
+              "variable catcher and its recovery never rethrows");
+        }
+      }
+    }
+    if (node.kind == BodyKind::kCall) {
+      TermRef g = store.Deref(node.goal);
+      if (store.IsCallable(g)) {
+        PredId id = store.pred_id(g);
+        if (id.arity == 1 && store.symbols().Name(id.name) == "throw") {
+          TermRef ball = store.Deref(store.arg(g, 0));
+          auto it = store.tag(ball) == Tag::kVar
+                        ? var_counts.find(store.var_id(ball))
+                        : var_counts.end();
+          if (it != var_counts.end() && it->second == 1) {
+            sink->Report(
+                "PL008", Severity::kWarning, SpanOf(ctx, g, clause), pred,
+                prore::StrFormat(
+                    "throw(%s) throws an unbound variable: it raises "
+                    "instantiation_error, not the intended ball",
+                    VarDisplayName(store, ball).c_str()));
+          }
+        }
+      }
+    }
+    for (const auto& child : node.children) {
+      Walk(ctx, store, *child, clause, pred, var_counts, sink);
+    }
+  }
+};
+
 }  // namespace
 
 const PassRegistry& PassRegistry::Default() {
@@ -521,6 +638,7 @@ const PassRegistry& PassRegistry::Default() {
     r->Register(std::make_unique<UnboundArithmeticPass>());
     r->Register(std::make_unique<PinnedSideEffectPass>());
     r->Register(std::make_unique<DiscontiguousPass>());
+    r->Register(std::make_unique<ExceptionHygienePass>());
     return r;
   }();
   return *registry;

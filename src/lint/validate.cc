@@ -143,6 +143,18 @@ class Validator {
         CollectKeys(*node.children[0], out);
         return;
       }
+      case BodyKind::kCatch: {
+        // Opaque: one key from the catcher pattern plus the inner calls
+        // (the reorderer never rearranges inside catch/3, but callees may
+        // be renamed by unfolding).
+        TermRef g = store_->Deref(node.goal);
+        std::string key = NameOf(store_->pred_id(g));
+        key += '|';
+        key += reader::WriteTerm(*store_, store_->arg(g, 1));
+        out->push_back(std::move(key));
+        for (const auto& child : node.children) CollectKeys(*child, out);
+        return;
+      }
       case BodyKind::kConj:
       case BodyKind::kDisj:
       case BodyKind::kIfThenElse:
@@ -538,6 +550,21 @@ class Validator {
             env->Set(store_->var_id(var), VarState::kUnknown);
           }
         }
+        return;
+      }
+      case BodyKind::kCatch: {
+        AbstractEnv goal_env = *env, rec_env = *env;
+        WalkModes(*node.children[0], &goal_env, where);
+        TermRef g = store_->Deref(node.goal);
+        std::vector<TermRef> catcher_vars;
+        store_->CollectVars(store_->arg(g, 1), &catcher_vars);
+        for (TermRef var : catcher_vars) {
+          if (rec_env.Get(store_->var_id(var)) == VarState::kFree) {
+            rec_env.Set(store_->var_id(var), VarState::kUnknown);
+          }
+        }
+        WalkModes(*node.children[1], &rec_env, where);
+        *env = AbstractEnv::Join(goal_env, rec_env);
         return;
       }
       case BodyKind::kCall: {

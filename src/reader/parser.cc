@@ -307,6 +307,40 @@ prore::Status Parser::ApplyOpDirective(term::TermRef goal) {
   return prore::Status::OK();
 }
 
+prore::Status Parser::ParseClauseInto(Program* program) {
+  clause_vars_.clear();
+  var_order_.clear();
+  const SourceSpan clause_span{Cur().line, Cur().column};
+  PRORE_ASSIGN_OR_RETURN(TermRef t, ParseTerm(1200));
+  if (Cur().kind != TokenKind::kEnd) {
+    return ErrorHere("expected '.' at end of clause");
+  }
+  Bump();
+  t = store_->Deref(t);
+  // Directive?
+  if (store_->tag(t) == term::Tag::kStruct &&
+      store_->arity(t) == 1 &&
+      (store_->symbols().Name(store_->symbol(t)) == ":-" ||
+       store_->symbols().Name(store_->symbol(t)) == "?-")) {
+    term::TermRef goal = store_->Deref(store_->arg(t, 0));
+    // op/3 takes effect immediately for the rest of the file (the
+    // classic behavior: subsequent clauses parse with the new operator).
+    if (store_->tag(goal) == term::Tag::kStruct &&
+        store_->arity(goal) == 3 &&
+        store_->symbols().Name(store_->symbol(goal)) == "op") {
+      PRORE_RETURN_IF_ERROR(ApplyOpDirective(goal));
+    }
+    program->AddDirective(goal);
+    return prore::Status::OK();
+  }
+  PRORE_ASSIGN_OR_RETURN(Clause clause, SplitClause(store_, t));
+  clause.span = clause_span;
+  if (!program->AddClause(*store_, clause)) {
+    return prore::Status::TypeError("clause head is not callable");
+  }
+  return prore::Status::OK();
+}
+
 prore::Result<Program> Parser::ParseProgram(std::string_view text) {
   Lexer lexer(text);
   PRORE_ASSIGN_OR_RETURN(tokens_, lexer.Tokenize());
@@ -314,35 +348,40 @@ prore::Result<Program> Parser::ParseProgram(std::string_view text) {
   spans_.clear();
   Program program;
   while (Cur().kind != TokenKind::kEof) {
-    clause_vars_.clear();
-    var_order_.clear();
-    const SourceSpan clause_span{Cur().line, Cur().column};
-    PRORE_ASSIGN_OR_RETURN(TermRef t, ParseTerm(1200));
-    if (Cur().kind != TokenKind::kEnd) {
-      return ErrorHere("expected '.' at end of clause");
-    }
-    Bump();
-    t = store_->Deref(t);
-    // Directive?
-    if (store_->tag(t) == term::Tag::kStruct &&
-        store_->arity(t) == 1 &&
-        (store_->symbols().Name(store_->symbol(t)) == ":-" ||
-         store_->symbols().Name(store_->symbol(t)) == "?-")) {
-      term::TermRef goal = store_->Deref(store_->arg(t, 0));
-      // op/3 takes effect immediately for the rest of the file (the
-      // classic behavior: subsequent clauses parse with the new operator).
-      if (store_->tag(goal) == term::Tag::kStruct &&
-          store_->arity(goal) == 3 &&
-          store_->symbols().Name(store_->symbol(goal)) == "op") {
-        PRORE_RETURN_IF_ERROR(ApplyOpDirective(goal));
+    PRORE_RETURN_IF_ERROR(ParseClauseInto(&program));
+  }
+  program.SetTermSpans(std::move(spans_));
+  spans_ = {};
+  return program;
+}
+
+Program Parser::ParseProgramRecovering(std::string_view text,
+                                       std::vector<prore::Status>* errors) {
+  Lexer lexer(text);
+  Program program;
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) {
+    // Lexical errors have no clause boundary to resynchronize on.
+    errors->push_back(tokens.status());
+    return program;
+  }
+  tokens_ = std::move(tokens).value();
+  tpos_ = 0;
+  spans_.clear();
+  while (Cur().kind != TokenKind::kEof) {
+    const size_t start = tpos_;
+    prore::Status status = ParseClauseInto(&program);
+    if (status.ok()) continue;
+    errors->push_back(std::move(status));
+    // Resynchronize on the next '.' unless this clause's terminator was
+    // already consumed (errors past the '.': bad head, bad directive).
+    const bool past_end =
+        tpos_ > start && tokens_[tpos_ - 1].kind == TokenKind::kEnd;
+    if (!past_end) {
+      while (Cur().kind != TokenKind::kEnd && Cur().kind != TokenKind::kEof) {
+        Bump();
       }
-      program.AddDirective(goal);
-      continue;
-    }
-    PRORE_ASSIGN_OR_RETURN(Clause clause, SplitClause(store_, t));
-    clause.span = clause_span;
-    if (!program.AddClause(*store_, clause)) {
-      return prore::Status::TypeError("clause head is not callable");
+      if (Cur().kind == TokenKind::kEnd) Bump();
     }
   }
   program.SetTermSpans(std::move(spans_));
@@ -398,6 +437,14 @@ prore::Result<Program> ParseProgramText(term::TermStore* store,
   OpTable ops;
   Parser parser(store, &ops);
   return parser.ParseProgram(text);
+}
+
+Program ParseProgramTextRecovering(term::TermStore* store,
+                                   std::string_view text,
+                                   std::vector<prore::Status>* errors) {
+  OpTable ops;
+  Parser parser(store, &ops);
+  return parser.ParseProgramRecovering(text, errors);
 }
 
 prore::Result<ReadTerm> ParseQueryText(term::TermStore* store,

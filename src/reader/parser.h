@@ -36,6 +36,14 @@ class Parser {
   /// Parses a whole program: clauses and `:- directive.` items.
   prore::Result<Program> ParseProgram(std::string_view text);
 
+  /// Like ParseProgram, but recovers from clause-level syntax errors:
+  /// each failed clause is skipped up to its terminating '.' and the error
+  /// is appended to *errors, so a single bad clause no longer hides every
+  /// later diagnostic. The returned program holds every clause that parsed.
+  /// (A lexer error is not recoverable; it is reported and parsing stops.)
+  Program ParseProgramRecovering(std::string_view text,
+                                 std::vector<prore::Status>* errors);
+
   /// Parses a single term ending in '.' (e.g. a query body).
   prore::Result<ReadTerm> ParseTermText(std::string_view text);
 
@@ -46,6 +54,8 @@ class Parser {
  private:
   // One clause's worth of parsing state (variables scoped per clause).
   prore::Result<term::TermRef> ParseTerm(int max_priority);
+  /// Parses one '.'-terminated clause or directive into `program`.
+  prore::Status ParseClauseInto(Program* program);
   prore::Result<term::TermRef> ParsePrimary(int max_priority);
   prore::Result<term::TermRef> ParseArgList(term::Symbol functor);
   prore::Result<term::TermRef> ParseList();
@@ -84,6 +94,9 @@ class Parser {
 /// Convenience one-shots using the standard operator table.
 prore::Result<Program> ParseProgramText(term::TermStore* store,
                                         std::string_view text);
+Program ParseProgramTextRecovering(term::TermStore* store,
+                                   std::string_view text,
+                                   std::vector<prore::Status>* errors);
 prore::Result<ReadTerm> ParseQueryText(term::TermStore* store,
                                        std::string_view text);
 

@@ -139,6 +139,66 @@ TEST_F(EngineStressTest, BetweenFanOutBacktracksAllocationFree) {
   EXPECT_EQ(after - before, 0u);
 }
 
+TEST_F(EngineStressTest, BudgetExhaustionThenReuse) {
+  // A Machine that trips a resource budget must stay fully usable: the
+  // unwind restores the trail/goal pool, and the next Solve re-arms the
+  // budget from scratch.
+  Load(R"(
+    loop :- loop.
+    nrev([], []).
+    nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+  )");
+  engine::SolveOptions opts;
+  opts.max_calls = 2000;
+  opts.max_depth = 5000;
+  engine::Machine bounded(&store_, &db_, opts);
+
+  term::TermRef runaway = ParseGoal("loop");
+  term::TermRef work = ParseGoal("nrev(" + NumberList(30, false) + ", R)");
+
+  for (int run = 0; run < 5; ++run) {
+    auto bad = bounded.Solve(runaway);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kResourceExhausted);
+    auto good = bounded.Solve(work);
+    ASSERT_TRUE(good.ok()) << good.status().ToString();
+    EXPECT_EQ(good->solutions, 1u);
+  }
+
+  // The zero-allocation property survives exhaustion: after a budget trip
+  // (whose error *reporting* may allocate strings), a warm clean solve
+  // still allocates nothing.
+  auto bad = bounded.Solve(runaway);
+  ASSERT_FALSE(bad.ok());
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  auto good = bounded.Solve(work);
+  uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->solutions, 1u);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST_F(EngineStressTest, CatchThrowChurnIsStable) {
+  // Exception unwinding through deep goal stacks, repeated on one machine:
+  // every cycle throws from depth ~200, catches at the top, and checks the
+  // machine still answers plain queries.
+  Load(R"(
+    dig(0) :- throw(bottom).
+    dig(N) :- N > 0, M is N - 1, dig(M).
+    p(1). p(2).
+  )");
+  term::TermRef guarded = ParseGoal("catch(dig(200), bottom, true)");
+  term::TermRef plain = ParseGoal("p(X)");
+  for (int run = 0; run < 50; ++run) {
+    auto m = machine_->Solve(guarded);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    EXPECT_EQ(m->solutions, 1u);
+    auto m2 = machine_->Solve(plain);
+    ASSERT_TRUE(m2.ok());
+    EXPECT_EQ(m2->solutions, 2u);
+  }
+}
+
 TEST_F(EngineStressTest, DeepBacktrackingKeepsTrailConsistent) {
   // member/2 over a 400-element list inside a conjunction that fails until
   // the last element: every retry must fully unwind the previous binding.

@@ -321,7 +321,8 @@ TEST_F(EngineTest, ArithmeticErrors) {
   EXPECT_EQ(SolveStatus("X is Y + 1").code(),
             prore::StatusCode::kInstantiationError);
   EXPECT_EQ(SolveStatus("X is foo + 1").code(), prore::StatusCode::kTypeError);
-  EXPECT_EQ(SolveStatus("X is 1 // 0").code(), prore::StatusCode::kTypeError);
+  EXPECT_EQ(SolveStatus("X is 1 // 0").code(),
+            prore::StatusCode::kEvaluationError);
 }
 
 TEST_F(EngineTest, FunctorBuiltin) {
@@ -811,6 +812,247 @@ TEST_F(EngineTest, CallingDeclaredDynamicPredFailsInsteadOfErroring) {
   Load(":- dynamic(maybe/1).");
   EXPECT_FALSE(Succeeds("maybe(x)"));
   EXPECT_TRUE(Succeeds("(maybe(x) ; true)"));
+}
+
+// ---- ISO exceptions: throw/1 and catch/3 -----------------------------------
+
+TEST_F(EngineTest, CatchMatchingBall) {
+  Load("");
+  EXPECT_TRUE(Succeeds("catch(throw(t(1)), t(X), X == 1)"));
+  EXPECT_TRUE(Succeeds("catch(throw(boom), boom, true)"));
+  // The recovery goal can fail.
+  EXPECT_FALSE(Succeeds("catch(throw(boom), boom, fail)"));
+}
+
+TEST_F(EngineTest, NonMatchingBallRethrows) {
+  Load("");
+  EXPECT_EQ(SolveStatus("catch(throw(a), b, true)").code(),
+            prore::StatusCode::kPrologThrow);
+  // An outer catch with a matching (or variable) catcher picks it up.
+  EXPECT_TRUE(Succeeds("catch(catch(throw(a), b, fail), a, true)"));
+  EXPECT_TRUE(Succeeds("catch(catch(throw(a), b, fail), _, true)"));
+}
+
+TEST_F(EngineTest, ThrowRequiresBoundBall) {
+  Load("");
+  // ISO: throw(X) with unbound X is an instantiation error, and the
+  // intended (unbound) ball is not what the catcher sees.
+  EXPECT_TRUE(
+      Succeeds("catch(throw(_), error(instantiation_error, _), true)"));
+}
+
+TEST_F(EngineTest, BindingsAreUndoneBeforeRecovery) {
+  Load("");
+  // X was bound inside the protected goal; the unwinding must undo it
+  // before the recovery goal runs.
+  EXPECT_TRUE(Succeeds("catch((X = 1, throw(t)), E, (var(X), E == t))"));
+}
+
+TEST_F(EngineTest, BallIsASnapshotCopy) {
+  Load("");
+  // The ball is copied at throw time: the X inside it is a fresh variable
+  // in the catcher, detached from the (unwound) original.
+  EXPECT_TRUE(Succeeds("catch(throw(f(X)), f(Y), (var(Y), Y = 7)), var(X)"));
+  // A binding made before the throw survives inside the snapshot.
+  EXPECT_TRUE(Succeeds("catch((X = 3, throw(f(X))), f(Y), Y == 3)"));
+}
+
+TEST_F(EngineTest, CutInsideCatchGoalIsLocal) {
+  Load("p(1). p(2). p(3).");
+  // The cut commits the protected goal, not the enclosing query.
+  EXPECT_TRUE(Succeeds("catch((p(X), !), _, fail), X == 1"));
+  EXPECT_EQ(CountSolutions("(catch((p(_), !), _, fail) ; true)"), 2u);
+}
+
+TEST_F(EngineTest, BacktrackingIntoCatchGoal) {
+  Load("p(1). p(2). p(3).");
+  // catch/3 is transparent to backtracking while no ball is in flight.
+  EXPECT_EQ(CountSolutions("catch(p(X), _, fail)"), 3u);
+  auto answers = Answers("catch(p(X), err, fail)");
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_EQ(answers[0], "catch(p(1),err,fail)");
+}
+
+TEST_F(EngineTest, CatchFrameDeactivatesWhenGoalCompletes) {
+  Load("p(1).");
+  // The catch frame guards only the protected goal: a throw AFTER the goal
+  // has completed must not be caught by it.
+  EXPECT_EQ(SolveStatus("catch(p(_), _, true), throw(boom)").code(),
+            prore::StatusCode::kPrologThrow);
+}
+
+TEST_F(EngineTest, CatchFrameReactivatesOnBacktracking) {
+  Load(R"(
+    p(1). p(2).
+    r(1) :- fail.
+    r(2) :- throw(oops).
+  )");
+  // First r(1) fails, we backtrack INTO the catch goal (p gives 2), then
+  // r(2) throws: the frame must be active again and catch it.
+  EXPECT_TRUE(Succeeds("catch((p(Y), r(Y)), oops, true)"));
+}
+
+TEST_F(EngineTest, NestedCatchInnerWins) {
+  Load("");
+  EXPECT_TRUE(
+      Succeeds("catch(catch(throw(t), t, X = inner), t, X = outer), "
+               "X == inner"));
+}
+
+TEST_F(EngineTest, RecoveryGoalThrowEscapesToOuterCatch) {
+  Load("");
+  // A throw from the recovery goal is NOT caught by the same catch/3.
+  EXPECT_EQ(SolveStatus("catch(throw(a), a, throw(b))").code(),
+            prore::StatusCode::kPrologThrow);
+  EXPECT_TRUE(Succeeds("catch(catch(throw(a), a, throw(b)), b, true)"));
+}
+
+TEST_F(EngineTest, UncaughtThrowReportsBall) {
+  Load("");
+  auto status = SolveStatus("throw(my_ball(42))");
+  EXPECT_EQ(status.code(), prore::StatusCode::kPrologThrow);
+  auto error = PrologErrorFromStatus(status);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->ball, "my_ball(42)");
+}
+
+// ---- ISO error terms from built-ins ----------------------------------------
+
+TEST_F(EngineTest, ZeroDivisorIsCatchable) {
+  Load("");
+  EXPECT_TRUE(Succeeds(
+      "catch(_ is 1 // 0, error(evaluation_error(zero_divisor), _), true)"));
+  EXPECT_TRUE(Succeeds(
+      "catch(_ is 1 mod 0, error(evaluation_error(zero_divisor), _), true)"));
+}
+
+TEST_F(EngineTest, UnknownEvaluableIsCatchable) {
+  Load("");
+  EXPECT_TRUE(Succeeds(
+      "catch(_ is foo(1), error(type_error(evaluable, foo/1), _), true)"));
+  EXPECT_TRUE(Succeeds(
+      "catch(_ is bar, error(type_error(evaluable, bar/0), _), true)"));
+}
+
+TEST_F(EngineTest, UnboundArithmeticIsInstantiationError) {
+  Load("");
+  EXPECT_TRUE(
+      Succeeds("catch(_ is X + 1, error(instantiation_error, _), X = unused)"));
+}
+
+TEST_F(EngineTest, UnknownPredicateIsExistenceError) {
+  Load("");
+  EXPECT_TRUE(Succeeds(
+      "catch(undefined_pred(a), "
+      "error(existence_error(procedure, undefined_pred/1), _), true)"));
+  auto status = SolveStatus("undefined_pred(a)");
+  auto error = PrologErrorFromStatus(status);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->ball,
+            "error(existence_error(procedure,undefined_pred/1),"
+            "undefined_pred/1)");
+}
+
+TEST_F(EngineTest, TypeErrorsAreCatchable) {
+  Load("");
+  EXPECT_TRUE(Succeeds(
+      "catch(atom_length(f(x), _), error(type_error(_, _), _), true)"));
+  EXPECT_TRUE(Succeeds(
+      "catch(X is 1.5 mod 2, error(type_error(integer, _), _), X = unused)"));
+}
+
+TEST_F(EngineTest, MachineIsReusableAfterUncaughtThrow) {
+  Load("p(1). p(2).");
+  EXPECT_EQ(SolveStatus("throw(boom)").code(),
+            prore::StatusCode::kPrologThrow);
+  // The machine recovered: same instance solves cleanly afterwards.
+  EXPECT_EQ(CountSolutions("p(_)"), 2u);
+  EXPECT_TRUE(Succeeds("catch(throw(x), x, true)"));
+}
+
+// ---- Resource budgets ------------------------------------------------------
+
+TEST_F(EngineTest, MaxCallsBudgetIsCatchable) {
+  Load("loop :- loop.");
+  opts_.max_calls = 1000;
+  Machine bounded(&store_, &db_, opts_);
+  auto q = reader::ParseQueryText(
+      &store_, "catch(loop, error(resource_error(W), _), W == calls).");
+  auto r = bounded.Solve(q->term);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->solutions, 1u);
+}
+
+TEST_F(EngineTest, MaxDepthBudget) {
+  Load(R"(
+    nat(z).
+    nat(s(N)) :- nat(N).
+    deep(X) :- nat(X), fail.
+  )");
+  opts_.max_depth = 100;
+  Machine bounded(&store_, &db_, opts_);
+  auto q = reader::ParseQueryText(&store_, "deep(_).");
+  auto r = bounded.Solve(q->term);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), prore::StatusCode::kResourceExhausted);
+  auto error = PrologErrorFromStatus(r.status());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->ball, "error(resource_error(depth),max_depth)");
+  // Catchable in-program.
+  auto q2 = reader::ParseQueryText(
+      &store_, "catch(deep(_), error(resource_error(depth), _), true).");
+  auto r2 = bounded.Solve(q2->term);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->solutions, 1u);
+}
+
+TEST_F(EngineTest, MaxHeapCellsBudget) {
+  Load(R"(
+    grow([]).
+    grow([_|T]) :- grow(T).
+    churn :- length(L, 100000), grow(L).
+  )");
+  opts_.max_heap_cells = 20000;
+  Machine bounded(&store_, &db_, opts_);
+  auto q = reader::ParseQueryText(&store_, "churn.");
+  auto r = bounded.Solve(q->term);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), prore::StatusCode::kResourceExhausted);
+  auto error = PrologErrorFromStatus(r.status());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->ball, "error(resource_error(heap),max_heap_cells)");
+}
+
+TEST_F(EngineTest, TimeoutBudget) {
+  Load("loop :- loop.");
+  opts_.timeout_ms = 50;
+  Machine bounded(&store_, &db_, opts_);
+  auto q = reader::ParseQueryText(&store_, "loop.");
+  auto r = bounded.Solve(q->term);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), prore::StatusCode::kResourceExhausted);
+  auto error = PrologErrorFromStatus(r.status());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->ball, "error(resource_error(time),timeout)");
+}
+
+TEST_F(EngineTest, MachineIsReusableAfterBudgetExhaustion) {
+  Load("loop :- loop.\np(1). p(2). p(3).");
+  opts_.max_calls = 1000;
+  Machine bounded(&store_, &db_, opts_);
+  auto q = reader::ParseQueryText(&store_, "loop.");
+  auto r = bounded.Solve(q->term);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), prore::StatusCode::kResourceExhausted);
+  // Same machine, fresh query: solves cleanly with the budget re-armed.
+  auto q2 = reader::ParseQueryText(&store_, "p(X).");
+  auto r2 = bounded.Solve(q2->term);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->solutions, 3u);
+  // And exhausts again when asked to loop again (budget is per-query).
+  auto r3 = bounded.Solve(q->term);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), prore::StatusCode::kResourceExhausted);
 }
 
 }  // namespace

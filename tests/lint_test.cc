@@ -1,5 +1,5 @@
 // Tests for the prolint diagnostics subsystem: one positive and one
-// negative snippet per pass (PL001..PL007), parse-error span recovery
+// negative snippet per pass (PL001..PL008), parse-error span recovery
 // (PL000), the pass registry, and the reorder validator — both the clean
 // path (the optimizer's own output verifies) and corruption paths where a
 // tampered transformation must be caught (PL100..PL103).
@@ -178,6 +178,50 @@ TEST_F(LintPassTest, ContiguousClausesAreFine) {
   EXPECT_TRUE(WithCode(diags, "PL007").empty());
 }
 
+// ---- PL008: exception-handling pitfalls -------------------------------------
+
+TEST_F(LintPassTest, UnreachableOuterCatcherReported) {
+  auto diags = Lint(
+      "q(1).\n"
+      "p(X) :- catch(catch(q(X), _E, fail), io_error, fail).\n");
+  auto found = WithCode(diags, "PL008");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].message.find("unreachable"), std::string::npos);
+}
+
+TEST_F(LintPassTest, RethrowingInnerRecoveryKeepsOuterCatcherReachable) {
+  // The inner recovery rethrows, so the outer catcher CAN fire.
+  auto diags = Lint(
+      "q(1).\n"
+      "p(X) :- catch(catch(q(X), E, throw(E)), io_error, fail).\n");
+  EXPECT_TRUE(WithCode(diags, "PL008").empty());
+}
+
+TEST_F(LintPassTest, SpecificInnerCatcherKeepsOuterCatcherReachable) {
+  // The inner catcher only intercepts its own ball shape; everything else
+  // still reaches the outer catcher.
+  auto diags = Lint(
+      "q(1).\n"
+      "p(X) :- catch(catch(q(X), oops(_), fail), io_error, fail).\n");
+  EXPECT_TRUE(WithCode(diags, "PL008").empty());
+}
+
+TEST_F(LintPassTest, ThrowOfUnboundVariableReported) {
+  auto diags = Lint("p :- throw(_Ball).\n");
+  auto found = WithCode(diags, "PL008");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].message.find("unbound variable"), std::string::npos);
+}
+
+TEST_F(LintPassTest, ThrowOfBoundOrRethrownVariableIsFine) {
+  // E occurs twice (caught then rethrown) — not an unbound ball.
+  auto diags = Lint(
+      "q(1).\n"
+      "p(X) :- catch(q(X), E, throw(E)).\n"
+      "r(X) :- q(X), throw(stop(X)).\n");
+  EXPECT_TRUE(WithCode(diags, "PL008").empty());
+}
+
 // ---- PL000: parse-error span recovery ---------------------------------------
 
 TEST(DiagnosticTest, ParseErrorRecoversSpan) {
@@ -207,7 +251,7 @@ TEST(DiagnosticTest, RenderingCarriesCodeSeverityAndSpan) {
 
 TEST(RegistryTest, AllPassesRegisteredWithUniqueCodes) {
   const PassRegistry& registry = PassRegistry::Default();
-  EXPECT_EQ(registry.passes().size(), 7u);
+  EXPECT_EQ(registry.passes().size(), 8u);
   std::set<std::string> codes;
   for (const auto& pass : registry.passes()) {
     EXPECT_TRUE(codes.insert(pass->code()).second)

@@ -416,5 +416,70 @@ TEST(OpDirectiveTest, BadDirectiveIsError) {
   EXPECT_FALSE(ParseProgramText(&store, ":- op(X, xfx, bad).").ok());
 }
 
+// ---- Error-recovering program parse ----------------------------------------
+
+TEST(RecoveringParseTest, CollectsEveryErrorAndKeepsGoodClauses) {
+  TermStore store;
+  std::vector<prore::Status> errors;
+  Program program = ParseProgramTextRecovering(&store,
+                                               "p(1).\n"
+                                               "q(1, .\n"  // syntax error
+                                               "r(1).\n"
+                                               "s( , 2).\n"  // syntax error
+                                               "t(1).\n",
+                                               &errors);
+  EXPECT_EQ(errors.size(), 2u);
+  // Every well-formed clause survived the bad ones.
+  EXPECT_EQ(program.NumClauses(), 3u);
+}
+
+TEST(RecoveringParseTest, CleanProgramHasNoErrors) {
+  TermStore store;
+  std::vector<prore::Status> errors;
+  Program program =
+      ParseProgramTextRecovering(&store, "p(1).\np(2) :- p(1).\n", &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(program.NumClauses(), 2u);
+}
+
+TEST(RecoveringParseTest, ErrorAfterTerminatorDoesNotSkipNextClause) {
+  // A non-callable head errors AFTER its '.' was consumed; resync must not
+  // eat the following good clause.
+  TermStore store;
+  std::vector<prore::Status> errors;
+  Program program =
+      ParseProgramTextRecovering(&store, "42.\np(1).\n", &errors);
+  EXPECT_EQ(errors.size(), 1u);
+  EXPECT_EQ(program.NumClauses(), 1u);
+}
+
+TEST(RecoveringParseTest, ConsecutiveBadClausesEachReported) {
+  TermStore store;
+  std::vector<prore::Status> errors;
+  Program program = ParseProgramTextRecovering(
+      &store, "p(1, .\nq(2, .\nr(3, .\nok(4).\n", &errors);
+  EXPECT_EQ(errors.size(), 3u);
+  EXPECT_EQ(program.NumClauses(), 1u);
+}
+
+TEST(RecoveringParseTest, LexerErrorStopsWithOneError) {
+  // An unterminated quoted atom is a lexer-level failure: not recoverable,
+  // reported once with an empty program.
+  TermStore store;
+  std::vector<prore::Status> errors;
+  Program program =
+      ParseProgramTextRecovering(&store, "p('unterminated).\n", &errors);
+  EXPECT_EQ(errors.size(), 1u);
+  EXPECT_EQ(program.NumClauses(), 0u);
+}
+
+TEST(RecoveringParseTest, MissingFinalTerminatorIsReported) {
+  TermStore store;
+  std::vector<prore::Status> errors;
+  Program program = ParseProgramTextRecovering(&store, "p(1).\nq(2)", &errors);
+  EXPECT_EQ(errors.size(), 1u);
+  EXPECT_EQ(program.NumClauses(), 1u);
+}
+
 }  // namespace
 }  // namespace prore::reader

@@ -1,6 +1,6 @@
 // prolint — Prolog diagnostics tool built on the prore lint subsystem.
 //
-// Runs the registered lint passes (PL001..PL007) over each input file and,
+// Runs the registered lint passes (PL001..PL008) over each input file and,
 // unless --no-check-reorder is given, reorders the program and runs the
 // reorder validator (PL100..PL103) over the result — exercising the same
 // self-verification path the optimizer uses.
@@ -107,21 +107,30 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
 
     prore::term::TermStore store;
-    auto program = prore::reader::ParseProgramText(&store, buffer.str());
-    if (!program.ok()) {
-      diags.push_back(prore::lint::FromParseStatus(program.status()));
-    } else {
+    // Error-recovering parse: every clause-level syntax error becomes its
+    // own PL000 (instead of the first error hiding the rest), and the
+    // clauses that did parse are still linted.
+    std::vector<prore::Status> parse_errors;
+    auto program = prore::reader::ParseProgramTextRecovering(
+        &store, buffer.str(), &parse_errors);
+    for (const prore::Status& e : parse_errors) {
+      diags.push_back(prore::lint::FromParseStatus(e));
+    }
+    {
       prore::lint::Linter linter(lint_options);
-      auto run = linter.Run(store, *program);
+      auto run = linter.Run(store, program);
       if (!run.ok()) {
         std::fprintf(stderr, "prolint: %s: %s\n", path.c_str(),
                      run.status().ToString().c_str());
         any_io_error = true;
         continue;
       }
-      diags = std::move(run).value();
+      for (prore::lint::Diagnostic& d : run.value()) {
+        diags.push_back(std::move(d));
+      }
 
-      if (check_reorder && lint_options.only.empty()) {
+      if (check_reorder && lint_options.only.empty() &&
+          parse_errors.empty()) {
         // Reorder and self-verify; the reorderer embeds the validator
         // (ReorderOptions::validate_output), so its diagnostics carry the
         // PL1xx findings. A program the reorderer rejects outright is not
@@ -129,7 +138,7 @@ int main(int argc, char** argv) {
         // that failure is reported as a plain note.
         prore::core::ReorderOptions options;
         prore::core::Reorderer reorderer(&store, options);
-        auto reordered = reorderer.Run(*program);
+        auto reordered = reorderer.Run(program);
         if (reordered.ok()) {
           for (prore::lint::Diagnostic& d : reordered->diagnostics) {
             diags.push_back(std::move(d));

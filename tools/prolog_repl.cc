@@ -3,12 +3,30 @@
 // instrumentation counters (the paper's cost metric).
 //
 // Usage:
-//   prolog file1.pl [file2.pl ...] [-q 'goal'] ...
+//   prolog [options] file1.pl [file2.pl ...] [-q 'goal'] ...
 //   echo 'goal.' | prolog file.pl
 //
 // Each -q GOAL (no trailing dot) is solved to exhaustion; without -q,
 // queries are read from stdin, one clause-terminated goal per line.
+//
+// Options (resource budgets; 0 = unlimited):
+//   --timeout-ms=N       wall-clock deadline per query
+//   --max-depth=N        maximum resolution depth (pending goal nodes)
+//   --max-heap-cells=N   heap growth budget per query, in term cells
+//   --max-calls=N        maximum resolved calls per query
+//
+// Exhausting a budget raises a catchable error(resource_error(...), ...)
+// exception; uncaught, it is reported and mapped to the exit code below.
+//
+// Exit codes (worst across all queries):
+//   0  every query solved (at least one solution)
+//   1  some query failed (no solutions)
+//   2  usage error
+//   3  error (syntax error or uncaught Prolog exception)
+//   4  resource budget exhausted
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,13 +43,40 @@
 
 namespace {
 
+constexpr int kExitSolved = 0;
+constexpr int kExitFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitError = 3;
+constexpr int kExitResource = 4;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: prolog [--timeout-ms=N] [--max-depth=N]\n"
+               "              [--max-heap-cells=N] [--max-calls=N]\n"
+               "              files... [-q 'goal']...\n");
+  return kExitUsage;
+}
+
+/// Parses the numeric tail of --flag=N; returns false on malformed input.
+bool ParseBudget(const std::string& arg, const char* prefix, uint64_t* out) {
+  const size_t n = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(n);
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *out = std::stoull(value);
+  return true;
+}
+
 int RunQuery(prore::engine::Machine* machine, prore::term::TermStore* store,
              const std::string& text) {
   auto query = prore::reader::ParseQueryText(store, text);
   if (!query.ok()) {
     std::fprintf(stderr, "?- %s\n   %s\n", text.c_str(),
                  query.status().ToString().c_str());
-    return 1;
+    return kExitError;
   }
   std::printf("?- %s\n", text.c_str());
   size_t count = 0;
@@ -52,13 +97,21 @@ int RunQuery(prore::engine::Machine* machine, prore::term::TermStore* store,
   };
   machine->ClearOutput();
   auto metrics = machine->Solve(query->term, on_solution);
-  if (!metrics.ok()) {
-    std::fprintf(stderr, "   error: %s\n",
-                 metrics.status().ToString().c_str());
-    return 1;
-  }
   if (!machine->output().empty()) {
     std::printf("%s", machine->output().c_str());
+  }
+  if (!metrics.ok()) {
+    auto error = prore::engine::PrologErrorFromStatus(metrics.status());
+    if (error.has_value()) {
+      std::fprintf(stderr, "   uncaught exception: %s\n",
+                   error->ball.c_str());
+    } else {
+      std::fprintf(stderr, "   error: %s\n",
+                   metrics.status().ToString().c_str());
+    }
+    return metrics.status().code() == prore::StatusCode::kResourceExhausted
+               ? kExitResource
+               : kExitError;
   }
   if (count == 0) std::printf("false.\n");
   std::printf("%% %llu solutions, %llu calls, %llu unification attempts, "
@@ -67,7 +120,7 @@ int RunQuery(prore::engine::Machine* machine, prore::term::TermStore* store,
               static_cast<unsigned long long>(metrics->TotalCalls()),
               static_cast<unsigned long long>(metrics->head_unifications),
               static_cast<unsigned long long>(metrics->backtracks));
-  return 0;
+  return count == 0 ? kExitFailed : kExitSolved;
 }
 
 }  // namespace
@@ -75,19 +128,37 @@ int RunQuery(prore::engine::Machine* machine, prore::term::TermStore* store,
 int main(int argc, char** argv) {
   std::string source;
   std::vector<std::string> queries;
+  prore::engine::SolveOptions solve_options;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-q") == 0) {
-      if (++i >= argc) {
-        std::fprintf(stderr, "usage: prolog files... [-q 'goal']...\n");
-        return 2;
-      }
+    std::string arg = argv[i];
+    if (arg == "-q") {
+      if (++i >= argc) return Usage();
       queries.push_back(argv[i]);
       continue;
     }
-    std::ifstream in(argv[i]);
+    if (arg.rfind("--timeout-ms=", 0) == 0 ||
+        arg.rfind("--max-depth=", 0) == 0 ||
+        arg.rfind("--max-heap-cells=", 0) == 0 ||
+        arg.rfind("--max-calls=", 0) == 0) {
+      bool ok = ParseBudget(arg, "--timeout-ms=", &solve_options.timeout_ms) ||
+                ParseBudget(arg, "--max-depth=", &solve_options.max_depth) ||
+                ParseBudget(arg, "--max-heap-cells=",
+                            &solve_options.max_heap_cells) ||
+                ParseBudget(arg, "--max-calls=", &solve_options.max_calls);
+      if (!ok) {
+        std::fprintf(stderr, "prolog: malformed option %s\n", arg.c_str());
+        return Usage();
+      }
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "prolog: unknown option %s\n", arg.c_str());
+      return Usage();
+    }
+    std::ifstream in(arg);
     if (!in) {
-      std::fprintf(stderr, "prolog: cannot open %s\n", argv[i]);
-      return 1;
+      std::fprintf(stderr, "prolog: cannot open %s\n", arg.c_str());
+      return kExitError;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
@@ -99,26 +170,26 @@ int main(int argc, char** argv) {
   auto program = prore::reader::ParseProgramText(&store, source);
   if (!program.ok()) {
     std::fprintf(stderr, "prolog: %s\n", program.status().ToString().c_str());
-    return 1;
+    return kExitError;
   }
   auto db = prore::engine::Database::Build(&store, *program);
   if (!db.ok()) {
     std::fprintf(stderr, "prolog: %s\n", db.status().ToString().c_str());
-    return 1;
+    return kExitError;
   }
-  prore::engine::Machine machine(&store, &db.value());
+  prore::engine::Machine machine(&store, &db.value(), solve_options);
 
-  int failures = 0;
+  int worst = kExitSolved;
   if (!queries.empty()) {
     for (const std::string& q : queries) {
-      failures += RunQuery(&machine, &store, q + ".");
+      worst = std::max(worst, RunQuery(&machine, &store, q + "."));
     }
   } else {
     std::string line;
     while (std::getline(std::cin, line)) {
       if (line.empty() || line[0] == '%') continue;
-      failures += RunQuery(&machine, &store, line);
+      worst = std::max(worst, RunQuery(&machine, &store, line));
     }
   }
-  return failures == 0 ? 0 : 1;
+  return worst;
 }

@@ -21,9 +21,22 @@
 //   --report            print per-predicate predicted costs
 //   --compare QUERY     run QUERY on both programs and report call counts
 //   --emit-original     also echo the parsed original (normalization check)
+//   --timeout-ms=N      wall-clock deadline per --compare query (0 = off)
+//   --max-depth=N       resolution-depth budget per --compare query
+//   --max-heap-cells=N  heap growth budget per --compare query
+//   --max-calls=N       resolved-call budget per --compare query
 //
 // Output goes to stdout when no output file is given.
+//
+// Exit codes (worst across --compare queries):
+//   0  success (every compare query produced at least one answer)
+//   1  a compare query failed (no answers)
+//   2  usage error
+//   3  error (I/O, parse, reorder failure, or uncaught Prolog exception)
+//   4  a resource budget was exhausted
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -49,8 +62,27 @@ int Usage() {
                "             [--no-specialize] [--no-clauses] [--no-goals]\n"
                "             [--warren] [--lint] [--report]\n"
                "             [--compare QUERY] [--emit-original]\n"
+               "             [--timeout-ms=N] [--max-depth=N]\n"
+               "             [--max-heap-cells=N] [--max-calls=N]\n"
                "             input.pl [output.pl]\n");
   return 2;
+}
+
+constexpr int kExitFailed = 1;
+constexpr int kExitError = 3;
+constexpr int kExitResource = 4;
+
+/// Parses the numeric tail of --flag=N; returns false on malformed input.
+bool ParseBudget(const std::string& arg, const char* prefix, uint64_t* out) {
+  const size_t n = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(n);
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *out = std::stoull(value);
+  return true;
 }
 
 }  // namespace
@@ -62,6 +94,7 @@ int main(int argc, char** argv) {
   bool emit_original = false;
   bool unfold = false;
   bool factor = false;
+  prore::engine::SolveOptions solve_options;
   std::vector<std::string> compare_queries;
   std::string input_path, output_path;
 
@@ -90,6 +123,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--compare") {
       if (++i >= argc) return Usage();
       compare_queries.push_back(argv[i]);
+    } else if (arg.rfind("--timeout-ms=", 0) == 0 ||
+               arg.rfind("--max-depth=", 0) == 0 ||
+               arg.rfind("--max-heap-cells=", 0) == 0 ||
+               arg.rfind("--max-calls=", 0) == 0) {
+      bool ok =
+          ParseBudget(arg, "--timeout-ms=", &solve_options.timeout_ms) ||
+          ParseBudget(arg, "--max-depth=", &solve_options.max_depth) ||
+          ParseBudget(arg, "--max-heap-cells=",
+                      &solve_options.max_heap_cells) ||
+          ParseBudget(arg, "--max-calls=", &solve_options.max_calls);
+      if (!ok) {
+        std::fprintf(stderr, "prore: malformed option %s\n", arg.c_str());
+        return Usage();
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return Usage();
@@ -106,7 +153,7 @@ int main(int argc, char** argv) {
   std::ifstream in(input_path);
   if (!in) {
     std::fprintf(stderr, "prore: cannot open %s\n", input_path.c_str());
-    return 1;
+    return kExitError;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -117,7 +164,7 @@ int main(int argc, char** argv) {
   if (!program.ok()) {
     std::fprintf(stderr, "prore: %s: %s\n", input_path.c_str(),
                  program.status().ToString().c_str());
-    return 1;
+    return kExitError;
   }
   if (emit_original) {
     std::fprintf(stderr, "%% --- parsed original ---\n%s%% --- end ---\n",
@@ -130,7 +177,7 @@ int main(int argc, char** argv) {
     if (!diags.ok()) {
       std::fprintf(stderr, "prore: lint failed: %s\n",
                    diags.status().ToString().c_str());
-      return 1;
+      return kExitError;
     }
     std::fputs(
         prore::lint::RenderText(*diags, input_path).c_str(), stderr);
@@ -141,7 +188,7 @@ int main(int argc, char** argv) {
     if (!unfolded.ok()) {
       std::fprintf(stderr, "prore: unfolding failed: %s\n",
                    unfolded.status().ToString().c_str());
-      return 1;
+      return kExitError;
     }
     *program = std::move(unfolded).value();
   }
@@ -152,7 +199,7 @@ int main(int argc, char** argv) {
     if (!factored.ok()) {
       std::fprintf(stderr, "prore: factoring failed: %s\n",
                    factored.status().ToString().c_str());
-      return 1;
+      return kExitError;
     }
     *program = std::move(factored).value();
     std::fprintf(stderr,
@@ -167,7 +214,7 @@ int main(int argc, char** argv) {
   if (!reordered.ok()) {
     std::fprintf(stderr, "prore: reordering failed: %s\n",
                  reordered.status().ToString().c_str());
-    return 1;
+    return kExitError;
   }
   for (const prore::lint::Diagnostic& d : reordered->diagnostics) {
     std::fprintf(stderr, "prore: %s\n", d.ToString().c_str());
@@ -181,7 +228,7 @@ int main(int argc, char** argv) {
     std::ofstream out(output_path);
     if (!out) {
       std::fprintf(stderr, "prore: cannot write %s\n", output_path.c_str());
-      return 1;
+      return kExitError;
     }
     out << "% reordered by prore (Gooley & Wah, ICDE 1988)\n" << text;
   }
@@ -202,14 +249,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  int worst = 0;
   if (!compare_queries.empty()) {
-    prore::core::Evaluator eval(&store, *program, reordered->program);
+    prore::core::Evaluator eval(&store, *program, reordered->program,
+                                solve_options);
     for (const std::string& query : compare_queries) {
       auto c = eval.CompareQuery(query);
       if (!c.ok()) {
         std::fprintf(stderr, "prore: compare %s: %s\n", query.c_str(),
                      c.status().ToString().c_str());
-        return 1;
+        worst = std::max(
+            worst, c.status().code() == prore::StatusCode::kResourceExhausted
+                       ? kExitResource
+                       : kExitError);
+        continue;
       }
       std::fprintf(stderr,
                    "compare %s: %llu -> %llu calls (%.2fx), %zu answers, "
@@ -219,7 +272,8 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(c->reordered_calls),
                    c->Ratio(), c->original_answers,
                    c->set_equivalent ? "yes" : "NO");
+      if (c->original_answers == 0) worst = std::max(worst, kExitFailed);
     }
   }
-  return 0;
+  return worst;
 }
