@@ -93,6 +93,7 @@ class Inferencer {
         opts_(opts),
         out_(out) {
     AddLibraryModes(const_cast<TermStore*>(&store), &library_modes_);
+    watchdog_.Arm(opts.watchdog, "mode_inference");
   }
 
   prore::Status Run() {
@@ -242,6 +243,9 @@ class Inferencer {
 
   prore::Status ComputeOnce(const PredId& id, const Mode& input, Mode* out,
                             bool* used_unstable) {
+    // One watchdog step per clause sweep: the fixpoint loops multiply
+    // these, so a pathological program trips here instead of hanging.
+    PRORE_RETURN_IF_ERROR(watchdog_.Step());
     bool first = true;
     Mode combined;
     for (const reader::Clause& clause : program_.ClausesOf(id)) {
@@ -399,6 +403,7 @@ class Inferencer {
   ModeAnalysis* out_;
   bool speculative_walk_ = false;
   bool stabilizing_ = false;
+  prore::Watchdog watchdog_;
   ModeTable library_modes_;
   BuiltinModes builtin_modes_;
   std::unordered_map<std::string, Record> memo_;

@@ -9,6 +9,7 @@
 #include "analysis/callgraph.h"
 #include "analysis/modes.h"
 #include "common/result.h"
+#include "common/watchdog.h"
 #include "reader/program.h"
 #include "term/store.h"
 
@@ -27,6 +28,11 @@ struct InferenceOptions {
   uint32_t max_enumerated_arity = 6;
   /// Fixpoint iteration bound per (predicate, mode).
   size_t max_iterations = 64;
+  /// Step/wall-clock budget for the whole inference (one step per clause
+  /// sweep of a (predicate, mode) key). Zero fields disable the watchdog;
+  /// a trip surfaces as kResourceExhausted carrying
+  /// resource_error(watchdog(mode_inference)).
+  prore::WatchdogBudget watchdog;
 };
 
 /// What mode inference learns about a program (paper §V-E, after Debray):

@@ -1,0 +1,54 @@
+#include "common/watchdog.h"
+
+#include "common/str_util.h"
+
+namespace prore {
+
+void Watchdog::Arm(WatchdogBudget budget, std::string what) {
+  budget_ = budget;
+  what_ = std::move(what);
+  steps_ = 0;
+  next_clock_check_ = kClockStride;
+  tripped_ = false;
+  trip_reason_.clear();
+  if (budget_.timeout_ms != 0) start_ = std::chrono::steady_clock::now();
+}
+
+Status Watchdog::Step(uint64_t n) {
+  if (tripped_) return Trip();
+  if (!budget_.enabled()) return Status::OK();
+  steps_ += n;
+  if (budget_.max_steps != 0 && steps_ > budget_.max_steps) {
+    tripped_ = true;
+    trip_reason_ = StrFormat("%llu steps (budget %llu)",
+                             static_cast<unsigned long long>(steps_),
+                             static_cast<unsigned long long>(
+                                 budget_.max_steps));
+    return Trip();
+  }
+  if (budget_.timeout_ms != 0 && steps_ >= next_clock_check_) {
+    next_clock_check_ = steps_ + kClockStride;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+    if (static_cast<uint64_t>(elapsed) > budget_.timeout_ms) {
+      tripped_ = true;
+      trip_reason_ = StrFormat("%lld ms (budget %llu ms)",
+                               static_cast<long long>(elapsed),
+                               static_cast<unsigned long long>(
+                                   budget_.timeout_ms));
+      return Trip();
+    }
+  }
+  return Status::OK();
+}
+
+Status Watchdog::Trip() const {
+  return Status::ResourceExhausted(
+             StrFormat("watchdog: %s exceeded %s", what_.c_str(),
+                       trip_reason_.c_str()))
+      .WithErrorTerm(StrFormat("resource_error(watchdog(%s))",
+                               what_.c_str()));
+}
+
+}  // namespace prore

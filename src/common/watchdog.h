@@ -1,0 +1,70 @@
+#ifndef PRORE_COMMON_WATCHDOG_H_
+#define PRORE_COMMON_WATCHDOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace prore {
+
+/// Budget for a fixpoint analysis (mode inference, cost-model evaluation,
+/// alias resolution, ...). Zero means "unlimited" for either axis, so a
+/// default-constructed budget is a no-op watchdog.
+struct WatchdogBudget {
+  uint64_t max_steps = 0;   ///< Abstract work units (0 = unlimited).
+  uint64_t timeout_ms = 0;  ///< Wall-clock deadline (0 = unlimited).
+
+  bool enabled() const { return max_steps != 0 || timeout_ms != 0; }
+};
+
+/// Step/wall-clock guard for analyses that iterate to fixpoint. The owner
+/// calls Step() once per unit of work; when the budget is exceeded the
+/// watchdog trips and every subsequent Step() cheaply returns the same
+/// kResourceExhausted status, carrying a `resource_error(...)` term in the
+/// vocabulary of the engine's budget errors so callers can surface it the
+/// same way (catchable, exit code 4, ...).
+///
+/// The wall clock is only sampled every kClockStride steps to keep Step()
+/// cheap on the hot path.
+class Watchdog {
+ public:
+  Watchdog() = default;
+  Watchdog(WatchdogBudget budget, std::string what) {
+    Arm(budget, std::move(what));
+  }
+
+  /// (Re)arms the watchdog: resets the step counter and the wall clock.
+  /// `what` names the guarded analysis and appears in the error term,
+  /// e.g. "mode_inference" -> resource_error(watchdog(mode_inference)).
+  void Arm(WatchdogBudget budget, std::string what);
+
+  /// Records `n` units of work. Returns OK while within budget; once the
+  /// budget is exceeded, returns (and keeps returning) the trip status.
+  Status Step(uint64_t n = 1);
+
+  /// OK while within budget, otherwise the trip status. Does not advance.
+  Status Check() const { return tripped_ ? Trip() : Status::OK(); }
+
+  bool tripped() const { return tripped_; }
+  uint64_t steps() const { return steps_; }
+  const WatchdogBudget& budget() const { return budget_; }
+
+ private:
+  static constexpr uint64_t kClockStride = 1024;
+
+  Status Trip() const;
+
+  WatchdogBudget budget_;
+  std::string what_ = "analysis";
+  uint64_t steps_ = 0;
+  uint64_t next_clock_check_ = kClockStride;
+  bool tripped_ = false;
+  std::string trip_reason_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace prore
+
+#endif  // PRORE_COMMON_WATCHDOG_H_

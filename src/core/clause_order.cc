@@ -48,6 +48,12 @@ prore::Result<ClauseOrderResult> OrderClauses(
         seq.push_back(tree.get());
       }
       auto eval = costs->EvaluateSequence(seq, env);
+      if (!eval.ok() &&
+          eval.status().code() == prore::StatusCode::kResourceExhausted) {
+        // A watchdog trip must reach the pipeline's fault boundary, not
+        // silently default this clause's estimate.
+        return eval.status();
+      }
       if (eval.ok()) {
         p_body = eval->chain.success_prob;
         c_body = eval->chain.cost_single;

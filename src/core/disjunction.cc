@@ -204,7 +204,9 @@ TermRef HoistInBody(TermStore* store, TermRef body,
 prore::Result<reader::Program> FactorDisjunctions(TermStore* store,
                                                   const reader::Program&
                                                       program,
-                                                  FactorStats* stats) {
+                                                  FactorStats* stats,
+                                                  const analysis::PredSet*
+                                                      skip) {
   FactorStats local;
   if (stats == nullptr) stats = &local;
   PRORE_ASSIGN_OR_RETURN(auto graph,
@@ -215,6 +217,13 @@ prore::Result<reader::Program> FactorDisjunctions(TermStore* store,
   reader::Program out;
   for (const PredId& pred : program.pred_order()) {
     const auto& clauses = program.ClausesOf(pred);
+    if (skip != nullptr && skip->count(pred) > 0) {
+      // Quarantined predicate: clauses pass through untouched.
+      for (const reader::Clause& clause : clauses) {
+        out.AddClause(*store, clause);
+      }
+      continue;
+    }
     std::vector<reader::Clause> merged;
     for (size_t i = 0; i < clauses.size(); ++i) {
       reader::Clause current = clauses[i];

@@ -1,6 +1,7 @@
 #ifndef PRORE_CORE_DISJUNCTION_H_
 #define PRORE_CORE_DISJUNCTION_H_
 
+#include "analysis/callgraph.h"
 #include "common/result.h"
 #include "reader/program.h"
 #include "term/store.h"
@@ -32,9 +33,11 @@ struct FactorStats {
 ///
 /// Both transformations reduce repeated work by themselves and expose more
 /// mobility to the reorderer. Returns a new program over the same store.
+/// `skip` (optional) lists predicates to pass through verbatim — the
+/// guarded pipeline's quarantine set.
 prore::Result<reader::Program> FactorDisjunctions(
     term::TermStore* store, const reader::Program& program,
-    FactorStats* stats = nullptr);
+    FactorStats* stats = nullptr, const analysis::PredSet* skip = nullptr);
 
 }  // namespace prore::core
 

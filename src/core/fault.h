@@ -1,0 +1,50 @@
+#ifndef PRORE_CORE_FAULT_H_
+#define PRORE_CORE_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/callgraph.h"
+#include "common/status.h"
+#include "term/store.h"
+
+namespace prore::core {
+
+/// Deterministic fault injection for the *transform* side of the system,
+/// the counterpart of engine/fault.h's run-time FaultInjector. Tests use it
+/// to sabotage individual predicates' builds so the guarded pipeline
+/// (core/pipeline.h) can be shown quarantining them, and to plant real
+/// miscompiles the validator / differential harness must catch.
+///
+/// Plans are consulted by the reorderer when ReorderOptions::fault is set;
+/// a null plan (the default) costs one pointer test per stage.
+struct TransformFaultPlan {
+  /// Consulted at the entry of each per-predicate transform stage
+  /// ("build", "clause_order", "goal_order", "emit"). Returning a non-OK
+  /// status aborts that predicate's build with that status — exactly the
+  /// shape of a real internal failure. May also throw, to model crashes.
+  std::function<prore::Status(const term::PredId& pred, const char* stage)>
+      stage_error;
+
+  /// After emitting these predicates' clauses, silently drop the last one
+  /// (when more than one), simulating a miscompile that only the validator
+  /// (PL101/PL103) or the orig-vs-reordered differential can detect. Not
+  /// applied to identity-level emissions, whose clauses are copied
+  /// verbatim by construction.
+  analysis::PredSet drop_last_clause;
+
+  /// Number of times any part of the plan fired (for test assertions).
+  mutable uint64_t fired = 0;
+
+  /// Runs stage_error for (pred, stage), counting firings.
+  prore::Status Check(const term::PredId& pred, const char* stage) const {
+    if (!stage_error) return prore::Status::OK();
+    prore::Status st = stage_error(pred, stage);
+    if (!st.ok()) ++fired;
+    return st;
+  }
+};
+
+}  // namespace prore::core
+
+#endif  // PRORE_CORE_FAULT_H_

@@ -131,15 +131,26 @@ prore::Result<OrderResult> GoalOrderSearch::Exhaustive(
   std::vector<const BodyNode*> prefix;
   std::vector<bool> used(elements.size(), false);
 
+  // A kResourceExhausted evaluation (cost-model watchdog) must abort the
+  // whole search, not be skipped like an ordinary illegal candidate.
+  prore::Status trip;
+
   // DFS over legal prefixes; evaluate complete orders.
   std::function<void(const AbstractEnv&)> recurse =
       [&](const AbstractEnv& env) {
+        if (!trip.ok()) return;
         if (prefix.size() == elements.size()) {
           ++considered;
           // Placement checks during the DFS already established legality
           // (oracle-proven or at-least-original).
           auto eval = costs_->EvaluateSequence(prefix, start_env);
-          if (!eval.ok()) return;
+          if (!eval.ok()) {
+            if (eval.status().code() ==
+                prore::StatusCode::kResourceExhausted) {
+              trip = eval.status();
+            }
+            return;
+          }
           double cost = eval->chain.cost_all_solutions;
           if (cost < best.cost_all) {
             best.cost_all = cost;
@@ -149,13 +160,20 @@ prore::Result<OrderResult> GoalOrderSearch::Exhaustive(
         }
         for (size_t i = 0; i < elements.size(); ++i) {
           if (used[i]) continue;
+          if (!trip.ok()) return;
           // Legality + semifixity at this placement. Legal means: the
           // oracle proves every call's demands, OR the element sees all
           // its variables at least as instantiated as in the original
           // order (upward closure).
           std::vector<const BodyNode*> single{elements[i]};
           auto step = costs_->EvaluateSequence(single, env);
-          if (!step.ok()) continue;
+          if (!step.ok()) {
+            if (step.status().code() ==
+                prore::StatusCode::kResourceExhausted) {
+              trip = step.status();
+            }
+            continue;
+          }
           if (!step->legal && !AtLeastOriginal(sigs[i], env)) continue;
           if (!SatisfiesConstraint(sigs[i], env)) continue;
           used[i] = true;
@@ -166,6 +184,7 @@ prore::Result<OrderResult> GoalOrderSearch::Exhaustive(
         }
       };
   recurse(start_env);
+  if (!trip.ok()) return trip;
   best.nodes_considered = considered;
   if (!std::isfinite(best.cost_all)) {
     // No legal complete order found; signal "keep original" via +inf cost.
@@ -210,7 +229,12 @@ prore::Result<OrderResult> GoalOrderSearch::AStar(
       }
       std::vector<const BodyNode*> single{elements[i]};
       auto step = costs_->EvaluateSequence(single, node.env);
-      if (!step.ok()) continue;
+      if (!step.ok()) {
+        if (step.status().code() == prore::StatusCode::kResourceExhausted) {
+          return step.status();  // watchdog trip aborts the search
+        }
+        continue;
+      }
       if (!step->legal && !AtLeastOriginal(sigs[i], node.env)) continue;
       if (!SatisfiesConstraint(sigs[i], node.env)) continue;
       Node next;
@@ -245,7 +269,12 @@ prore::Result<OrderResult> GoalOrderSearch::WarrenGreedy(
       if (used[i]) continue;
       std::vector<const BodyNode*> single{elements[i]};
       auto step = costs_->EvaluateSequence(single, env);
-      if (!step.ok()) continue;
+      if (!step.ok()) {
+        if (step.status().code() == prore::StatusCode::kResourceExhausted) {
+          return step.status();  // watchdog trip aborts the search
+        }
+        continue;
+      }
       if (!step->legal && !AtLeastOriginal(sigs[i], env)) continue;
       if (!SatisfiesConstraint(sigs[i], env)) continue;
       double factor;

@@ -1,0 +1,370 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/str_util.h"
+#include "reader/writer.h"
+
+namespace prore::core {
+
+using term::PredId;
+
+const char* LadderLevelName(LadderLevel level) {
+  switch (level) {
+    case LadderLevel::kFull:
+      return "full";
+    case LadderLevel::kNoUnfold:
+      return "no-unfold";
+    case LadderLevel::kClauseOrderOnly:
+      return "clause-order-only";
+    case LadderLevel::kIdentity:
+      return "identity";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += prore::StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+bool PipelineReport::degraded() const {
+  if (unfold_disabled || factor_disabled || !global_trigger.empty()) {
+    return true;
+  }
+  return quarantined() > 0;
+}
+
+size_t PipelineReport::quarantined() const {
+  size_t n = 0;
+  for (const PredOutcome& p : preds) {
+    if (p.level != LadderLevel::kFull) ++n;
+  }
+  return n;
+}
+
+std::string PipelineReport::ToText() const {
+  std::string out = prore::StrFormat(
+      "pipeline: %d run%s, %zu of %zu predicate%s quarantined\n", runs,
+      runs == 1 ? "" : "s", quarantined(), preds.size(),
+      preds.size() == 1 ? "" : "s");
+  if (!global_trigger.empty()) {
+    out += "  GLOBAL fallback to identity: " + global_trigger + "\n";
+  }
+  if (unfold_disabled) {
+    out += "  unfold stage disabled: " + unfold_trigger + "\n";
+  }
+  if (factor_disabled) {
+    out += "  factor stage disabled: " + factor_trigger + "\n";
+  }
+  for (const PredOutcome& p : preds) {
+    if (p.level == LadderLevel::kFull) continue;
+    out += prore::StrFormat("  %s: %s after %d attempt%s\n", p.name.c_str(),
+                            LadderLevelName(p.level), p.attempts,
+                            p.attempts == 1 ? "" : "s");
+    for (const std::string& t : p.triggers) {
+      out += "    - " + t + "\n";
+    }
+  }
+  return out;
+}
+
+std::string PipelineReport::ToJson() const {
+  std::string out = prore::StrFormat(
+      "{\"runs\":%d,\"degraded\":%s,\"quarantined\":%zu", runs,
+      degraded() ? "true" : "false", quarantined());
+  out += ",\"global_trigger\":";
+  AppendJsonString(&out, global_trigger);
+  out += prore::StrFormat(",\"unfold_disabled\":%s",
+                          unfold_disabled ? "true" : "false");
+  out += ",\"unfold_trigger\":";
+  AppendJsonString(&out, unfold_trigger);
+  out += prore::StrFormat(",\"factor_disabled\":%s",
+                          factor_disabled ? "true" : "false");
+  out += ",\"factor_trigger\":";
+  AppendJsonString(&out, factor_trigger);
+  out += ",\"preds\":[";
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const PredOutcome& p = preds[i];
+    if (i) out += ",";
+    out += "{\"pred\":";
+    AppendJsonString(&out, p.name);
+    out += ",\"level\":";
+    AppendJsonString(&out, LadderLevelName(p.level));
+    out += prore::StrFormat(
+        ",\"attempts\":%d,\"clauses_changed\":%s,\"goals_changed\":%s",
+        p.attempts, p.clauses_changed ? "true" : "false",
+        p.goals_changed ? "true" : "false");
+    out += ",\"triggers\":[";
+    for (size_t j = 0; j < p.triggers.size(); ++j) {
+      if (j) out += ",";
+      AppendJsonString(&out, p.triggers[j]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+reader::Program GuardedPipeline::CopyProgram(
+    const reader::Program& original) const {
+  reader::Program out;
+  for (const PredId& pred : original.pred_order()) {
+    for (const reader::Clause& clause : original.ClausesOf(pred)) {
+      out.AddClause(*store_, clause);
+    }
+  }
+  for (term::TermRef d : original.directives()) out.AddDirective(d);
+  return out;
+}
+
+prore::Result<PipelineResult> GuardedPipeline::Run(
+    const reader::Program& original) {
+  const std::vector<PredId> preds = original.pred_order();
+
+  std::unordered_map<PredId, LadderLevel, term::PredIdHash> levels;
+  std::unordered_map<PredId, int, term::PredIdHash> attempts;
+  std::unordered_map<PredId, std::vector<std::string>, term::PredIdHash>
+      triggers;
+  for (const PredId& p : preds) {
+    levels[p] = LadderLevel::kFull;
+    attempts[p] = 1;
+  }
+
+  bool unfold_enabled = options_.unfold;
+  bool factor_enabled = options_.factor;
+  PipelineReport report;
+
+  // One rung per predicate per run, plus stage disables, bounds the loop;
+  // the cap is slack on top of that, never the expected exit path.
+  const size_t max_runs =
+      options_.max_runs != 0 ? options_.max_runs : 3 * preds.size() + 8;
+
+  // Demotes one rung; false if already at the bottom.
+  auto demote = [&](const PredId& pred, const std::string& why) -> bool {
+    LadderLevel level = levels[pred];
+    if (level == LadderLevel::kIdentity) return false;
+    LadderLevel next;
+    switch (level) {
+      case LadderLevel::kFull:
+        // Without an unfold/factor stage the kNoUnfold rung is a no-op
+        // retry of kFull; skip straight to clause-order-only.
+        next = (unfold_enabled || factor_enabled)
+                   ? LadderLevel::kNoUnfold
+                   : LadderLevel::kClauseOrderOnly;
+        break;
+      case LadderLevel::kNoUnfold:
+        next = LadderLevel::kClauseOrderOnly;
+        break;
+      default:
+        next = LadderLevel::kIdentity;
+        break;
+    }
+    levels[pred] = next;
+    ++attempts[pred];
+    triggers[pred].push_back(why);
+    return true;
+  };
+
+  auto fill_pred_outcomes =
+      [&](const std::vector<PredModeReport>* final_reports) {
+        report.preds.clear();
+        for (const PredId& p : preds) {
+          PredOutcome o;
+          o.pred = p;
+          o.name = reader::PredName(*store_, p);
+          o.level = levels[p];
+          o.attempts = attempts[p];
+          o.triggers = triggers[p];
+          if (final_reports != nullptr) {
+            for (const PredModeReport& r : *final_reports) {
+              if (r.pred == p) {
+                o.clauses_changed = o.clauses_changed || r.clauses_changed;
+                o.goals_changed = o.goals_changed || r.goals_changed;
+              }
+            }
+          }
+          report.preds.push_back(std::move(o));
+        }
+      };
+
+  auto identity_fallback = [&](const std::string& why)
+      -> prore::Result<PipelineResult> {
+    report.global_trigger = why;
+    for (const PredId& p : preds) levels[p] = LadderLevel::kIdentity;
+    fill_pred_outcomes(nullptr);
+    PipelineResult result;
+    result.program = CopyProgram(original);
+    result.report = std::move(report);
+    return result;
+  };
+
+  for (size_t run = 1; run <= max_runs; ++run) {
+    report.runs = static_cast<int>(run);
+
+    analysis::PredSet no_unfold;
+    analysis::PredSet clause_only;
+    analysis::PredSet identity;
+    for (const auto& [pred, level] : levels) {
+      if (level >= LadderLevel::kNoUnfold) no_unfold.insert(pred);
+      if (level == LadderLevel::kClauseOrderOnly) clause_only.insert(pred);
+      if (level == LadderLevel::kIdentity) identity.insert(pred);
+    }
+
+    // ---- Stage 1: unfold / factor pre-passes -------------------------
+    // A failure here is rarely attributable to one predicate, so the
+    // fallback is coarser: disable the whole stage and re-run.
+    const reader::Program* working = &original;
+    reader::Program unfolded_storage, factored_storage;
+    if (unfold_enabled) {
+      UnfoldOptions uo = options_.unfold_options;
+      uo.skip = no_unfold;
+      prore::Status st;
+      try {
+        auto r = UnfoldProgram(store_, *working, uo);
+        if (r.ok()) {
+          unfolded_storage = std::move(r).value();
+          working = &unfolded_storage;
+        } else {
+          st = r.status();
+        }
+      } catch (const std::exception& e) {
+        st = prore::Status::Internal(
+            prore::StrFormat("uncaught exception in unfold: %s", e.what()));
+      }
+      if (!st.ok()) {
+        unfold_enabled = false;
+        report.unfold_disabled = true;
+        report.unfold_trigger = st.ToString();
+        continue;
+      }
+    }
+    if (factor_enabled) {
+      prore::Status st;
+      try {
+        auto r = FactorDisjunctions(store_, *working, nullptr, &no_unfold);
+        if (r.ok()) {
+          factored_storage = std::move(r).value();
+          working = &factored_storage;
+        } else {
+          st = r.status();
+        }
+      } catch (const std::exception& e) {
+        st = prore::Status::Internal(
+            prore::StrFormat("uncaught exception in factor: %s", e.what()));
+      }
+      if (!st.ok()) {
+        factor_enabled = false;
+        report.factor_disabled = true;
+        report.factor_trigger = st.ToString();
+        continue;
+      }
+    }
+
+    // ---- Stage 2: the reorderer under its fault boundary -------------
+    ReorderOptions ro = options_.reorder;
+    ro.clause_order_only = clause_only;
+    ro.identity_preds = identity;
+    ro.cost_watchdog = options_.cost_watchdog;
+    ro.inference.watchdog = options_.inference_watchdog;
+    if (options_.fault != nullptr) ro.fault = options_.fault;
+    PredId blamed{};
+    bool have_blame = false;
+    auto user_cb = options_.reorder.on_pred_error;
+    ro.on_pred_error = [&](const PredId& p, const prore::Status& st) {
+      blamed = p;
+      have_blame = true;
+      if (user_cb) user_cb(p, st);
+    };
+
+    prore::Result<ReorderResult> rr = ReorderResult{};
+    try {
+      rr = Reorderer(store_, ro).Run(*working);
+    } catch (const std::exception& e) {
+      rr = prore::Status::Internal(
+          prore::StrFormat("uncaught exception in reorderer: %s", e.what()));
+    }
+
+    if (!rr.ok()) {
+      if (have_blame && levels.count(blamed) > 0 &&
+          demote(blamed, rr.status().ToString())) {
+        continue;
+      }
+      // Unattributable (setup/analysis failure, e.g. a mode-inference
+      // watchdog trip) or an identity build failed (which must not
+      // happen): the only safe landing is the identity program.
+      return identity_fallback(rr.status().ToString());
+    }
+
+    // ---- Stage 3: validator diagnostics as quarantine triggers -------
+    // Map version names back to original predicates so a finding against
+    // aunt_iu/2 demotes aunt/2.
+    std::unordered_map<std::string, PredId> owner;
+    for (const PredModeReport& r : rr->reports) {
+      owner.emplace(
+          prore::StrFormat("%s/%u", r.version_name.c_str(), r.pred.arity),
+          r.pred);
+      owner.emplace(reader::PredName(*store_, r.pred), r.pred);
+    }
+    bool demoted_any = false;
+    for (const lint::Diagnostic& d : rr->diagnostics) {
+      if (d.severity != lint::Severity::kError) continue;
+      auto it = owner.find(d.pred);
+      std::string why = d.code + ": " + d.message;
+      if (it == owner.end() || levels.count(it->second) == 0 ||
+          !demote(it->second, why)) {
+        // No predicate to blame (or it is already at identity, which
+        // self-validates — a contradiction): identity for everything.
+        return identity_fallback(why);
+      }
+      demoted_any = true;
+    }
+    if (demoted_any) continue;
+
+    // ---- Success ------------------------------------------------------
+    fill_pred_outcomes(&rr->reports);
+    PipelineResult result;
+    result.program = std::move(rr->program);
+    result.reports = std::move(rr->reports);
+    result.diagnostics = std::move(rr->diagnostics);
+    result.report = std::move(report);
+    return result;
+  }
+
+  return identity_fallback(
+      prore::StrFormat("attempt budget exhausted after %zu runs",
+                       max_runs));
+}
+
+}  // namespace prore::core

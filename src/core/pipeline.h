@@ -1,0 +1,134 @@
+#ifndef PRORE_CORE_PIPELINE_H_
+#define PRORE_CORE_PIPELINE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/watchdog.h"
+#include "core/disjunction.h"
+#include "core/fault.h"
+#include "core/reorderer.h"
+#include "core/unfold.h"
+#include "lint/diagnostic.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::core {
+
+/// The degradation ladder, descended one rung at a time when a predicate's
+/// transform fails its fault boundary (thrown exception, non-ok Status,
+/// error-severity validator diagnostic, or watchdog trip). The bottom rung
+/// is unconditional: identity emission copies the original clauses
+/// verbatim and runs no analysis-driven decisions on that predicate, so it
+/// is always reachable and always succeeds.
+enum class LadderLevel {
+  kFull = 0,             ///< unfold + factor + clause & goal order + modes
+  kNoUnfold = 1,         ///< exempt from unfold/factor; reorder fully
+  kClauseOrderOnly = 2,  ///< clause order only; body and name untouched
+  kIdentity = 3,         ///< original clauses, bit-for-bit
+};
+
+/// Stable lowercase name: "full", "no-unfold", "clause-order-only",
+/// "identity".
+const char* LadderLevelName(LadderLevel level);
+
+struct PipelineOptions {
+  ReorderOptions reorder;
+  /// Run the unfolding pre-pass (prore --unfold).
+  bool unfold = false;
+  UnfoldOptions unfold_options;
+  /// Run disjunction factoring (prore --factor).
+  bool factor = false;
+  /// Budget for mode inference (0 fields = unlimited).
+  prore::WatchdogBudget inference_watchdog;
+  /// Budget for cost-model evaluation (0 fields = unlimited); covers the
+  /// goal-order search transitively.
+  prore::WatchdogBudget cost_watchdog;
+  /// Whole-pipeline retry cap; 0 = automatic (enough for every predicate
+  /// to descend the full ladder, plus slack).
+  size_t max_runs = 0;
+  /// Transform-stage fault injection (tests only).
+  const TransformFaultPlan* fault = nullptr;
+};
+
+/// Per-predicate outcome in the PipelineReport.
+struct PredOutcome {
+  term::PredId pred;
+  std::string name;  ///< "name/arity"
+  LadderLevel level = LadderLevel::kFull;
+  /// Build attempts for this predicate: 1 + number of demotions.
+  int attempts = 1;
+  /// Why each demotion happened, in ladder order (status or diagnostic
+  /// text, e.g. "PL101: transformed aunt/2 dropped a clause").
+  std::vector<std::string> triggers;
+  bool clauses_changed = false;
+  bool goals_changed = false;
+};
+
+/// Structured account of a guarded run: who ended at which ladder level,
+/// after how many attempts, triggered by what. Rendered as text (for
+/// stderr) or JSON (stable field order, machine-checkable).
+struct PipelineReport {
+  /// One entry per original predicate, in program order.
+  std::vector<PredOutcome> preds;
+  /// Whole-pipeline attempts (1 = clean first pass).
+  int runs = 1;
+  /// Non-empty when a global (unattributable) failure forced the whole
+  /// program to identity — e.g. a mode-inference watchdog trip during
+  /// setup, or an attempt-budget blowout.
+  std::string global_trigger;
+  /// Stage-level fallbacks (recorded once, not per predicate): a failure
+  /// inside unfold/factor disables that whole stage for the rest of the
+  /// run rather than blaming a predicate.
+  bool unfold_disabled = false;
+  std::string unfold_trigger;
+  bool factor_disabled = false;
+  std::string factor_trigger;
+
+  /// True if any predicate ended below kFull (or a stage was disabled).
+  bool degraded() const;
+  /// Number of predicates below kFull.
+  size_t quarantined() const;
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+struct PipelineResult {
+  reader::Program program;
+  /// Reorderer reports from the final (successful) run.
+  std::vector<PredModeReport> reports;
+  /// Diagnostics from the final run (notes and warnings; error-severity
+  /// findings have been consumed as quarantine triggers by then).
+  std::vector<lint::Diagnostic> diagnostics;
+  PipelineReport report;
+};
+
+/// The self-healing optimization pipeline. Runs unfold/factor/reorder under
+/// a per-predicate fault boundary: any failure attributed to a predicate
+/// demotes it one rung on the degradation ladder and re-runs; global
+/// failures (analysis watchdog trips during setup) fall back to the
+/// identity program. The result therefore always contains every predicate
+/// — healthy ones transformed, quarantined ones at their recorded rung —
+/// and Run() only returns an error for malformed input (not for any
+/// transform failure).
+class GuardedPipeline {
+ public:
+  GuardedPipeline(term::TermStore* store, PipelineOptions options = {})
+      : store_(store), options_(std::move(options)) {}
+
+  prore::Result<PipelineResult> Run(const reader::Program& original);
+
+ private:
+  /// The guaranteed bottom: a verbatim copy of the program.
+  reader::Program CopyProgram(const reader::Program& original) const;
+
+  term::TermStore* store_;
+  PipelineOptions options_;
+};
+
+}  // namespace prore::core
+
+#endif  // PRORE_CORE_PIPELINE_H_

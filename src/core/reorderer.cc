@@ -150,6 +150,7 @@ prore::Status Pipeline::Setup() {
       *store_, original_, graph_, oracle_.get(), &fixity_));
   costs_ = std::make_unique<cost::CostModel>(store_, &original_, &graph_,
                                              &decls_, oracle_.get());
+  costs_->ArmWatchdog(options_.cost_watchdog);
   search_ = std::make_unique<GoalOrderSearch>(store_, costs_.get(), &fixity_,
                                               options_.goal_search);
   size_t rank = 0;
@@ -163,6 +164,7 @@ prore::Status Pipeline::Setup() {
 }
 
 bool Pipeline::AllowReorder(const PredId& pred) const {
+  if (options_.identity_preds.count(pred) > 0) return false;
   if (frozen_.count(pred) > 0) return false;
   if (fixity_.IsFixed(pred)) return false;
   if (graph_.IsRecursive(pred) &&
@@ -212,7 +214,22 @@ prore::Status Pipeline::ProcessQueue() {
     std::string key = pending_[best];
     pending_.erase(pending_.begin() + best);
     Version& v = versions_[key];
-    PRORE_RETURN_IF_ERROR(BuildVersion(v.pred, v.mode, &v));
+    // Fault boundary: a version build that throws or fails is attributed
+    // to its predicate via on_pred_error before the error propagates, so
+    // the guarded pipeline (core/pipeline.h) knows whom to quarantine.
+    prore::Status st;
+    try {
+      st = BuildVersion(v.pred, v.mode, &v);
+    } catch (const std::exception& e) {
+      st = prore::Status::Internal(
+          prore::StrFormat("uncaught exception while building %s: %s",
+                           reader::PredName(*store_, v.pred).c_str(),
+                           e.what()));
+    }
+    if (!st.ok()) {
+      if (options_.on_pred_error) options_.on_pred_error(v.pred, st);
+      return st;
+    }
   }
   return prore::Status::OK();
 }
@@ -338,6 +355,11 @@ TermRef Pipeline::RenameGoal(TermRef goal, const AbstractEnv& env) {
   if (!options_.specialize_modes) return goal;
   if (!original_.Has(id)) return goal;  // built-in or library predicate
   if (id.arity == 0 || id.arity > options_.max_dispatch_arity) return goal;
+  // Quarantined callees keep their original, unspecialized entry point.
+  if (options_.identity_preds.count(id) > 0 ||
+      options_.clause_order_only.count(id) > 0) {
+    return goal;
+  }
   Mode mode = Weaken(env.CallModeOf(*store_, goal));
   if (!oracle_->IsLegalCall(id, mode)) {
     // The weakened static mode is not provably safe; route through the
@@ -464,7 +486,33 @@ prore::Result<TermRef> Pipeline::EmitNode(const BodyNode& node,
 prore::Status Pipeline::BuildVersion(const PredId& pred, const Mode& mode,
                                      Version* out) {
   bool allow = AllowReorder(pred);
+  const bool clause_only = options_.clause_order_only.count(pred) > 0;
+  const bool allow_goals = allow && !clause_only;
   const auto& clauses = original_.ClausesOf(pred);
+
+  // Identity level of the degradation ladder: the original clauses are
+  // reused verbatim (same TermRefs — bit-identical emission), under the
+  // original name, with no analysis-driven decisions in the path. It runs
+  // no transform stages, so it is also exempt from fault injection —
+  // identity must stay reachable under any fault plan.
+  if (options_.identity_preds.count(pred) > 0) {
+    out->clauses = clauses;
+    out->emitted_under_original_name = true;
+    out->predicted_original_cost = costs_->StatsFor(pred, mode).cost_all;
+    out->predicted_new_cost = out->predicted_original_cost;
+    PredModeReport report;
+    report.pred = pred;
+    report.mode = mode;
+    report.version_name = store_->symbols().Name(pred.name);
+    report.predicted_original_cost = out->predicted_original_cost;
+    report.predicted_new_cost = out->predicted_new_cost;
+    reports_.push_back(report);
+    return prore::Status::OK();
+  }
+
+  if (options_.fault != nullptr) {
+    PRORE_RETURN_IF_ERROR(options_.fault->Check(pred, "build"));
+  }
 
   // Stats of the original, for the report (memoize before overriding).
   cost::PredModeStats original_stats = costs_->StatsFor(pred, mode);
@@ -474,6 +522,9 @@ prore::Status Pipeline::BuildVersion(const PredId& pred, const Mode& mode,
   std::vector<size_t> clause_order(clauses.size());
   for (size_t i = 0; i < clause_order.size(); ++i) clause_order[i] = i;
   if (allow && options_.reorder_clauses) {
+    if (options_.fault != nullptr) {
+      PRORE_RETURN_IF_ERROR(options_.fault->Check(pred, "clause_order"));
+    }
     PRORE_ASSIGN_OR_RETURN(
         ClauseOrderResult co,
         OrderClauses(*store_, original_, pred, mode, costs_.get(), fixity_));
@@ -491,9 +542,12 @@ prore::Status Pipeline::BuildVersion(const PredId& pred, const Mode& mode,
     std::unique_ptr<BodyNode> optimistic_tree;
   };
   bool want_guards =
-      options_.runtime_guards && allow && options_.reorder_goals &&
+      options_.runtime_guards && allow_goals && options_.reorder_goals &&
       std::any_of(mode.begin(), mode.end(),
                   [](ModeItem m) { return m != ModeItem::kPlus; });
+  if (options_.fault != nullptr && allow_goals && options_.reorder_goals) {
+    PRORE_RETURN_IF_ERROR(options_.fault->Check(pred, "goal_order"));
+  }
   std::vector<ReorderedClause> reordered;
   bool goals_changed = false;
   for (size_t idx : clause_order) {
@@ -507,7 +561,8 @@ prore::Status Pipeline::BuildVersion(const PredId& pred, const Mode& mode,
       PRORE_ASSIGN_OR_RETURN(auto tree, analysis::ParseBody(*store_, body));
       AbstractEnv env = analysis::EnvFromHead(*store_, rc.head, mode);
       PRORE_ASSIGN_OR_RETURN(rc.tree,
-                             ReorderSeq(*tree, &env, allow, &goals_changed));
+                             ReorderSeq(*tree, &env, allow_goals,
+                                        &goals_changed));
       if (want_guards) {
         // Reorder again under the all-instantiated assumption; keep the
         // result only if it is a different order with a markedly better
@@ -519,7 +574,7 @@ prore::Status Pipeline::BuildVersion(const PredId& pred, const Mode& mode,
             analysis::EnvFromHead(*store_, rc.head, optimistic);
         bool opt_changed = false;
         PRORE_ASSIGN_OR_RETURN(auto opt_tree,
-                               ReorderSeq(*tree2, &opt_env, allow,
+                               ReorderSeq(*tree2, &opt_env, allow_goals,
                                           &opt_changed));
         if (opt_changed) {
           auto cost_of = [&](const BodyNode& t)
@@ -567,6 +622,10 @@ prore::Status Pipeline::BuildVersion(const PredId& pred, const Mode& mode,
           seq.push_back(rc.tree.get());
         }
         auto eval = costs_->EvaluateSequence(seq, env);
+        if (!eval.ok() &&
+            eval.status().code() == prore::StatusCode::kResourceExhausted) {
+          return eval.status();  // watchdog trip: abort, don't mis-estimate
+        }
         if (eval.ok()) {
           p_body = std::min(1.0, eval->chain.success_prob);
           c_single = eval->chain.cost_single;
@@ -593,10 +652,13 @@ prore::Status Pipeline::BuildVersion(const PredId& pred, const Mode& mode,
   }
 
   // Phase B: emit clause terms with goal renaming.
+  if (options_.fault != nullptr) {
+    PRORE_RETURN_IF_ERROR(options_.fault->Check(pred, "emit"));
+  }
   term::Symbol version_sym = store_->symbols().Intern(out->name);
-  bool rename = options_.specialize_modes;
+  bool rename = options_.specialize_modes && !clause_only;
   bool keep_name = !options_.specialize_modes || pred.arity == 0 ||
-                   pred.arity > options_.max_dispatch_arity;
+                   pred.arity > options_.max_dispatch_arity || clause_only;
   out->emitted_under_original_name = keep_name;
   for (size_t i = 0; i < reordered.size(); ++i) {
     const ReorderedClause& rc = reordered[i];
@@ -650,6 +712,12 @@ prore::Status Pipeline::BuildVersion(const PredId& pred, const Mode& mode,
     out->clauses.push_back(emitted);
   }
 
+  if (options_.fault != nullptr && out->clauses.size() > 1 &&
+      options_.fault->drop_last_clause.count(pred) > 0) {
+    out->clauses.pop_back();  // planted miscompile (see core/fault.h)
+    ++options_.fault->fired;
+  }
+
   PredModeReport report;
   report.pred = pred;
   report.mode = mode;
@@ -672,8 +740,13 @@ void Pipeline::ComputeAliases() {
   // Iterate to a fixpoint: two versions may become identical only after
   // their callees' versions have merged (g_iu calls f_iu, g_uu calls f_uu;
   // once f_iu == f_uu the g versions merge too).
+  // The loop is bounded — each round merges at least one version — but a
+  // belt-and-braces cap keeps a merge-logic bug from hanging the build;
+  // stopping early only leaves duplicate versions in the output.
   bool alias_changed = true;
-  while (alias_changed) {
+  size_t rounds = 0;
+  const size_t max_rounds = versions_.size() + 8;
+  while (alias_changed && rounds++ < max_rounds) {
     alias_changed = false;
   for (auto& [pred, keys] : versions_of_) {
     std::map<std::string, std::string> canonical_by_text;
@@ -728,6 +801,13 @@ void Pipeline::ComputeAliases() {
       }
     }
   }
+  }
+  if (alias_changed) {
+    diagnostics_.push_back(lint::Diagnostic{
+        "PL211", lint::Severity::kNote, {}, "",
+        prore::StrFormat("alias fixpoint stopped after %zu rounds; some "
+                         "duplicate versions were kept",
+                         max_rounds)});
   }
 }
 
@@ -930,9 +1010,12 @@ prore::Result<ReorderResult> Pipeline::Run() {
   // Seed versions.
   for (const PredId& pred : original_.pred_order()) {
     if (!options_.specialize_modes || pred.arity == 0 ||
-        pred.arity > options_.max_dispatch_arity) {
+        pred.arity > options_.max_dispatch_arity ||
+        options_.identity_preds.count(pred) > 0 ||
+        options_.clause_order_only.count(pred) > 0) {
       // Single version under the original name, ordered for the weakest
-      // assumption (all-'?') so any call stays legal.
+      // assumption (all-'?') so any call stays legal. Quarantined
+      // predicates (identity / clause-order-only) always take this path.
       EnsureVersion(pred, Mode(pred.arity, ModeItem::kAny));
       continue;
     }

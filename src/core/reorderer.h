@@ -1,12 +1,16 @@
 #ifndef PRORE_CORE_REORDERER_H_
 #define PRORE_CORE_REORDERER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "analysis/callgraph.h"
 #include "analysis/mode_inference.h"
 #include "analysis/modes.h"
 #include "common/result.h"
+#include "common/watchdog.h"
+#include "core/fault.h"
 #include "core/goal_order.h"
 #include "lint/diagnostic.h"
 #include "reader/program.h"
@@ -48,6 +52,28 @@ struct ReorderOptions {
   /// program and report its findings in ReorderResult::diagnostics. The
   /// optimizer thereby verifies its own output on every run.
   bool validate_output = true;
+
+  // ---- Guarded-pipeline controls (core/pipeline.h) ----------------------
+
+  /// Predicates restricted to clause reordering: no goal reordering, no
+  /// mode specialization (one version under the original name), and their
+  /// bodies are left textually intact (callees keep original names).
+  analysis::PredSet clause_order_only;
+  /// Predicates emitted verbatim (the identity transform): original
+  /// clauses bit-for-bit under the original name, never specialized, and
+  /// calls to them anywhere are never renamed.
+  analysis::PredSet identity_preds;
+  /// Invoked when building a predicate's version fails, just before the
+  /// error propagates out of Run — the guarded pipeline uses it to learn
+  /// which predicate to quarantine.
+  std::function<void(const term::PredId&, const prore::Status&)>
+      on_pred_error;
+  /// Step/wall-clock budget for cost-model evaluation (0 = unlimited); a
+  /// trip aborts the run with kResourceExhausted attributed to the
+  /// predicate being built. Covers the goal-order search transitively.
+  prore::WatchdogBudget cost_watchdog;
+  /// Transform-stage fault injection (tests only); null = disabled.
+  const TransformFaultPlan* fault = nullptr;
 };
 
 /// Per-(predicate, mode) account of what the reorderer did.

@@ -77,6 +77,7 @@ class Unfolder {
 
   prore::Status DecideCandidates() {
     for (const PredId& pred : program_.pred_order()) {
+      if (options_.skip.count(pred) > 0) continue;
       if (graph_.IsRecursive(pred)) continue;
       const auto& clauses = program_.ClausesOf(pred);
       if (clauses.size() != 1) continue;
@@ -203,6 +204,13 @@ prore::Result<reader::Program> UnfoldProgram(TermStore* store,
     reader::Program next;
     bool changed = false;
     for (const PredId& pred : current.pred_order()) {
+      if (options.skip.count(pred) > 0) {
+        // Quarantined predicate: clauses pass through untouched.
+        for (const auto& clause : current.ClausesOf(pred)) {
+          next.AddClause(*store, clause);
+        }
+        continue;
+      }
       for (const auto& clause : current.ClausesOf(pred)) {
         // Fresh copy of the whole clause so transformation-time bindings
         // never leak into the input program's terms.

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "analysis/callgraph.h"
 #include "common/result.h"
 #include "reader/program.h"
 #include "term/store.h"
@@ -23,6 +24,10 @@ struct UnfoldOptions {
   /// Leave entry points callable: predicates still reachable keep their
   /// definitions; unfolding only rewrites call sites.
   bool keep_definitions = true;
+  /// Predicates exempt from unfolding (the guarded pipeline's quarantine):
+  /// they are never inlined into callers, and their own clauses are copied
+  /// verbatim instead of being rewritten.
+  analysis::PredSet skip;
 };
 
 /// Unfolds calls to predicates that can be inlined without changing

@@ -530,6 +530,9 @@ prore::Result<BlockEval> CostModel::EvaluateSequence(
   eval.env_after = start;
   std::vector<markov::GoalStats> single_stats;
   for (const BodyNode* node : order) {
+    // One watchdog step per scored element; the search layers multiply
+    // sequence evaluations, so this is where a runaway cost query trips.
+    PRORE_RETURN_IF_ERROR(watchdog_.Step());
     if (!NodeLegal(*node, eval.env_after)) eval.legal = false;
     PredModeStats s = NodeStats(*node, eval.env_after);
     double cost = ClampCost(s.cost_single);

@@ -12,6 +12,7 @@
 #include "analysis/mode_inference.h"
 #include "analysis/modes.h"
 #include "common/result.h"
+#include "common/watchdog.h"
 #include "markov/chain.h"
 #include "reader/program.h"
 #include "term/store.h"
@@ -101,6 +102,18 @@ class CostModel {
     ApplyNode(node, env);
   }
 
+  /// Guards every subsequent EvaluateSequence with a step/wall-clock
+  /// budget: one step per evaluated body element. Once tripped, evaluation
+  /// fails fast with kResourceExhausted
+  /// (resource_error(watchdog(cost_model))) — which the goal-order search
+  /// and clause ordering propagate — so a pathologically expensive cost
+  /// query degrades instead of hanging. The goal-order search is covered
+  /// transitively: every candidate it scores goes through here.
+  void ArmWatchdog(const prore::WatchdogBudget& budget) {
+    watchdog_.Arm(budget, "cost_model");
+  }
+  const prore::Watchdog& watchdog() const { return watchdog_; }
+
  private:
   struct Domains {
     /// Distinct ground keys per argument position; 0 means "some clause
@@ -130,6 +143,7 @@ class CostModel {
   const analysis::Declarations* decls_;
   analysis::LegalityOracle* oracle_;
 
+  prore::Watchdog watchdog_;
   std::unordered_map<std::string, PredModeStats> memo_;
   std::unordered_set<std::string> in_progress_;
   std::unordered_map<term::PredId, Domains, term::PredIdHash> domains_;

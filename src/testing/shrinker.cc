@@ -1,0 +1,418 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <utility>
+
+#include "common/str_util.h"
+#include "core/disjunction.h"
+#include "engine/database.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+#include "term/symbol.h"
+
+namespace prore::testing {
+
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+namespace {
+
+// ---- Source <-> item-list plumbing ----------------------------------------
+
+/// Renders a program as one string per removable unit: directives first
+/// (op/3 declarations must precede the clauses that use them), then each
+/// clause. Joining the items with newlines re-reads as the same program.
+std::vector<std::string> RenderItems(const TermStore& store,
+                                     const reader::Program& program) {
+  std::vector<std::string> items;
+  for (TermRef d : program.directives()) {
+    items.push_back(":- " + reader::WriteTerm(store, d) + ".");
+  }
+  for (const term::PredId& pred : program.pred_order()) {
+    for (const reader::Clause& clause : program.ClausesOf(pred)) {
+      items.push_back(reader::WriteClause(store, clause));
+    }
+  }
+  return items;
+}
+
+std::string JoinItems(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    out += item;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void FlattenConj(const TermStore& store, TermRef t,
+                 std::vector<TermRef>* out) {
+  t = store.Deref(t);
+  if (store.tag(t) == Tag::kStruct &&
+      store.symbol(t) == term::SymbolTable::kComma && store.arity(t) == 2) {
+    FlattenConj(store, store.arg(t, 0), out);
+    FlattenConj(store, store.arg(t, 1), out);
+    return;
+  }
+  out->push_back(t);
+}
+
+TermRef BuildConj(TermStore* store, const std::vector<TermRef>& goals) {
+  if (goals.empty()) return store->MakeAtom(term::SymbolTable::kTrue);
+  TermRef body = goals.back();
+  for (size_t i = goals.size() - 1; i-- > 0;) {
+    const TermRef args[] = {goals[i], body};
+    body = store->MakeStruct(term::SymbolTable::kComma, args);
+  }
+  return body;
+}
+
+// ---- The minimization loop ------------------------------------------------
+
+class Minimizer {
+ public:
+  Minimizer(std::vector<std::string> items, const Oracle& oracle,
+            const ShrinkOptions& options)
+      : items_(std::move(items)), oracle_(oracle), options_(options) {}
+
+  /// True iff the candidate still fails. Counts calls; once the budget is
+  /// gone every probe reports "does not fail" so the loops unwind.
+  bool Probe(const std::vector<std::string>& candidate) {
+    if (calls_ >= options_.max_oracle_calls) {
+      budget_out_ = true;
+      return false;
+    }
+    ++calls_;
+    return oracle_(JoinItems(candidate));
+  }
+
+  /// One pass over the items deleting `chunk`-sized windows. Returns true
+  /// if anything was removed.
+  bool SweepChunks(size_t chunk) {
+    bool removed = false;
+    size_t start = 0;
+    while (start < items_.size()) {
+      const size_t len = std::min(chunk, items_.size() - start);
+      std::vector<std::string> candidate(items_.begin(),
+                                         items_.begin() + start);
+      candidate.insert(candidate.end(), items_.begin() + start + len,
+                       items_.end());
+      if (Probe(candidate)) {
+        items_ = std::move(candidate);
+        removed = true;
+        // Stay at `start`: the next window shifted into place.
+      } else {
+        start += chunk;
+      }
+    }
+    return removed;
+  }
+
+  /// Deletes top-level body goals of item `k` while the failure persists.
+  /// Items that do not round-trip as a single plain clause (directives,
+  /// clauses relying on program-level op declarations) are skipped.
+  void ShrinkGoalsOf(size_t k) {
+    for (bool removed_one = true; removed_one;) {
+      removed_one = false;
+      TermStore local;
+      auto parsed = reader::ParseProgramText(&local, items_[k]);
+      if (!parsed.ok() || !parsed->directives().empty() ||
+          parsed->NumClauses() != 1 || parsed->pred_order().size() != 1) {
+        return;
+      }
+      reader::Clause clause = parsed->ClausesOf(parsed->pred_order()[0])[0];
+      std::vector<TermRef> goals;
+      FlattenConj(local, clause.body, &goals);
+      if (goals.size() < 2) return;
+      for (size_t j = 0; j < goals.size(); ++j) {
+        std::vector<TermRef> rest = goals;
+        rest.erase(rest.begin() + j);
+        reader::Clause smaller = clause;
+        smaller.body = BuildConj(&local, rest);
+        std::vector<std::string> candidate = items_;
+        candidate[k] = reader::WriteClause(local, smaller);
+        if (Probe(candidate)) {
+          items_ = std::move(candidate);
+          ++removed_goals_;
+          removed_one = true;
+          break;  // re-parse the shrunk clause and retry its goals
+        }
+      }
+    }
+  }
+
+  ShrinkResult Finish(size_t original_items) {
+    // Chunk phase: halve the deletion window down to single items.
+    for (size_t chunk = std::max<size_t>(items_.size() / 2, 1);;
+         chunk /= 2) {
+      SweepChunks(chunk);
+      if (chunk == 1) break;
+    }
+    // Single-item fixpoint = 1-minimality at clause granularity.
+    while (SweepChunks(1)) {
+    }
+    if (options_.shrink_goals) {
+      for (size_t k = 0; k < items_.size(); ++k) ShrinkGoalsOf(k);
+      // Goal deletion can make a whole clause deletable; re-establish.
+      if (removed_goals_ > 0) {
+        while (SweepChunks(1)) {
+        }
+      }
+    }
+    ShrinkResult result;
+    result.source = JoinItems(items_);
+    result.original_clauses = original_items;
+    result.final_clauses = items_.size();
+    result.removed_goals = removed_goals_;
+    result.oracle_calls = calls_;
+    result.one_minimal = !budget_out_;
+    return result;
+  }
+
+ private:
+  std::vector<std::string> items_;
+  const Oracle& oracle_;
+  const ShrinkOptions& options_;
+  size_t calls_ = 0;
+  size_t removed_goals_ = 0;
+  bool budget_out_ = false;
+};
+
+}  // namespace
+
+prore::Result<ShrinkResult> Shrink(const std::string& source,
+                                   const Oracle& oracle,
+                                   const ShrinkOptions& options) {
+  TermStore store;
+  auto parsed = reader::ParseProgramText(&store, source);
+  if (!parsed.ok()) {
+    return prore::Status::InvalidArgument(
+        "shrink input does not parse: " + parsed.status().ToString());
+  }
+  if (!oracle(source)) {
+    return prore::Status::InvalidArgument(
+        "shrink input does not fail the oracle; nothing to reproduce");
+  }
+  std::vector<std::string> items = RenderItems(store, *parsed);
+  const size_t original_items = items.size();
+  if (!oracle(JoinItems(items))) {
+    // The renormalized rendering no longer fails (span- or
+    // formatting-sensitive bug); minimizing rendered items would chase a
+    // different failure, so hand back the input untouched.
+    ShrinkResult result;
+    result.source = source;
+    result.original_clauses = original_items;
+    result.final_clauses = original_items;
+    result.oracle_calls = 2;
+    result.one_minimal = false;
+    return result;
+  }
+  Minimizer minimizer(std::move(items), oracle, options);
+  ShrinkResult result = minimizer.Finish(original_items);
+  result.oracle_calls += 2;  // the two precondition probes above
+  return result;
+}
+
+// ---- Canned oracles -------------------------------------------------------
+
+namespace {
+
+/// Unfold/factor/reorder over an already-parsed candidate, with the same
+/// fault boundary the guarded pipeline uses (exceptions become Status).
+prore::Result<core::ReorderResult> RunTransform(TermStore* store,
+                                                const reader::Program&
+                                                    program,
+                                                const OracleOptions& o) {
+  try {
+    const reader::Program* working = &program;
+    reader::Program unfolded, factored;
+    if (o.unfold) {
+      auto r = core::UnfoldProgram(store, *working, o.unfold_options);
+      if (!r.ok()) return r.status();
+      unfolded = std::move(r).value();
+      working = &unfolded;
+    }
+    if (o.factor) {
+      auto r = core::FactorDisjunctions(store, *working);
+      if (!r.ok()) return r.status();
+      factored = std::move(r).value();
+      working = &factored;
+    }
+    return core::Reorderer(store, o.reorder).Run(*working);
+  } catch (const std::exception& e) {
+    return prore::Status::Internal(
+        prore::StrFormat("uncaught exception: %s", e.what()));
+  }
+}
+
+}  // namespace
+
+Oracle ValidatorErrorOracle(OracleOptions options) {
+  options.reorder.validate_output = true;
+  return [options](const std::string& source) -> bool {
+    TermStore store;
+    auto program = reader::ParseProgramText(&store, source);
+    if (!program.ok()) return false;
+    auto rr = RunTransform(&store, *program, options);
+    if (!rr.ok()) return false;  // CrashOracle territory
+    for (const lint::Diagnostic& d : rr->diagnostics) {
+      if (d.severity == lint::Severity::kError) return true;
+    }
+    return false;
+  };
+}
+
+Oracle CrashOracle(OracleOptions options) {
+  return [options](const std::string& source) -> bool {
+    TermStore store;
+    auto program = reader::ParseProgramText(&store, source);
+    if (!program.ok()) return false;
+    auto rr = RunTransform(&store, *program, options);
+    return !rr.ok() &&
+           rr.status().code() != prore::StatusCode::kResourceExhausted;
+  };
+}
+
+Oracle WatchdogOracle(OracleOptions options) {
+  return [options](const std::string& source) -> bool {
+    TermStore store;
+    auto program = reader::ParseProgramText(&store, source);
+    if (!program.ok()) return false;
+    auto rr = RunTransform(&store, *program, options);
+    return !rr.ok() &&
+           rr.status().code() == prore::StatusCode::kResourceExhausted;
+  };
+}
+
+Oracle DifferentialOracle(OracleOptions options) {
+  return [options](const std::string& source) -> bool {
+    TermStore store;
+    auto program = reader::ParseProgramText(&store, source);
+    if (!program.ok()) return false;
+    auto rr = RunTransform(&store, *program, options);
+    if (!rr.ok()) return false;  // not this oracle's failure mode
+    auto original_db = engine::Database::Build(&store, *program);
+    auto reordered_db = engine::Database::Build(&store, rr->program);
+    if (!original_db.ok() || !reordered_db.ok()) return false;
+
+    // Build each query goal twice so the two sides share no variables.
+    auto make_goals = [&]() -> std::vector<TermRef> {
+      std::vector<TermRef> goals;
+      if (options.queries.empty()) {
+        for (const term::PredId& pred : program->pred_order()) {
+          if (pred.arity == 0) {
+            goals.push_back(store.MakeAtom(pred.name));
+            continue;
+          }
+          std::vector<TermRef> args;
+          for (uint32_t i = 0; i < pred.arity; ++i) {
+            args.push_back(store.MakeVar());
+          }
+          goals.push_back(store.MakeStruct(pred.name, args));
+        }
+        return goals;
+      }
+      for (const std::string& text : options.queries) {
+        auto q = reader::ParseQueryText(&store, text + ".");
+        goals.push_back(q.ok() ? q->term : term::kNullTerm);
+      }
+      return goals;
+    };
+    const std::vector<TermRef> goals1 = make_goals();
+    const std::vector<TermRef> goals2 = make_goals();
+
+    struct SideResult {
+      prore::Status status;
+      std::vector<std::string> answers;
+    };
+    auto run_side = [&](engine::Database* db, TermRef goal) -> SideResult {
+      engine::SolveOptions so = options.solve;
+      so.fault = options.fault;
+      if (options.fault != nullptr) options.fault->Reset();
+      engine::Machine machine(&store, db, so);
+      auto r = machine.SolveToStrings(goal, goal);
+      if (!r.ok()) return {r.status(), {}};
+      SideResult side{prore::Status::OK(), std::move(r).value()};
+      std::sort(side.answers.begin(), side.answers.end());
+      return side;
+    };
+    auto resource_limited = [](const SideResult& r) {
+      if (r.status.ok()) return false;
+      if (r.status.code() == prore::StatusCode::kResourceExhausted) {
+        return true;
+      }
+      auto err = engine::PrologErrorFromStatus(r.status);
+      const std::string& ball = err ? err->ball : r.status.message();
+      return ball.find("resource_error(") != std::string::npos;
+    };
+
+    for (size_t i = 0; i < goals1.size(); ++i) {
+      if (goals1[i] == term::kNullTerm || goals2[i] == term::kNullTerm) {
+        continue;  // unparseable query: no verdict
+      }
+      SideResult a = run_side(&*original_db, goals1[i]);
+      SideResult b = run_side(&*reordered_db, goals2[i]);
+      // A budget trip on either side says nothing about equivalence (the
+      // two programs legitimately differ in cost); skip the query.
+      if (resource_limited(a) || resource_limited(b)) continue;
+      if (a.status.ok() != b.status.ok()) return true;
+      if (!a.status.ok()) {
+        auto ea = engine::PrologErrorFromStatus(a.status);
+        auto eb = engine::PrologErrorFromStatus(b.status);
+        const std::string ball_a = ea ? ea->ball : a.status.ToString();
+        const std::string ball_b = eb ? eb->ball : b.status.ToString();
+        if (ball_a != ball_b) return true;
+        continue;
+      }
+      if (a.answers != b.answers) return true;
+    }
+    return false;
+  };
+}
+
+prore::Result<std::string> DumpRepro(const std::string& kind,
+                                     const std::string& source,
+                                     const std::string& details) {
+  namespace fs = std::filesystem;
+  const char* env = std::getenv("PRORE_ARTIFACT_DIR");
+  const fs::path dir =
+      (env != nullptr && *env != '\0') ? fs::path(env)
+                                       : fs::path("repro_artifacts");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return prore::Status::Internal(
+        prore::StrFormat("cannot create artifact dir %s: %s",
+                         dir.string().c_str(), ec.message().c_str()));
+  }
+  const size_t hash = std::hash<std::string>{}(kind + "\n" + source);
+  const fs::path path =
+      dir / prore::StrFormat("repro_%s_%08zx.pl", kind.c_str(),
+                             hash & 0xFFFFFFFFu);
+  std::ofstream out(path);
+  if (!out) {
+    return prore::Status::Internal(
+        prore::StrFormat("cannot write %s", path.string().c_str()));
+  }
+  out << "% prore minimized reproducer\n% oracle: " << kind << "\n";
+  std::string line;
+  for (char c : details) {
+    if (c == '\n') {
+      out << "% " << line << "\n";
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) out << "% " << line << "\n";
+  out << source;
+  return path.string();
+}
+
+}  // namespace prore::testing

@@ -1,0 +1,102 @@
+#ifndef PRORE_TESTING_SHRINKER_H_
+#define PRORE_TESTING_SHRINKER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/reorderer.h"
+#include "core/unfold.h"
+#include "engine/fault.h"
+#include "engine/machine.h"
+
+namespace prore::testing {
+
+/// A failure oracle: true if `source` (a whole Prolog program as text)
+/// still exhibits the failure being minimized. Candidates that do not
+/// parse must return false ("does not fail"), so the shrinker never
+/// trades one bug for a syntax error.
+using Oracle = std::function<bool(const std::string& source)>;
+
+struct ShrinkOptions {
+  /// Hard cap on oracle invocations; when it runs out the best candidate
+  /// so far is returned with one_minimal = false.
+  size_t max_oracle_calls = 2000;
+  /// After clause-level minimization, also try deleting top-level body
+  /// goals one at a time.
+  bool shrink_goals = true;
+};
+
+struct ShrinkResult {
+  /// Minimized program source (still fails the oracle).
+  std::string source;
+  size_t original_clauses = 0;  ///< clauses + directives in the input
+  size_t final_clauses = 0;     ///< clauses + directives kept
+  size_t removed_goals = 0;     ///< body goals deleted on top
+  size_t oracle_calls = 0;
+  /// True when the result is 1-minimal at clause granularity: removing
+  /// any single remaining clause makes the failure disappear.
+  bool one_minimal = false;
+};
+
+/// Delta-debugging minimizer: repeatedly deletes chunks of clauses (then
+/// single clauses, then top-level goals) while the oracle keeps failing.
+/// Returns InvalidArgument when `source` does not parse or does not fail
+/// the oracle in the first place — there is nothing to shrink.
+prore::Result<ShrinkResult> Shrink(const std::string& source,
+                                   const Oracle& oracle,
+                                   const ShrinkOptions& options = {});
+
+/// Configuration shared by the canned oracles below. The solve budgets
+/// default to small values so an oracle probe can never hang on a
+/// runaway candidate (shrinking calls the oracle hundreds of times).
+struct OracleOptions {
+  OracleOptions() {
+    solve.max_calls = 200'000;
+    solve.timeout_ms = 2'000;
+  }
+
+  /// Transform under test. Watchdog budgets ride inside (cost_watchdog,
+  /// inference.watchdog) — the watchdog oracle reads them from here.
+  core::ReorderOptions reorder;
+  bool unfold = false;
+  core::UnfoldOptions unfold_options;
+  bool factor = false;
+
+  /// Differential workload (query text without the trailing dot). When
+  /// empty, one open query per predicate of the candidate is generated.
+  std::vector<std::string> queries;
+  engine::SolveOptions solve;
+  /// Optional runtime fault plan, replayed (Reset) before each side of
+  /// each differential query. Not owned.
+  engine::FaultInjector* fault = nullptr;
+};
+
+/// Fails iff reordering the candidate emits an error-severity validator
+/// diagnostic (PL1xx) — the transform broke its own legality contract.
+Oracle ValidatorErrorOracle(OracleOptions options);
+
+/// Fails iff any transform stage throws or returns a non-ok Status
+/// (watchdog trips excluded — use WatchdogOracle for those).
+Oracle CrashOracle(OracleOptions options);
+
+/// Fails iff the original and reordered programs disagree on a query:
+/// different answer multisets, or different error outcomes (one throws
+/// and the other does not, or the thrown balls differ).
+Oracle DifferentialOracle(OracleOptions options);
+
+/// Fails iff a transform stage trips a watchdog / resource budget
+/// (kResourceExhausted from the reorderer).
+Oracle WatchdogOracle(OracleOptions options);
+
+/// Writes a minimized reproducer to `$PRORE_ARTIFACT_DIR` (or
+/// ./repro_artifacts) as repro_<kind>_<hash>.pl, with `details` in a
+/// comment header. Returns the path written.
+prore::Result<std::string> DumpRepro(const std::string& kind,
+                                     const std::string& source,
+                                     const std::string& details);
+
+}  // namespace prore::testing
+
+#endif  // PRORE_TESTING_SHRINKER_H_

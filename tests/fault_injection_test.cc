@@ -37,6 +37,7 @@
 #include "reader/parser.h"
 #include "reader/writer.h"
 #include "term/store.h"
+#include "testing/shrinker.h"
 
 namespace prore {
 namespace {
@@ -178,6 +179,37 @@ class DifferentialPair {
   std::string error_;
 };
 
+/// Failure path shared by the differential tests below: delta-debugs the
+/// failing program down to a minimal reproducer that still makes original
+/// and reordered disagree (answers or error outcomes), dumps it to an
+/// artifact file, and reports both.
+void ShrinkDifferentialFailure(const std::string& source,
+                               const std::vector<std::string>& queries) {
+  testing::OracleOptions oracle_options;
+  oracle_options.queries = queries;
+  testing::Oracle oracle = testing::DifferentialOracle(oracle_options);
+  testing::ShrinkOptions shrink_options;
+  shrink_options.max_oracle_calls = 300;  // bounded: this runs inside CI
+  auto result = testing::Shrink(source, oracle, shrink_options);
+  if (!result.ok()) {
+    ADD_FAILURE() << "shrinker could not reproduce the differential "
+                     "failure in isolation: "
+                  << result.status().ToString();
+    return;
+  }
+  auto artifact = testing::DumpRepro(
+      "differential", result->source,
+      prore::StrFormat("minimized from a %zu-clause program",
+                       result->original_clauses));
+  ADD_FAILURE() << "minimized differential reproducer ("
+                << result->original_clauses << " -> "
+                << result->final_clauses << " clauses):\n"
+                << result->source
+                << (artifact.ok() ? "artifact: " + *artifact
+                                  : "artifact dump failed: " +
+                                        artifact.status().ToString());
+}
+
 /// All plain-query workloads of one benchmark program.
 std::vector<std::string> CorpusQueries(const programs::BenchmarkProgram& p) {
   std::vector<std::string> queries;
@@ -194,13 +226,16 @@ TEST(FaultInjectionTest, CorporaAgreeOnAnswersAndErrors) {
     SCOPED_TRACE(p->name);
     DifferentialPair pair(p->source);
     ASSERT_TRUE(pair.ok()) << pair.error();
+    bool mismatch = false;
     for (const std::string& q : CorpusQueries(*p)) {
       Outcome orig = pair.RunOriginal(q);
       Outcome reord = pair.RunReordered(q);
+      if (!SameOutcome(orig, reord)) mismatch = true;
       EXPECT_TRUE(SameOutcome(orig, reord))
           << p->name << " query " << q << ": original " << Describe(orig)
           << " vs reordered " << Describe(reord);
     }
+    if (mismatch) ShrinkDifferentialFailure(p->source, CorpusQueries(*p));
   }
 }
 
@@ -527,15 +562,20 @@ TEST_P(ThrowCatchFuzzTest, ReorderingPreservesAnswersAndErrors) {
 
   DifferentialPair pair(generated.source);
   ASSERT_TRUE(pair.ok()) << pair.error();
+  bool mismatch = false;
   for (const std::string& q : generated.queries) {
     Outcome orig = pair.RunOriginal(q);
     Outcome reord = pair.RunReordered(q);
+    if (!SameOutcome(orig, reord)) mismatch = true;
     EXPECT_TRUE(SameOutcome(orig, reord))
         << q << ": original " << Describe(orig) << " vs reordered "
         << Describe(reord);
     // Whatever happened, both machines must remain usable.
     Outcome again = pair.RunOriginal(q);
     EXPECT_TRUE(SameOutcome(orig, again)) << q << " (original replay)";
+  }
+  if (mismatch) {
+    ShrinkDifferentialFailure(generated.source, generated.queries);
   }
 }
 

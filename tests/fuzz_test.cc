@@ -18,9 +18,45 @@
 #include "reader/parser.h"
 #include "reader/writer.h"
 #include "term/store.h"
+#include "testing/shrinker.h"
 
 namespace prore {
 namespace {
+
+/// Failure path: delta-debugs the generated program down to a minimal
+/// reproducer that still trips the same oracle, dumps it to an artifact
+/// file (see testing::DumpRepro), and reports both. `kind` selects the
+/// oracle: "validator", "crash", or "differential".
+void ShrinkAndDump(const std::string& kind, const std::string& source,
+                   const std::vector<std::string>& queries,
+                   testing::OracleOptions oracle_options =
+                       testing::OracleOptions()) {
+  oracle_options.queries = queries;
+  testing::Oracle oracle =
+      kind == "validator" ? testing::ValidatorErrorOracle(oracle_options)
+      : kind == "crash"   ? testing::CrashOracle(oracle_options)
+                          : testing::DifferentialOracle(oracle_options);
+  testing::ShrinkOptions shrink_options;
+  shrink_options.max_oracle_calls = 300;  // bounded: this runs inside CI
+  auto result = testing::Shrink(source, oracle, shrink_options);
+  if (!result.ok()) {
+    ADD_FAILURE() << "shrinker could not reproduce the " << kind
+                  << " failure in isolation: "
+                  << result.status().ToString();
+    return;
+  }
+  auto artifact = testing::DumpRepro(
+      kind, result->source,
+      prore::StrFormat("minimized from a %zu-clause fuzz program",
+                       result->original_clauses));
+  ADD_FAILURE() << "minimized " << kind << " reproducer ("
+                << result->original_clauses << " -> "
+                << result->final_clauses << " clauses):\n"
+                << result->source
+                << (artifact.ok() ? "artifact: " + *artifact
+                                  : "artifact dump failed: " +
+                                        artifact.status().ToString());
+}
 
 /// Deterministic random program generator. Structure:
 ///  - a pool of small constants;
@@ -188,21 +224,34 @@ TEST_P(ReorderFuzzTest, RandomProgramStaysSetEquivalent) {
 
   core::Reorderer reorderer(&store);
   auto reordered = reorderer.Run(*program);
-  ASSERT_TRUE(reordered.ok()) << reordered.status().ToString();
+  if (!reordered.ok()) {
+    ShrinkAndDump("crash", generated.source, generated.queries);
+    FAIL() << reordered.status().ToString();
+  }
 
   // The reorderer validates its own output (ReorderOptions::validate_output
   // defaults on); an error-severity diagnostic means self-verification
   // failed.
+  bool validator_failed = false;
   for (const lint::Diagnostic& d : reordered->diagnostics) {
+    if (d.severity == lint::Severity::kError) validator_failed = true;
     EXPECT_NE(d.severity, lint::Severity::kError) << d.ToString();
   }
+  if (validator_failed) {
+    ShrinkAndDump("validator", generated.source, generated.queries);
+  }
 
+  bool differential_failed = false;
   core::Evaluator eval(&store, *program, reordered->program);
   for (const std::string& query : generated.queries) {
     auto c = eval.CompareQuery(query);
     ASSERT_TRUE(c.ok()) << query << ": " << c.status().ToString();
+    if (!c->set_equivalent) differential_failed = true;
     EXPECT_TRUE(c->set_equivalent) << query;
     EXPECT_EQ(c->original_answers, c->reordered_answers) << query;
+  }
+  if (differential_failed) {
+    ShrinkAndDump("differential", generated.source, generated.queries);
   }
 }
 
@@ -242,11 +291,19 @@ TEST_P(ReorderFuzzTest, NonSpecializedVariantAlsoSetEquivalent) {
   auto reordered = reorderer.Run(*program);
   ASSERT_TRUE(reordered.ok()) << reordered.status().ToString();
 
+  bool differential_failed = false;
   core::Evaluator eval(&store, *program, reordered->program);
   for (const std::string& query : generated.queries) {
     auto c = eval.CompareQuery(query);
     ASSERT_TRUE(c.ok()) << query << ": " << c.status().ToString();
+    if (!c->set_equivalent) differential_failed = true;
     EXPECT_TRUE(c->set_equivalent) << query;
+  }
+  if (differential_failed) {
+    testing::OracleOptions oracle_options;
+    oracle_options.reorder.specialize_modes = false;
+    ShrinkAndDump("differential", generated.source, generated.queries,
+                  oracle_options);
   }
 }
 

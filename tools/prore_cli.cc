@@ -2,6 +2,12 @@
 // reordered program (per-mode specialized versions + dispatchers), and
 // optionally reports the model's predictions and a measured comparison.
 //
+// The transforms run inside the guarded pipeline (core/pipeline.h): a
+// predicate whose transform fails any fault boundary (exception, non-ok
+// status, validator error, watchdog trip) is retried down the degradation
+// ladder (full -> no-unfold -> clause-order-only -> identity) instead of
+// failing the run, so the output is always a complete program.
+//
 // Usage:
 //   prore [options] input.pl [output.pl]
 //
@@ -19,8 +25,16 @@
 //   --lint              run the lint passes over the input program and
 //                       print their diagnostics to stderr
 //   --report            print per-predicate predicted costs
+//   --report=text       print the pipeline quarantine report to stderr
+//   --report=json       same, as one line of JSON (stable field order)
+//   --strict            exit 3 if any predicate was quarantined (default:
+//                       graceful — ship the degraded program, exit 5)
 //   --compare QUERY     run QUERY on both programs and report call counts
 //   --emit-original     also echo the parsed original (normalization check)
+//   --cost-steps=N        cost-model watchdog step budget (0 = off)
+//   --cost-timeout-ms=N   cost-model watchdog wall-clock budget
+//   --infer-steps=N       mode-inference watchdog step budget
+//   --infer-timeout-ms=N  mode-inference watchdog wall-clock budget
 //   --timeout-ms=N      wall-clock deadline per --compare query (0 = off)
 //   --max-depth=N       resolution-depth budget per --compare query
 //   --max-heap-cells=N  heap growth budget per --compare query
@@ -28,12 +42,17 @@
 //
 // Output goes to stdout when no output file is given.
 //
-// Exit codes (worst across --compare queries):
-//   0  success (every compare query produced at least one answer)
+// Exit codes:
+//   0  success: fully optimized output, every compare query answered
 //   1  a compare query failed (no answers)
 //   2  usage error
-//   3  error (I/O, parse, reorder failure, or uncaught Prolog exception)
-//   4  a resource budget was exhausted
+//   3  error (I/O, parse, or uncaught failure) — also any degradation
+//      when --strict is given
+//   4  a resource budget was exhausted during --compare
+//   5  output degraded: the program was emitted, but at least one
+//      predicate was quarantined below full optimization (or a transform
+//      stage was disabled); see the pipeline report. Only reported when
+//      the exit would otherwise be 0 — codes 1/3/4 take precedence.
 
 #include <algorithm>
 #include <cstdint>
@@ -46,10 +65,8 @@
 
 #include "analysis/modes.h"
 #include "core/evaluation.h"
+#include "core/pipeline.h"
 #include "lint/lint.h"
-#include "core/reorderer.h"
-#include "core/disjunction.h"
-#include "core/unfold.h"
 #include "reader/parser.h"
 #include "reader/writer.h"
 #include "term/store.h"
@@ -61,7 +78,10 @@ int Usage() {
                "usage: prore [--unfold] [--factor] [--guards]\n"
                "             [--no-specialize] [--no-clauses] [--no-goals]\n"
                "             [--warren] [--lint] [--report]\n"
+               "             [--report=text|json] [--strict]\n"
                "             [--compare QUERY] [--emit-original]\n"
+               "             [--cost-steps=N] [--cost-timeout-ms=N]\n"
+               "             [--infer-steps=N] [--infer-timeout-ms=N]\n"
                "             [--timeout-ms=N] [--max-depth=N]\n"
                "             [--max-heap-cells=N] [--max-calls=N]\n"
                "             input.pl [output.pl]\n");
@@ -71,8 +91,10 @@ int Usage() {
 constexpr int kExitFailed = 1;
 constexpr int kExitError = 3;
 constexpr int kExitResource = 4;
+constexpr int kExitDegraded = 5;
 
-/// Parses the numeric tail of --flag=N; returns false on malformed input.
+/// Parses the numeric tail of --flag=N; false on malformed or
+/// out-of-range input (never throws, unlike std::stoull).
 bool ParseBudget(const std::string& arg, const char* prefix, uint64_t* out) {
   const size_t n = std::strlen(prefix);
   if (arg.rfind(prefix, 0) != 0) return false;
@@ -81,19 +103,25 @@ bool ParseBudget(const std::string& arg, const char* prefix, uint64_t* out) {
       value.find_first_not_of("0123456789") != std::string::npos) {
     return false;
   }
-  *out = std::stoull(value);
+  uint64_t parsed = 0;
+  for (char c : value) {
+    if (parsed > (UINT64_MAX - (c - '0')) / 10) return false;  // overflow
+    parsed = parsed * 10 + (c - '0');
+  }
+  *out = parsed;
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  prore::core::ReorderOptions options;
+  prore::core::PipelineOptions pipeline_options;
+  prore::core::ReorderOptions& options = pipeline_options.reorder;
   bool report = false;
   bool lint = false;
   bool emit_original = false;
-  bool unfold = false;
-  bool factor = false;
+  bool strict = false;
+  std::string pipeline_report_format;  // "", "text", or "json"
   prore::engine::SolveOptions solve_options;
   std::vector<std::string> compare_queries;
   std::string input_path, output_path;
@@ -101,9 +129,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--unfold") {
-      unfold = true;
+      pipeline_options.unfold = true;
     } else if (arg == "--factor") {
-      factor = true;
+      pipeline_options.factor = true;
     } else if (arg == "--guards") {
       options.runtime_guards = true;
     } else if (arg == "--no-specialize") {
@@ -118,11 +146,25 @@ int main(int argc, char** argv) {
       lint = true;
     } else if (arg == "--report") {
       report = true;
+    } else if (arg == "--report=text" || arg == "--report=json") {
+      pipeline_report_format = arg.substr(9);
+    } else if (arg == "--strict") {
+      strict = true;
     } else if (arg == "--emit-original") {
       emit_original = true;
     } else if (arg == "--compare") {
       if (++i >= argc) return Usage();
       compare_queries.push_back(argv[i]);
+    } else if (
+        ParseBudget(arg, "--cost-steps=",
+                    &pipeline_options.cost_watchdog.max_steps) ||
+        ParseBudget(arg, "--cost-timeout-ms=",
+                    &pipeline_options.cost_watchdog.timeout_ms) ||
+        ParseBudget(arg, "--infer-steps=",
+                    &pipeline_options.inference_watchdog.max_steps) ||
+        ParseBudget(arg, "--infer-timeout-ms=",
+                    &pipeline_options.inference_watchdog.timeout_ms)) {
+      // value stored by ParseBudget
     } else if (arg.rfind("--timeout-ms=", 0) == 0 ||
                arg.rfind("--max-depth=", 0) == 0 ||
                arg.rfind("--max-heap-cells=", 0) == 0 ||
@@ -183,45 +225,35 @@ int main(int argc, char** argv) {
         prore::lint::RenderText(*diags, input_path).c_str(), stderr);
   }
 
-  if (unfold) {
-    auto unfolded = prore::core::UnfoldProgram(&store, *program);
-    if (!unfolded.ok()) {
-      std::fprintf(stderr, "prore: unfolding failed: %s\n",
-                   unfolded.status().ToString().c_str());
-      return kExitError;
-    }
-    *program = std::move(unfolded).value();
-  }
-
-  if (factor) {
-    prore::core::FactorStats stats;
-    auto factored = prore::core::FactorDisjunctions(&store, *program, &stats);
-    if (!factored.ok()) {
-      std::fprintf(stderr, "prore: factoring failed: %s\n",
-                   factored.status().ToString().c_str());
-      return kExitError;
-    }
-    *program = std::move(factored).value();
-    std::fprintf(stderr,
-                 "prore: factoring hoisted %zu prefix / %zu suffix goals, "
-                 "merged %zu clause pairs\n",
-                 stats.hoisted_prefix, stats.hoisted_suffix,
-                 stats.merged_clauses);
-  }
-
-  prore::core::Reorderer reorderer(&store, options);
-  auto reordered = reorderer.Run(*program);
-  if (!reordered.ok()) {
-    std::fprintf(stderr, "prore: reordering failed: %s\n",
-                 reordered.status().ToString().c_str());
+  prore::core::GuardedPipeline pipeline(&store, pipeline_options);
+  auto result = pipeline.Run(*program);
+  if (!result.ok()) {
+    std::fprintf(stderr, "prore: pipeline failed: %s\n",
+                 result.status().ToString().c_str());
     return kExitError;
   }
-  for (const prore::lint::Diagnostic& d : reordered->diagnostics) {
+  for (const prore::lint::Diagnostic& d : result->diagnostics) {
     std::fprintf(stderr, "prore: %s\n", d.ToString().c_str());
   }
 
+  const prore::core::PipelineReport& pipeline_report = result->report;
+  if (pipeline_report_format == "json") {
+    std::fprintf(stderr, "%s\n", pipeline_report.ToJson().c_str());
+  } else if (pipeline_report_format == "text" ||
+             pipeline_report.degraded()) {
+    // Degradation is always reported, even unasked: shipping a partially
+    // optimized program silently would defeat the report's purpose.
+    std::fputs(pipeline_report.ToText().c_str(), stderr);
+  }
+  if (strict && pipeline_report.degraded()) {
+    std::fprintf(stderr,
+                 "prore: --strict: %zu predicate(s) quarantined\n",
+                 pipeline_report.quarantined());
+    return kExitError;
+  }
+
   std::string text =
-      prore::reader::WriteProgram(store, reordered->program);
+      prore::reader::WriteProgram(store, result->program);
   if (output_path.empty()) {
     std::fputs(text.c_str(), stdout);
   } else {
@@ -236,7 +268,7 @@ int main(int argc, char** argv) {
   if (report) {
     std::fprintf(stderr, "%-28s %-8s %14s %14s %s\n", "predicate", "mode",
                  "predicted-orig", "predicted-new", "changed");
-    for (const auto& r : reordered->reports) {
+    for (const auto& r : result->reports) {
       std::string changed;
       if (r.clauses_changed) changed += "clauses ";
       if (r.goals_changed) changed += "goals";
@@ -251,7 +283,7 @@ int main(int argc, char** argv) {
 
   int worst = 0;
   if (!compare_queries.empty()) {
-    prore::core::Evaluator eval(&store, *program, reordered->program,
+    prore::core::Evaluator eval(&store, *program, result->program,
                                 solve_options);
     for (const std::string& query : compare_queries) {
       auto c = eval.CompareQuery(query);
@@ -275,5 +307,6 @@ int main(int argc, char** argv) {
       if (c->original_answers == 0) worst = std::max(worst, kExitFailed);
     }
   }
+  if (worst == 0 && pipeline_report.degraded()) return kExitDegraded;
   return worst;
 }

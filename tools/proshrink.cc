@@ -1,0 +1,190 @@
+// proshrink — automatic repro shrinker: given a Prolog program that makes
+// the reordering pipeline fail, delta-debugs it down to a (1-minimal at
+// clause granularity) reproducer that still trips the same failure oracle.
+//
+// Usage:
+//   proshrink --oracle=KIND [options] input.pl
+//
+// Oracles (--oracle=...):
+//   validator     reordering emits an error-severity validator diagnostic
+//   crash         a transform stage throws or returns a non-ok status
+//   differential  original and reordered programs disagree on a query
+//                 (answer multisets or error outcomes)
+//   watchdog      a transform watchdog / resource budget trips
+//
+// Options:
+//   --query Q             differential workload query (repeatable; without
+//                         any, one open query per predicate is generated)
+//   --unfold              include the unfolding pre-pass in the transform
+//   --factor              include disjunction factoring
+//   --out=FILE            write the minimized program here (default stdout)
+//   --dump                also write a repro_<oracle>_<hash>.pl artifact to
+//                         $PRORE_ARTIFACT_DIR (default ./repro_artifacts)
+//   --max-oracle-calls=N  probe budget (default 2000)
+//   --cost-steps=N        cost-model watchdog step budget (watchdog oracle)
+//   --cost-timeout-ms=N   cost-model watchdog wall-clock budget
+//   --infer-steps=N       mode-inference watchdog step budget
+//   --infer-timeout-ms=N  mode-inference watchdog wall-clock budget
+//
+// Exit codes:
+//   0  shrunk; minimized program written
+//   1  the input does not fail the oracle (nothing to shrink)
+//   2  usage error
+//   3  I/O error (cannot read input / write output)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/shrinker.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: proshrink --oracle=validator|crash|differential|watchdog\n"
+      "                 [--query Q]... [--unfold] [--factor] [--out=FILE]\n"
+      "                 [--dump] [--max-oracle-calls=N]\n"
+      "                 [--cost-steps=N] [--cost-timeout-ms=N]\n"
+      "                 [--infer-steps=N] [--infer-timeout-ms=N]\n"
+      "                 input.pl\n");
+  return 2;
+}
+
+/// Parses the numeric tail of --flag=N; false on malformed or
+/// out-of-range input (no exceptions leak to the caller).
+bool ParseBudget(const std::string& arg, const char* prefix, uint64_t* out) {
+  const size_t n = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(n);
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  uint64_t parsed = 0;
+  for (char c : value) {
+    if (parsed > (UINT64_MAX - (c - '0')) / 10) return false;  // overflow
+    parsed = parsed * 10 + (c - '0');
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string oracle_kind, input_path, output_path;
+  bool dump = false;
+  prore::testing::OracleOptions oracle_options;
+  prore::testing::ShrinkOptions shrink_options;
+  uint64_t max_probes = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--oracle=", 0) == 0) {
+      oracle_kind = arg.substr(9);
+    } else if (arg == "--query") {
+      if (++i >= argc) return Usage();
+      oracle_options.queries.push_back(argv[i]);
+    } else if (arg == "--unfold") {
+      oracle_options.unfold = true;
+    } else if (arg == "--factor") {
+      oracle_options.factor = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      output_path = arg.substr(6);
+    } else if (ParseBudget(arg, "--max-oracle-calls=", &max_probes)) {
+      shrink_options.max_oracle_calls = static_cast<size_t>(max_probes);
+    } else if (ParseBudget(arg, "--cost-steps=",
+                           &oracle_options.reorder.cost_watchdog.max_steps) ||
+               ParseBudget(arg, "--cost-timeout-ms=",
+                           &oracle_options.reorder.cost_watchdog.timeout_ms) ||
+               ParseBudget(
+                   arg, "--infer-steps=",
+                   &oracle_options.reorder.inference.watchdog.max_steps) ||
+               ParseBudget(
+                   arg, "--infer-timeout-ms=",
+                   &oracle_options.reorder.inference.watchdog.timeout_ms)) {
+      // value stored by ParseBudget
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "proshrink: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (input_path.empty() || oracle_kind.empty()) return Usage();
+
+  prore::testing::Oracle oracle;
+  if (oracle_kind == "validator") {
+    oracle = prore::testing::ValidatorErrorOracle(oracle_options);
+  } else if (oracle_kind == "crash") {
+    oracle = prore::testing::CrashOracle(oracle_options);
+  } else if (oracle_kind == "differential") {
+    oracle = prore::testing::DifferentialOracle(oracle_options);
+  } else if (oracle_kind == "watchdog") {
+    oracle = prore::testing::WatchdogOracle(oracle_options);
+  } else {
+    std::fprintf(stderr, "proshrink: unknown oracle %s\n",
+                 oracle_kind.c_str());
+    return Usage();
+  }
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::fprintf(stderr, "proshrink: cannot open %s\n", input_path.c_str());
+    return 3;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto result =
+      prore::testing::Shrink(buffer.str(), oracle, shrink_options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "proshrink: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "proshrink: %zu -> %zu clause%s, %zu goal%s removed, "
+               "%zu oracle call%s, 1-minimal: %s\n",
+               result->original_clauses, result->final_clauses,
+               result->final_clauses == 1 ? "" : "s", result->removed_goals,
+               result->removed_goals == 1 ? "" : "s", result->oracle_calls,
+               result->oracle_calls == 1 ? "" : "s",
+               result->one_minimal ? "yes" : "no (probe budget ran out)");
+
+  if (output_path.empty()) {
+    std::fputs(result->source.c_str(), stdout);
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "proshrink: cannot write %s\n",
+                   output_path.c_str());
+      return 3;
+    }
+    out << result->source;
+  }
+  if (dump) {
+    auto path = prore::testing::DumpRepro(
+        oracle_kind, result->source,
+        "minimized from " + input_path);
+    if (path.ok()) {
+      std::fprintf(stderr, "proshrink: artifact written to %s\n",
+                   path->c_str());
+    } else {
+      std::fprintf(stderr, "proshrink: artifact dump failed: %s\n",
+                   path.status().ToString().c_str());
+      return 3;
+    }
+  }
+  return 0;
+}
