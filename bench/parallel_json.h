@@ -1,0 +1,78 @@
+#ifndef PRORE_BENCH_PARALLEL_JSON_H_
+#define PRORE_BENCH_PARALLEL_JSON_H_
+
+// Shared writer for BENCH_parallel.json: a single object with one array of
+// entries per section ("pipeline" from pipeline_scale, "engine" from
+// mt_queries). Each tool rewrites only its own section and preserves the
+// other's, so the two benches can run in either order — or alone — and
+// the file stays whole. The parser below handles exactly the format this
+// writer emits (flat entry objects, no brackets inside strings), which is
+// all it ever sees.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace prore::bench {
+
+inline const char* const kParallelSections[] = {"pipeline", "engine"};
+
+/// Extracts the raw `[...]` array text of `key` from `json`, empty string
+/// if absent.
+inline std::string ExtractSection(const std::string& json,
+                                  const std::string& key) {
+  const std::string needle = "\"" + key + "\": [";
+  size_t start = json.find(needle);
+  if (start == std::string::npos) return "";
+  size_t open = start + needle.size() - 1;
+  int depth = 0;
+  for (size_t i = open; i < json.size(); ++i) {
+    if (json[i] == '[') ++depth;
+    if (json[i] == ']' && --depth == 0) {
+      return json.substr(open, i - open + 1);
+    }
+  }
+  return "";
+}
+
+/// Rewrites `path` with `entries` under `section`, preserving the other
+/// sections' existing content. Returns false on I/O failure.
+inline bool WriteParallelSection(const char* path, const std::string& section,
+                                 const std::vector<std::string>& entries) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+
+  std::string mine = "[\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    mine += "    " + entries[i] + (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  mine += "  ]";
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  bool first = true;
+  for (const char* key : kParallelSections) {
+    std::string body =
+        key == section ? mine : ExtractSection(existing, key);
+    if (body.empty()) continue;
+    if (!first) out << ",\n";
+    out << "  \"" << key << "\": " << body;
+    first = false;
+  }
+  out << "\n}\n";
+  return out.good();
+}
+
+}  // namespace prore::bench
+
+#endif  // PRORE_BENCH_PARALLEL_JSON_H_

@@ -135,6 +135,49 @@ prore::Result<CallGraph> CallGraph::Build(const TermStore& store,
   return g;
 }
 
+std::vector<size_t> DependencyGroups::TransitiveDeps(size_t i) const {
+  std::vector<bool> seen(groups.size(), false);
+  std::vector<size_t> stack(deps[i].begin(), deps[i].end());
+  std::vector<size_t> out;
+  while (!stack.empty()) {
+    size_t g = stack.back();
+    stack.pop_back();
+    if (seen[g]) continue;
+    seen[g] = true;
+    out.push_back(g);
+    for (size_t d : deps[g]) {
+      if (!seen[d]) stack.push_back(d);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DependencyGroups ComputeDependencyGroups(const CallGraph& graph) {
+  DependencyGroups dg;
+  dg.groups = graph.SccsBottomUp();  // Tarjan order: callees before callers
+  for (size_t i = 0; i < dg.groups.size(); ++i) {
+    for (const PredId& p : dg.groups[i]) dg.group_of[p] = i;
+  }
+  dg.deps.resize(dg.groups.size());
+  for (size_t i = 0; i < dg.groups.size(); ++i) {
+    PredSet seen;
+    for (const PredId& p : dg.groups[i]) {
+      for (const PredId& callee : graph.Callees(p)) {
+        auto it = dg.group_of.find(callee);
+        // Library predicates and unknown callees have no group; recursive
+        // edges stay inside the SCC and are not dependencies.
+        if (it == dg.group_of.end() || it->second == i) continue;
+        if (seen.insert(callee).second) dg.deps[i].push_back(it->second);
+      }
+    }
+    std::sort(dg.deps[i].begin(), dg.deps[i].end());
+    dg.deps[i].erase(std::unique(dg.deps[i].begin(), dg.deps[i].end()),
+                     dg.deps[i].end());
+  }
+  return dg;
+}
+
 const std::vector<PredId>& CallGraph::Callees(const PredId& caller) const {
   static const auto& kEmpty = *new std::vector<PredId>();
   auto it = callees_.find(caller);

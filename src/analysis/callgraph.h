@@ -61,6 +61,36 @@ class CallGraph {
   std::vector<std::vector<term::PredId>> sccs_;
 };
 
+/// The SCC condensation of the call graph as an executable partition: every
+/// group is one strongly connected component, groups appear in topological
+/// order (callees before callers — the order the bottom-up analyses want),
+/// and `deps[i]` names the groups that group i calls into directly. Groups
+/// whose dependency cones are disjoint are independent, so the parallel
+/// pipeline can transform them concurrently; within a group the predicates
+/// are mutually recursive and must be analyzed together.
+struct DependencyGroups {
+  /// One entry per SCC, topologically ordered (callees first). Predicate
+  /// order within a group follows Tarjan's emission, which is deterministic
+  /// for a given program.
+  std::vector<std::vector<term::PredId>> groups;
+  /// Direct callee groups of group i (deduplicated, sorted ascending; every
+  /// entry is < i because groups are topologically ordered).
+  std::vector<std::vector<size_t>> deps;
+  /// Group index of every defined predicate.
+  std::unordered_map<term::PredId, size_t, term::PredIdHash> group_of;
+
+  /// All groups reachable from group i through `deps` (i excluded), sorted
+  /// ascending — the dependency cone whose definitions group i's analyses
+  /// need to see.
+  std::vector<size_t> TransitiveDeps(size_t i) const;
+
+  size_t size() const { return groups.size(); }
+};
+
+/// Condenses `graph` into dependency groups (vlog's computeRelianceGroups
+/// over the reliance graph, applied to the predicate call graph).
+DependencyGroups ComputeDependencyGroups(const CallGraph& graph);
+
 }  // namespace prore::analysis
 
 #endif  // PRORE_ANALYSIS_CALLGRAPH_H_

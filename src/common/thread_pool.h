@@ -1,0 +1,62 @@
+#ifndef PRORE_COMMON_THREAD_POOL_H_
+#define PRORE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prore {
+
+/// A fixed-size worker pool over one shared task queue. Tasks are plain
+/// `void()` thunks; exceptions escaping a task terminate the process (tasks
+/// own their fault boundaries — the guarded pipeline catches per group, the
+/// engine benches catch per client), so keep catch blocks inside the task.
+///
+/// Submission is allowed from worker threads (a task may enqueue follow-up
+/// work); Wait() drains to full quiescence — queue empty AND every running
+/// task finished — so it is safe even when tasks fan out.
+///
+/// With `num_threads == 0` the pool is *inline*: Submit runs the task on
+/// the calling thread immediately. That gives the single-threaded path the
+/// exact same code shape (and task order) as the parallel one, which is how
+/// the pipeline keeps jobs=1 and jobs=N bit-identical.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; runs it inline when the pool has no threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is in flight.
+  void Wait();
+
+  /// Worker threads owned by the pool (0 = inline mode).
+  size_t size() const { return threads_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows 0 for "unknown").
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: task or shutdown
+  std::condition_variable idle_cv_;   ///< signals Wait(): quiescent
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< tasks popped but not yet finished
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace prore
+
+#endif  // PRORE_COMMON_THREAD_POOL_H_

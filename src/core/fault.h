@@ -1,6 +1,7 @@
 #ifndef PRORE_CORE_FAULT_H_
 #define PRORE_CORE_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -34,7 +35,23 @@ struct TransformFaultPlan {
   analysis::PredSet drop_last_clause;
 
   /// Number of times any part of the plan fired (for test assertions).
-  mutable uint64_t fired = 0;
+  /// Atomic because one plan may be shared by several pipeline groups
+  /// running on worker threads.
+  mutable std::atomic<uint64_t> fired{0};
+
+  TransformFaultPlan() = default;
+  // The atomic would otherwise delete copying; plans are plain test
+  // fixtures, so copy the counter by value.
+  TransformFaultPlan(const TransformFaultPlan& o)
+      : stage_error(o.stage_error),
+        drop_last_clause(o.drop_last_clause),
+        fired(o.fired.load()) {}
+  TransformFaultPlan& operator=(const TransformFaultPlan& o) {
+    stage_error = o.stage_error;
+    drop_last_clause = o.drop_last_clause;
+    fired = o.fired.load();
+    return *this;
+  }
 
   /// Runs stage_error for (pred, stage), counting firings.
   prore::Status Check(const term::PredId& pred, const char* stage) const {

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "core/restrictions.h"
 #include "reader/writer.h"
 
 namespace prore::core {
@@ -151,6 +153,11 @@ reader::Program GuardedPipeline::CopyProgram(
 
 prore::Result<PipelineResult> GuardedPipeline::Run(
     const reader::Program& original) {
+  return options_.jobs == 0 ? RunWhole(original) : RunSharded(original);
+}
+
+prore::Result<PipelineResult> GuardedPipeline::RunWhole(
+    const reader::Program& original) {
   const std::vector<PredId> preds = original.pred_order();
 
   std::unordered_map<PredId, LadderLevel, term::PredIdHash> levels;
@@ -158,7 +165,8 @@ prore::Result<PipelineResult> GuardedPipeline::Run(
   std::unordered_map<PredId, std::vector<std::string>, term::PredIdHash>
       triggers;
   for (const PredId& p : preds) {
-    levels[p] = LadderLevel::kFull;
+    levels[p] = options_.pinned_identity.count(p) > 0 ? LadderLevel::kIdentity
+                                                      : LadderLevel::kFull;
     attempts[p] = 1;
   }
 
@@ -365,6 +373,202 @@ prore::Result<PipelineResult> GuardedPipeline::Run(
   return identity_fallback(
       prore::StrFormat("attempt budget exhausted after %zu runs",
                        max_runs));
+}
+
+prore::Result<PipelineResult> GuardedPipeline::RunSharded(
+    const reader::Program& original) {
+  // Condensation and the caller->callee restriction analysis run once, on
+  // the calling thread, over the whole program. If either fails, the
+  // whole-program path's fault machinery produces the right fallback.
+  auto graph = analysis::CallGraph::Build(*store_, original);
+  if (!graph.ok()) return RunWhole(original);
+  auto frozen = FrozenDescendants(*store_, original, *graph);
+  if (!frozen.ok()) return RunWhole(original);
+  const analysis::DependencyGroups dg =
+      analysis::ComputeDependencyGroups(*graph);
+  if (dg.size() <= 1) return RunWhole(original);
+
+  const std::vector<PredId>& preds = original.pred_order();
+  analysis::PredSet all_preds(preds.begin(), preds.end());
+  std::unordered_map<PredId, size_t, term::PredIdHash> source_pos;
+  for (size_t i = 0; i < preds.size(); ++i) source_pos.emplace(preds[i], i);
+  // "name/arity" -> owning group, to route merged diagnostics.
+  std::unordered_map<std::string, size_t> owner_group;
+  for (const PredId& p : preds) {
+    owner_group.emplace(reader::PredName(*store_, p), dg.group_of.at(p));
+  }
+
+  struct GroupRun {
+    term::TermStore store;  ///< private arena; symbols adopted from main
+    prore::Result<PipelineResult> result = PipelineResult{};
+    analysis::PredSet members;
+    size_t min_pos = 0;  ///< earliest source position of a member
+  };
+  std::vector<GroupRun> runs(dg.size());
+  for (size_t gi = 0; gi < dg.size(); ++gi) {
+    GroupRun& gr = runs[gi];
+    gr.members.insert(dg.groups[gi].begin(), dg.groups[gi].end());
+    gr.min_pos = preds.size();
+    for (const PredId& p : dg.groups[gi]) {
+      gr.min_pos = std::min(gr.min_pos, source_pos.at(p));
+    }
+  }
+
+  // One task per group. Each task owns a private TermStore whose symbol
+  // table is a copy of the main one (so PredIds carry over), copies its
+  // dependency cone in, and runs the complete whole-program pipeline over
+  // that subprogram with the cone pinned to identity. Groups share nothing
+  // mutable: watchdog deadlines, fault boundaries and the degradation
+  // ladder all live inside the task.
+  auto run_group = [&](size_t gi) {
+    GroupRun& gr = runs[gi];
+    try {
+      gr.store.AdoptSymbols(*store_);
+      analysis::PredSet cone;
+      for (size_t d : dg.TransitiveDeps(gi)) {
+        cone.insert(dg.groups[d].begin(), dg.groups[d].end());
+      }
+      reader::Program sub;
+      for (const PredId& p : preds) {
+        if (gr.members.count(p) == 0 && cone.count(p) == 0) continue;
+        for (const reader::Clause& c : original.ClausesOf(p)) {
+          std::unordered_map<uint32_t, term::TermRef> vars;
+          reader::Clause copy;
+          copy.head = gr.store.CopyFrom(*store_, c.head, &vars);
+          copy.body = gr.store.CopyFrom(*store_, c.body, &vars);
+          sub.AddClause(gr.store, copy);
+        }
+      }
+      // Declarations (legal modes etc.) may concern any predicate; copy
+      // them all and let each group pick out what it needs.
+      for (term::TermRef d : original.directives()) {
+        sub.AddDirective(gr.store.CopyFrom(*store_, d));
+      }
+
+      PipelineOptions po = options_;
+      po.jobs = 0;
+      po.pinned_identity = std::move(cone);
+      // Cut-freezing flows caller -> callee, so a subprogram cannot see
+      // that an outside caller guards a member with a cut; inject the
+      // whole-program answer. Version names must be free program-wide.
+      po.reorder.extra_frozen = *frozen;
+      po.reorder.reserved_preds = all_preds;
+      gr.result = GuardedPipeline(&gr.store, std::move(po)).Run(sub);
+    } catch (const std::exception& e) {
+      gr.result = prore::Status::Internal(prore::StrFormat(
+          "uncaught exception in pipeline group: %s", e.what()));
+    }
+  };
+
+  // jobs == 1 uses the inline pool: same code path, same task order, no
+  // threads — which is what makes --jobs=N bit-identical to --jobs=1.
+  {
+    prore::ThreadPool pool(options_.jobs <= 1 ? 0 : options_.jobs);
+    for (size_t gi = 0; gi < dg.size(); ++gi) {
+      pool.Submit([&run_group, gi] { run_group(gi); });
+    }
+    pool.Wait();
+  }
+
+  // Deterministic merge: groups ordered by their earliest member's source
+  // position (completion order plays no part), each contributing only the
+  // predicates it owns — the pinned cone copies are dropped, and calls into
+  // them route to the owning group's own output under the original names.
+  std::vector<size_t> order(dg.size());
+  for (size_t gi = 0; gi < dg.size(); ++gi) order[gi] = gi;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return runs[a].min_pos < runs[b].min_pos;
+  });
+
+  PipelineResult out;
+  PipelineReport& rep = out.report;
+  std::unordered_map<PredId, PredOutcome, term::PredIdHash> outcomes;
+
+  auto owned_by = [&](const PredId& p, size_t gi) {
+    auto it = dg.group_of.find(p);
+    return it == dg.group_of.end() || it->second == gi;
+  };
+
+  for (size_t gi : order) {
+    GroupRun& gr = runs[gi];
+    if (!gr.result.ok()) {
+      // The inner pipeline only errors on malformed input, which a
+      // well-formed subprogram rules out — but if it happens, land the
+      // group on identity so the merged program stays complete.
+      std::string why = gr.result.status().ToString();
+      for (const PredId& p : preds) {
+        if (gr.members.count(p) == 0) continue;
+        for (const reader::Clause& c : original.ClausesOf(p)) {
+          out.program.AddClause(*store_, c);
+        }
+        PredOutcome o;
+        o.pred = p;
+        o.name = reader::PredName(*store_, p);
+        o.level = LadderLevel::kIdentity;
+        o.attempts = 1;
+        o.triggers.push_back(why);
+        outcomes.emplace(p, std::move(o));
+      }
+      if (rep.global_trigger.empty()) {
+        rep.global_trigger = prore::StrFormat("group %zu: %s", gi,
+                                              why.c_str());
+      }
+      continue;
+    }
+
+    PipelineResult& pr = *gr.result;
+    rep.runs = std::max(rep.runs, pr.report.runs);
+    if (pr.report.unfold_disabled && !rep.unfold_disabled) {
+      rep.unfold_disabled = true;
+      rep.unfold_trigger = pr.report.unfold_trigger;
+    }
+    if (pr.report.factor_disabled && !rep.factor_disabled) {
+      rep.factor_disabled = true;
+      rep.factor_trigger = pr.report.factor_trigger;
+    }
+    if (!pr.report.global_trigger.empty() && rep.global_trigger.empty()) {
+      rep.global_trigger = prore::StrFormat(
+          "group %zu: %s", gi, pr.report.global_trigger.c_str());
+    }
+
+    for (const PredId& p : pr.program.pred_order()) {
+      if (!owned_by(p, gi)) continue;  // pinned cone copy — owner emits it
+      for (const reader::Clause& c : pr.program.ClausesOf(p)) {
+        std::unordered_map<uint32_t, term::TermRef> vars;
+        reader::Clause copy;
+        copy.head = store_->CopyFrom(gr.store, c.head, &vars);
+        copy.body = store_->CopyFrom(gr.store, c.body, &vars);
+        out.program.AddClause(*store_, copy);
+      }
+    }
+    for (const PredModeReport& r : pr.reports) {
+      if (owned_by(r.pred, gi)) out.reports.push_back(r);
+    }
+    for (const lint::Diagnostic& d : pr.diagnostics) {
+      auto it = owner_group.find(d.pred);
+      if (it != owner_group.end() && it->second != gi) continue;
+      out.diagnostics.push_back(d);
+    }
+    for (const PredOutcome& o : pr.report.preds) {
+      if (dg.group_of.count(o.pred) > 0 && dg.group_of.at(o.pred) == gi) {
+        outcomes.emplace(o.pred, o);
+      }
+    }
+  }
+
+  for (term::TermRef d : original.directives()) out.program.AddDirective(d);
+  for (const PredId& p : preds) {
+    auto it = outcomes.find(p);
+    if (it != outcomes.end()) {
+      rep.preds.push_back(std::move(it->second));
+    } else {
+      PredOutcome o;  // defensive: a group somehow skipped this predicate
+      o.pred = p;
+      o.name = reader::PredName(*store_, p);
+      rep.preds.push_back(std::move(o));
+    }
+  }
+  return out;
 }
 
 }  // namespace prore::core

@@ -36,6 +36,20 @@ const char* LadderLevelName(LadderLevel level);
 
 struct PipelineOptions {
   ReorderOptions reorder;
+  /// Parallelism over SCC dependency groups. 0 = the classic whole-program
+  /// pipeline (one Reorderer over everything, callers priced against their
+  /// already-reordered callees). N >= 1 = the sharded pipeline: the call
+  /// graph is condensed into dependency groups (analysis::DependencyGroups)
+  /// and each group is transformed independently on a pool of N worker
+  /// threads, against a private copy of its dependency cone with the cone
+  /// pinned to identity. Group construction and the merge are fully
+  /// deterministic, so --jobs=N output is bit-identical to --jobs=1 (N only
+  /// changes wall-clock). jobs=1 runs the same sharded code path inline.
+  size_t jobs = 0;
+  /// Predicates that enter the degradation ladder at kIdentity and stay
+  /// there: emitted verbatim, never blamed, calls to them never renamed.
+  /// The sharded pipeline pins each group's dependency cone this way.
+  analysis::PredSet pinned_identity;
   /// Run the unfolding pre-pass (prore --unfold).
   bool unfold = false;
   UnfoldOptions unfold_options;
@@ -122,6 +136,13 @@ class GuardedPipeline {
   prore::Result<PipelineResult> Run(const reader::Program& original);
 
  private:
+  /// The classic single-threaded whole-program pipeline (jobs == 0).
+  prore::Result<PipelineResult> RunWhole(const reader::Program& original);
+  /// The dependency-group-sharded pipeline (jobs >= 1): independent groups
+  /// transformed concurrently, each inside its own fault boundary with its
+  /// own watchdog deadlines, merged deterministically.
+  prore::Result<PipelineResult> RunSharded(const reader::Program& original);
+
   /// The guaranteed bottom: a verbatim copy of the program.
   reader::Program CopyProgram(const reader::Program& original) const;
 

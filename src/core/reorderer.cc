@@ -141,6 +141,7 @@ prore::Status Pipeline::Setup() {
                          analysis::AnalyzeFixity(*store_, original_, graph_));
   PRORE_ASSIGN_OR_RETURN(frozen_,
                          FrozenDescendants(*store_, original_, graph_));
+  frozen_.insert(options_.extra_frozen.begin(), options_.extra_frozen.end());
   PRORE_ASSIGN_OR_RETURN(
       modes_, analysis::InferModes(*store_, original_, graph_, decls_,
                                    options_.inference));
@@ -180,10 +181,12 @@ std::string Pipeline::EnsureVersion(const PredId& pred, const Mode& mode) {
   // Defensive: a user predicate may already carry a version-style name
   // (someone ran the reorderer's output through it again, or just likes
   // the suffix). Probe until free.
-  while (original_.Has(PredId{store_->symbols().Intern(name), pred.arity}) &&
-         !(PredId{store_->symbols().Intern(name), pred.arity} == pred)) {
-    name += "_v";
-  }
+  auto taken = [&](const std::string& n) {
+    PredId id{store_->symbols().Intern(n), pred.arity};
+    if (id == pred) return false;
+    return original_.Has(id) || options_.reserved_preds.count(id) > 0;
+  };
+  while (taken(name)) name += "_v";
   std::string key = Key(pred, mode);
   if (versions_.count(key) == 0) {
     auto& list = versions_of_[pred];

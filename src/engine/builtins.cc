@@ -38,6 +38,19 @@ prore::Status ThrowTypeError(Machine* m, const char* type, TermRef culprit,
   return m->ThrowError(s.MakeStruct("type_error", args), context);
 }
 
+/// permission_error(modify, static_procedure, Name/Arity) — raised when a
+/// snapshot-backed machine (immutable shared database) runs assert/retract.
+prore::Status ThrowStaticProcedure(Machine* m, const term::PredId& id,
+                                   const char* context) {
+  TermStore& s = m->store();
+  const TermRef ind_args[] = {s.MakeAtom(id.name),
+                              s.MakeInt(static_cast<int64_t>(id.arity))};
+  const TermRef args[] = {s.MakeAtom("modify"),
+                          s.MakeAtom("static_procedure"),
+                          s.MakeStruct("/", ind_args)};
+  return m->ThrowError(s.MakeStruct("permission_error", args), context);
+}
+
 prore::Status ThrowDomainError(Machine* m, const char* domain,
                                TermRef culprit, const char* context) {
   TermStore& s = m->store();
@@ -679,10 +692,18 @@ prore::Status BiAssert(Machine* m, TermRef g, bool* success, bool front) {
     }
     return ThrowTypeError(m, "callable", clause, "assert/1");
   }
+  if (m->mutable_db() == nullptr) {
+    TermRef head = clause;
+    if (store.tag(clause) == Tag::kStruct && store.arity(clause) == 2 &&
+        store.symbol(clause) == term::SymbolTable::kNeck) {
+      head = store.Deref(store.arg(clause, 0));
+    }
+    return ThrowStaticProcedure(m, store.pred_id(head), "assert/1");
+  }
   // Store an independent copy: later binding changes must not affect the
   // database (ISO semantics).
   TermRef copy = store.Rename(clause);
-  PRORE_RETURN_IF_ERROR(m->mutable_db().Assert(&store, copy, front));
+  PRORE_RETURN_IF_ERROR(m->mutable_db()->Assert(&store, copy, front));
   *success = true;
   return prore::Status::OK();
 }
@@ -713,6 +734,9 @@ prore::Status BiRetract(Machine* m, TermRef g, bool* success) {
     return ThrowTypeError(m, "callable", pat_head, "retract/1");
   }
   term::PredId id = store.pred_id(pat_head);
+  if (m->mutable_db() == nullptr) {
+    return ThrowStaticProcedure(m, id, "retract/1");
+  }
   const PredEntry* entry = m->db().Lookup(id);
   *success = false;
   if (entry == nullptr) return prore::Status::OK();
@@ -725,7 +749,7 @@ prore::Status BiRetract(Machine* m, TermRef g, bool* success) {
     TermRef head_copy = store.Rename(cc.head, &var_map);
     TermRef body_copy = store.Rename(cc.body, &var_map);
     if (m->Unify(pat_head, head_copy) && m->Unify(pat_body, body_copy)) {
-      m->mutable_db().MarkDead(id, i);
+      m->mutable_db()->MarkDead(id, i);
       *success = true;  // bindings from the match remain (ISO)
       return prore::Status::OK();
     }

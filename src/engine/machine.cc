@@ -72,7 +72,26 @@ std::optional<PrologError> PrologErrorFromStatus(const prore::Status& status) {
 
 Machine::Machine(term::TermStore* store, Database* db,
                  SolveOptions opts)
-    : store_(store), db_(db), opts_(std::move(opts)) {
+    : store_(store), db_(db), mutable_db_(db), opts_(std::move(opts)) {
+  InternDispatchSymbols();
+}
+
+Machine::Machine(std::shared_ptr<const ProgramSnapshot> snapshot,
+                 SolveOptions opts)
+    : store_(nullptr),
+      db_(&snapshot->db()),
+      mutable_db_(nullptr),
+      snapshot_(std::move(snapshot)),
+      own_store_(std::make_unique<term::TermStore>()),
+      opts_(std::move(opts)) {
+  // The private heap starts as an exact copy of the frozen arena, so every
+  // skeleton TermRef in the shared Database denotes the same term here.
+  own_store_->CloneFrom(snapshot_->store());
+  store_ = own_store_.get();
+  InternDispatchSymbols();
+}
+
+void Machine::InternDispatchSymbols() {
   // Interned once so the per-step dispatcher never compares strings.
   sym_ite_marker_ = store_->symbols().Intern(kIteThenMarker);
   sym_not_name_ = store_->symbols().Intern("not");
@@ -898,7 +917,11 @@ prore::Result<std::vector<TermRef>> Machine::FindAll(TermRef goal,
   SolveOptions child_opts = opts_;
   // A solution cap on the outer query must not truncate the bag.
   child_opts.max_solutions = UINT64_MAX;
-  Machine child(store_, db_, child_opts);
+  // The child shares this machine's heap and database view, including the
+  // mutability split: under a snapshot-backed parent, mutable_db_ is null
+  // and nested assert/retract raise the same permission_error.
+  Machine child(store_, mutable_db_, child_opts);
+  child.db_ = db_;
   child.reclaim_heap_ = false;  // collected copies must outlive the subquery
   std::vector<TermRef> copies;
   auto cb = [&]() {

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <functional>
 #include <optional>
@@ -15,6 +16,7 @@
 #include "engine/database.h"
 #include "engine/fault.h"
 #include "engine/metrics.h"
+#include "engine/snapshot.h"
 #include "term/store.h"
 
 namespace prore::engine {
@@ -101,6 +103,16 @@ class Machine {
   Machine(term::TermStore* store, Database* db,
           SolveOptions opts = SolveOptions());
 
+  /// A worker machine over a shared compiled snapshot: clones the
+  /// snapshot's frozen arena as this machine's private bindable heap (the
+  /// machine owns the clone) and executes the snapshot's Database without
+  /// ever mutating it. Any number of such machines may solve concurrently
+  /// against one snapshot; assert/retract raise
+  /// permission_error(modify, static_procedure, ...). The machine keeps
+  /// the snapshot alive.
+  explicit Machine(std::shared_ptr<const ProgramSnapshot> snapshot,
+                   SolveOptions opts = SolveOptions());
+
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
@@ -126,8 +138,10 @@ class Machine {
 
   term::TermStore& store() { return *store_; }
   const Database& db() const { return *db_; }
-  /// For assert/retract built-ins.
-  Database& mutable_db() { return *db_; }
+  /// For assert/retract built-ins. Null for snapshot-backed machines, whose
+  /// database is shared and immutable — callers must raise
+  /// permission_error(modify, static_procedure, ...) instead.
+  Database* mutable_db() { return mutable_db_; }
 
   /// Sets the text read/1 consumes; parsed eagerly into terms. Replaces
   /// any unread input.
@@ -254,6 +268,7 @@ class Machine {
     bool catch_active = false;
   };
 
+  void InternDispatchSymbols();
   GoalRef NewGoalNode(term::TermRef goal, uint32_t barrier, GoalRef next);
   void TrailUnwind(size_t mark);
   /// Heap reclamation is allowed only while the database has not grown
@@ -300,7 +315,13 @@ class Machine {
                       term::TermRef else_goal, uint32_t barrier);
 
   term::TermStore* store_;
-  Database* db_;
+  const Database* db_;
+  /// Same database as db_ for classic machines; null in snapshot mode.
+  Database* mutable_db_ = nullptr;
+  /// Snapshot mode only: the shared program (kept alive for db_) and the
+  /// machine's private clone of its arena (what store_ points at).
+  std::shared_ptr<const ProgramSnapshot> snapshot_;
+  std::unique_ptr<term::TermStore> own_store_;
   SolveOptions opts_;
   /// Unread input terms for read/1 (head_ is the cursor; a vector so
   /// SetInput/NextInputTerm never allocate node blocks).

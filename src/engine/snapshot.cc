@@ -1,0 +1,20 @@
+#include "engine/snapshot.h"
+
+#include <utility>
+
+namespace prore::engine {
+
+prore::Result<std::shared_ptr<const ProgramSnapshot>> ProgramSnapshot::Compile(
+    const term::TermStore& store, const reader::Program& program,
+    bool load_library) {
+  // The constructor is private, so make_shared is unavailable; one extra
+  // control-block allocation at compile time is irrelevant.
+  std::shared_ptr<ProgramSnapshot> snap(new ProgramSnapshot());
+  snap->store_ = std::make_unique<term::TermStore>();
+  snap->store_->CloneFrom(store);
+  PRORE_ASSIGN_OR_RETURN(
+      snap->db_, Database::Build(snap->store_.get(), program, load_library));
+  return std::shared_ptr<const ProgramSnapshot>(std::move(snap));
+}
+
+}  // namespace prore::engine

@@ -1,0 +1,50 @@
+#ifndef PRORE_ENGINE_SNAPSHOT_H_
+#define PRORE_ENGINE_SNAPSHOT_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::engine {
+
+/// An immutable, shareable compiled program: a frozen term arena holding
+/// the clause skeletons, plus the Database (clause lists and first-argument
+/// indexes) compiled against it. One snapshot serves any number of
+/// concurrent Machines — each worker clones the arena as its private
+/// bindable heap (TermRefs carry over unchanged, so the shared compiled
+/// clauses execute against the clone directly), while the Database itself
+/// is shared by const reference and never mutated. Machines constructed
+/// over a snapshot reject assert/retract with
+/// permission_error(modify, static_procedure, ...).
+class ProgramSnapshot {
+ public:
+  /// Compiles `program` (whose terms live in `store`) into a snapshot. The
+  /// snapshot owns a private deep copy of `store`, so the caller's store
+  /// stays free to grow or be discarded; `program`'s TermRefs are valid in
+  /// the copy by construction.
+  static prore::Result<std::shared_ptr<const ProgramSnapshot>> Compile(
+      const term::TermStore& store, const reader::Program& program,
+      bool load_library = true);
+
+  /// The frozen arena the Database's skeletons point into. Workers clone
+  /// it (TermStore::CloneFrom) as their private heap; nobody binds its
+  /// variables in place.
+  const term::TermStore& store() const { return *store_; }
+  const Database& db() const { return db_; }
+
+  ProgramSnapshot(const ProgramSnapshot&) = delete;
+  ProgramSnapshot& operator=(const ProgramSnapshot&) = delete;
+
+ private:
+  ProgramSnapshot() = default;
+
+  std::unique_ptr<term::TermStore> store_;
+  Database db_;
+};
+
+}  // namespace prore::engine
+
+#endif  // PRORE_ENGINE_SNAPSHOT_H_

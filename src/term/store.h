@@ -148,6 +148,28 @@ class TermStore {
   TermRef Rename(TermRef t,
                  std::unordered_map<uint32_t, TermRef>* var_map = nullptr);
 
+  /// Replaces this store's contents with a deep copy of `src` (cells, args,
+  /// symbols, variable names and counter). Afterwards every TermRef valid in
+  /// `src` denotes the identical term here, so a compiled Database built
+  /// against `src` can be executed against the copy — each engine worker
+  /// clones the frozen snapshot arena as its private, bindable heap.
+  void CloneFrom(const TermStore& src);
+
+  /// Seeds this (empty) store's symbol table with a copy of `src`'s, so
+  /// Symbols and PredIds are interchangeable between the two stores without
+  /// copying any term cells. The per-group pipeline workers use this:
+  /// predicate sets computed on the shared store stay valid in the worker's.
+  void AdoptSymbols(const TermStore& src) {
+    symbols_.CloneFrom(src.symbols_);
+  }
+
+  /// Copies `t` (a term of `src`, dereferenced on the fly) into this store.
+  /// Symbols are re-interned by name, so the stores need not agree on ids.
+  /// `var_map` maps src var id -> local term and lets several terms (head +
+  /// body of one clause) share variables; pass nullptr for a private map.
+  TermRef CopyFrom(const TermStore& src, TermRef t,
+                   std::unordered_map<uint32_t, TermRef>* var_map = nullptr);
+
   /// The id the next MakeVar will receive. Clause-skeleton compilation uses
   /// this to record the dense id range a Rename pass produced.
   uint32_t next_var_id() const { return next_var_id_; }

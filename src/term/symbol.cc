@@ -14,6 +14,11 @@ SymbolTable::SymbolTable() {
   assert(Intern("-") == kMinus);
 }
 
+void SymbolTable::CloneFrom(const SymbolTable& other) {
+  names_ = other.names_;
+  index_ = other.index_;
+}
+
 Symbol SymbolTable::Intern(std::string_view name) {
   auto it = index_.find(std::string(name));
   if (it != index_.end()) return it->second;

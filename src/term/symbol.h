@@ -26,6 +26,11 @@ class SymbolTable {
   /// Returns the Symbol for `name`, interning it if new.
   Symbol Intern(std::string_view name);
 
+  /// Replaces this table's contents with a copy of `other`, preserving every
+  /// Symbol id. Used to seed a private per-worker store from a shared base
+  /// so PredIds and Symbols are interchangeable between the two.
+  void CloneFrom(const SymbolTable& other);
+
   /// The name of an interned symbol.
   const std::string& Name(Symbol s) const { return names_[s]; }
 

@@ -1,0 +1,207 @@
+// Tests of the snapshot-backed multithreaded engine (engine/snapshot.h):
+// N Machines sharing one immutable ProgramSnapshot answer queries from
+// concurrent threads with the same answer multisets as a single classic
+// Machine, and database mutation (assert/retract) under a snapshot raises
+// ISO permission_error(modify, static_procedure, _) instead of racing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/machine.h"
+#include "engine/snapshot.h"
+#include "reader/parser.h"
+#include "term/store.h"
+
+namespace prore::engine {
+namespace {
+
+using term::TermStore;
+
+const char kProgram[] = R"(
+parent(tom, bob).
+parent(tom, liz).
+parent(bob, ann).
+parent(bob, pat).
+parent(pat, jim).
+grand(X, Z) :- parent(X, Y), parent(Y, Z).
+sib(X, Y) :- parent(P, X), parent(P, Y), X \== Y.
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+)";
+
+const char* const kQueries[] = {
+    "grand(X, Z)",
+    "sib(X, Y)",
+    "parent(bob, C)",
+    "nrev([1,2,3,4,5,6,7,8], R)",
+};
+
+/// Canonical answer strings of `query` on `machine`, parsed in `store`.
+std::vector<std::string> AnswersOn(TermStore* store, Machine* machine,
+                                   const std::string& query) {
+  auto q = reader::ParseQueryText(store, query + ".");
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  if (!q.ok()) return {};
+  auto r = machine->SolveToStrings(q->term, q->term);
+  EXPECT_TRUE(r.ok()) << query << ": " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : std::vector<std::string>{};
+}
+
+/// All queries' answers on one machine, sorted (multiset comparison).
+std::vector<std::string> AllAnswersSorted(TermStore* store,
+                                          Machine* machine) {
+  std::vector<std::string> all;
+  for (const char* q : kQueries) {
+    std::vector<std::string> a = AnswersOn(store, machine, q);
+    all.insert(all.end(), a.begin(), a.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+class MtEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto p = reader::ParseProgramText(&store_, kProgram);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    program_ = std::move(p).value();
+    auto snap = ProgramSnapshot::Compile(store_, program_);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    snapshot_ = std::move(snap).value();
+  }
+
+  /// Reference answers from a classic single-threaded machine.
+  std::vector<std::string> ClassicAnswers() {
+    auto db = Database::Build(&store_, program_);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    Machine machine(&store_, &*db);
+    return AllAnswersSorted(&store_, &machine);
+  }
+
+  TermStore store_;
+  reader::Program program_;
+  std::shared_ptr<const ProgramSnapshot> snapshot_;
+};
+
+TEST_F(MtEngineTest, SnapshotMachineMatchesClassicMachine) {
+  Machine machine(snapshot_);
+  EXPECT_EQ(AllAnswersSorted(&machine.store(), &machine), ClassicAnswers());
+}
+
+TEST_F(MtEngineTest, ConcurrentMachinesProduceEqualAnswerMultisets) {
+  const std::vector<std::string> expected = ClassicAnswers();
+  ASSERT_FALSE(expected.empty());
+
+  constexpr size_t kWorkers = 8;
+  constexpr size_t kRoundsPerWorker = 3;
+  std::vector<std::unique_ptr<Machine>> machines;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    machines.push_back(std::make_unique<Machine>(snapshot_));
+  }
+
+  std::vector<std::vector<std::string>> got(kWorkers);
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w]() {
+      // Repeated rounds on one machine: exercises per-query heap
+      // reclamation on the private arena while siblings run.
+      for (size_t round = 0; round < kRoundsPerWorker; ++round) {
+        got[w] = AllAnswersSorted(&machines[w]->store(), machines[w].get());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (size_t w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(got[w], expected) << "worker " << w;
+  }
+}
+
+TEST_F(MtEngineTest, AssertUnderSnapshotIsPermissionError) {
+  Machine machine(snapshot_);
+  auto q = reader::ParseQueryText(&machine.store(), "assertz(extra(1)).");
+  ASSERT_TRUE(q.ok());
+  auto r = machine.Solve(q->term);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), prore::StatusCode::kPrologThrow);
+  auto error = PrologErrorFromStatus(r.status());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->ball.find("permission_error"), std::string::npos)
+      << error->ball;
+  EXPECT_NE(error->ball.find("static_procedure"), std::string::npos)
+      << error->ball;
+  EXPECT_NE(error->ball.find("extra/1"), std::string::npos) << error->ball;
+
+  // ISO-catchable in-program, and the machine stays usable afterwards.
+  auto q2 = reader::ParseQueryText(
+      &machine.store(),
+      "catch(asserta(p(0)), "
+      "error(permission_error(modify, static_procedure, _), _), true).");
+  ASSERT_TRUE(q2.ok());
+  auto r2 = machine.Solve(q2->term);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->solutions, 1u);
+  EXPECT_EQ(AnswersOn(&machine.store(), &machine, "parent(bob, C)").size(),
+            2u);
+}
+
+TEST_F(MtEngineTest, RetractUnderSnapshotIsPermissionError) {
+  Machine machine(snapshot_);
+  auto q = reader::ParseQueryText(&machine.store(),
+                                  "retract(parent(tom, bob)).");
+  ASSERT_TRUE(q.ok());
+  auto r = machine.Solve(q->term);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), prore::StatusCode::kPrologThrow);
+  auto error = PrologErrorFromStatus(r.status());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->ball.find("permission_error"), std::string::npos)
+      << error->ball;
+  EXPECT_NE(error->ball.find("parent/2"), std::string::npos) << error->ball;
+  // The clause is still there: the snapshot really is immutable.
+  EXPECT_EQ(AnswersOn(&machine.store(), &machine, "parent(tom, X)").size(),
+            2u);
+}
+
+TEST_F(MtEngineTest, NestedFindallInheritsImmutability) {
+  // findall/3 runs its goal on a nested machine; under a snapshot parent
+  // that child must reject mutation too, not silently write anywhere.
+  Machine machine(snapshot_);
+  auto q = reader::ParseQueryText(
+      &machine.store(),
+      "findall(X, (member(X, [1,2]), assertz(leak(X))), _).");
+  ASSERT_TRUE(q.ok());
+  auto r = machine.Solve(q->term);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), prore::StatusCode::kPrologThrow);
+  auto error = PrologErrorFromStatus(r.status());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->ball.find("permission_error"), std::string::npos)
+      << error->ball;
+}
+
+TEST_F(MtEngineTest, ClassicMachineStillSupportsAssert) {
+  // Regression guard: the permission gate applies only to snapshot-backed
+  // machines; the classic mutable-database path is unchanged.
+  auto db = Database::Build(&store_, program_);
+  ASSERT_TRUE(db.ok());
+  Machine machine(&store_, &*db);
+  auto q = reader::ParseQueryText(&store_,
+                                  "assertz(extra(1)), extra(X).");
+  ASSERT_TRUE(q.ok());
+  auto r = machine.Solve(q->term);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->solutions, 1u);
+}
+
+}  // namespace
+}  // namespace prore::engine

@@ -4,20 +4,31 @@
 //
 // Schema: an array of
 //   {"workload": str, "wall_ns": int, "calls": int, "unifications": int,
-//    "heap_cells": int}
+//    "heap_cells": int, "threads": int, "hw_threads": int}
 // where `calls` is the paper's headline counter (user + builtin calls),
-// `unifications` counts clause-head unification attempts, and `heap_cells`
-// is the peak term cells live above the query watermark.
+// `unifications` counts clause-head unification attempts, `heap_cells`
+// is the peak term cells live above the query watermark, `threads` is how
+// many engine workers solved the scenario concurrently (snapshot-backed
+// machines; 1 = the classic single machine), and `hw_threads` is the
+// host's hardware concurrency — so scaling numbers carry their context.
 //
-// Usage: perf_report [output.json]   (default BENCH_engine.json)
+// Usage: perf_report [--threads N] [output.json]   (default
+// BENCH_engine.json; --threads N runs the micro scenarios on N concurrent
+// machines over one shared ProgramSnapshot, counters summed across
+// workers)
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/database.h"
 #include "engine/machine.h"
+#include "engine/snapshot.h"
 #include "programs/programs.h"
 #include "programs/workload_runner.h"
 #include "reader/parser.h"
@@ -31,6 +42,7 @@ struct Row {
   uint64_t calls = 0;
   uint64_t unifications = 0;
   uint64_t heap_cells = 0;
+  size_t threads = 1;  ///< concurrent engine workers for this entry
 };
 
 // Repeats a scenario until it has run for at least ~50ms and reports the
@@ -85,7 +97,8 @@ const MicroScenario kMicro[] = {
      "probe(L) :- member(X, L), X == 199.\n", ""},  // goal built below
 };
 
-Row MeasureMicro(const MicroScenario& s, const std::string& goal_text) {
+Row MeasureMicro(const MicroScenario& s, const std::string& goal_text,
+                 size_t threads) {
   prore::term::TermStore store;
   auto parsed = prore::reader::ParseProgramText(&store, s.program);
   if (!parsed.ok()) {
@@ -93,23 +106,66 @@ Row MeasureMicro(const MicroScenario& s, const std::string& goal_text) {
                  parsed.status().message().c_str());
     return Row{s.name};
   }
-  auto db = prore::engine::Database::Build(&store, *parsed);
-  if (!db.ok()) {
-    std::fprintf(stderr, "build %s: %s\n", s.name,
-                 db.status().message().c_str());
+
+  if (threads <= 1) {
+    auto db = prore::engine::Database::Build(&store, *parsed);
+    if (!db.ok()) {
+      std::fprintf(stderr, "build %s: %s\n", s.name,
+                   db.status().message().c_str());
+      return Row{s.name};
+    }
+    prore::engine::Machine machine(&store, &*db);
+    auto q = prore::reader::ParseQueryText(&store, goal_text + ".");
+    if (!q.ok()) {
+      std::fprintf(stderr, "query %s: %s\n", s.name,
+                   q.status().message().c_str());
+      return Row{s.name};
+    }
+    return Measure(s.name, [&]() {
+      auto m = machine.Solve(q->term);
+      return m.ok() ? *m : prore::engine::Metrics{};
+    });
+  }
+
+  // N warm snapshot-backed machines, each with its private heap clone of
+  // the shared compiled program; one run = every machine solves the query
+  // once, concurrently. Counters are summed across workers.
+  auto snap = prore::engine::ProgramSnapshot::Compile(store, *parsed);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "snapshot %s: %s\n", s.name,
+                 snap.status().message().c_str());
     return Row{s.name};
   }
-  prore::engine::Machine machine(&store, &*db);
-  auto q = prore::reader::ParseQueryText(&store, goal_text + ".");
-  if (!q.ok()) {
-    std::fprintf(stderr, "query %s: %s\n", s.name,
-                 q.status().message().c_str());
-    return Row{s.name};
+  std::vector<std::unique_ptr<prore::engine::Machine>> machines;
+  std::vector<prore::term::TermRef> goals;
+  for (size_t i = 0; i < threads; ++i) {
+    machines.push_back(std::make_unique<prore::engine::Machine>(*snap));
+    auto q = prore::reader::ParseQueryText(&machines[i]->store(),
+                                           goal_text + ".");
+    if (!q.ok()) {
+      std::fprintf(stderr, "query %s: %s\n", s.name,
+                   q.status().message().c_str());
+      return Row{s.name};
+    }
+    goals.push_back(q->term);
   }
-  return Measure(s.name, [&]() {
-    auto m = machine.Solve(q->term);
-    return m.ok() ? *m : prore::engine::Metrics{};
+  std::vector<prore::engine::Metrics> worker_metrics(threads);
+  Row row = Measure(s.name, [&]() {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      pool.emplace_back([&, i]() {
+        auto m = machines[i]->Solve(goals[i]);
+        worker_metrics[i] = m.ok() ? *m : prore::engine::Metrics{};
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    prore::engine::Metrics total;
+    for (const auto& m : worker_metrics) total += m;
+    return total;
   });
+  row.threads = threads;
+  return row;
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -124,7 +180,20 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  const char* out_path = "BENCH_engine.json";
+  size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1 || n > 1024) {
+        std::fprintf(stderr, "perf_report: bad --threads %s\n", argv[i]);
+        return 1;
+      }
+      threads = static_cast<size_t>(n);
+    } else {
+      out_path = argv[i];
+    }
+  }
   std::vector<Row> rows;
 
   // Table II/III/IV (+ Warren geography) workloads, full query sets.
@@ -142,9 +211,10 @@ int main(int argc, char** argv) {
     }));
   }
 
-  // Unification-heavy micro scenarios on a warm machine.
-  rows.push_back(MeasureMicro(kMicro[0], kMicro[0].goal));
-  rows.push_back(MeasureMicro(kMicro[1], kMicro[1].goal));
+  // Unification-heavy micro scenarios on warm machines (--threads N runs
+  // N concurrent snapshot-backed workers per scenario).
+  rows.push_back(MeasureMicro(kMicro[0], kMicro[0].goal, threads));
+  rows.push_back(MeasureMicro(kMicro[1], kMicro[1].goal, threads));
   {
     std::string list = "[";
     for (int i = 0; i < 200; ++i) {
@@ -152,7 +222,7 @@ int main(int argc, char** argv) {
       list += std::to_string(i);
     }
     list += "]";
-    rows.push_back(MeasureMicro(kMicro[2], "probe(" + list + ")"));
+    rows.push_back(MeasureMicro(kMicro[2], "probe(" + list + ")", threads));
   }
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -166,12 +236,14 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "  {\"workload\": \"%s\", \"wall_ns\": %llu, "
                  "\"calls\": %llu, \"unifications\": %llu, "
-                 "\"heap_cells\": %llu}%s\n",
+                 "\"heap_cells\": %llu, \"threads\": %zu, "
+                 "\"hw_threads\": %zu}%s\n",
                  JsonEscape(r.workload).c_str(),
                  static_cast<unsigned long long>(r.wall_ns),
                  static_cast<unsigned long long>(r.calls),
                  static_cast<unsigned long long>(r.unifications),
-                 static_cast<unsigned long long>(r.heap_cells),
+                 static_cast<unsigned long long>(r.heap_cells), r.threads,
+                 prore::ThreadPool::HardwareConcurrency(),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -21,6 +21,10 @@
 //   --no-specialize     one version per predicate, original names
 //   --no-clauses        keep clause order (goals only)
 //   --no-goals          keep goal order (clauses only)
+//   --jobs=N            transform SCC dependency groups in parallel on N
+//                       worker threads (0 = classic whole-program pipeline,
+//                       the default). Output is bit-identical for every
+//                       N >= 1; N only changes wall-clock time.
 //   --warren            order by Warren's heuristic instead of the chains
 //   --lint              run the lint passes over the input program and
 //                       print their diagnostics to stderr
@@ -75,7 +79,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: prore [--unfold] [--factor] [--guards]\n"
+               "usage: prore [--unfold] [--factor] [--guards] [--jobs=N]\n"
                "             [--no-specialize] [--no-clauses] [--no-goals]\n"
                "             [--warren] [--lint] [--report]\n"
                "             [--report=text|json] [--strict]\n"
@@ -155,6 +159,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--compare") {
       if (++i >= argc) return Usage();
       compare_queries.push_back(argv[i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      uint64_t jobs = 0;
+      if (!ParseBudget(arg, "--jobs=", &jobs) || jobs > 1024) {
+        std::fprintf(stderr, "prore: malformed option %s\n", arg.c_str());
+        return Usage();
+      }
+      pipeline_options.jobs = static_cast<size_t>(jobs);
     } else if (
         ParseBudget(arg, "--cost-steps=",
                     &pipeline_options.cost_watchdog.max_steps) ||
