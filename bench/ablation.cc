@@ -3,7 +3,10 @@
 //  (b) A* best-first search vs exhaustive permutation (§VI-A.3) — same
 //      chosen order, different search effort;
 //  (c) first-argument clause indexing on/off in the engine (§III-A);
-//  (d) mode specialization on/off.
+//  (d) mode specialization on/off;
+//  (e) abstract interpretation on/off — the cost-model determinism clamps
+//      in the reorderer (--no-absint ablation) and witness-driven
+//      choicepoint elision in the engine.
 
 #include <chrono>
 #include <cmath>
@@ -219,6 +222,61 @@ int SpecializationOnOff() {
   return 0;
 }
 
+int AbsintOnOff() {
+  PrintHeader(
+      "(e) abstract interpretation on/off (determinism clamps + elision)");
+  // Reorderer axis: with absint the cost model clamps det/semidet callees
+  // to at most one expected solution, which can change the chosen order —
+  // the same ablation `prore --no-absint` exposes.
+  prore::core::ReorderOptions with, without;
+  without.absint = false;
+  auto rows_with = RunProgramWorkloads(prore::programs::FamilyTree(), with);
+  auto rows_without =
+      RunProgramWorkloads(prore::programs::FamilyTree(), without);
+  if (!rows_with.ok() || !rows_without.ok()) return 1;
+  std::printf("%-26s %12s %14s %14s\n", "workload", "original",
+              "absint", "no-absint");
+  for (size_t i = 0; i < rows_with->size(); ++i) {
+    std::printf("%-26s %12llu %14llu %14llu\n",
+                (*rows_with)[i].label.c_str(),
+                static_cast<unsigned long long>(
+                    (*rows_with)[i].original_calls),
+                static_cast<unsigned long long>(
+                    (*rows_with)[i].reordered_calls),
+                static_cast<unsigned long long>(
+                    (*rows_without)[i].reordered_calls));
+  }
+
+  // Engine axis: exclusivity witnesses let the machine skip choicepoints
+  // whose remaining clauses provably cannot match the call.
+  prore::term::TermStore store;
+  auto program = prore::reader::ParseProgramText(
+      &store, prore::programs::FamilyTree().source);
+  if (!program.ok()) return 1;
+  auto db = prore::engine::Database::Build(&store, *program);
+  if (!db.ok()) return 1;
+  std::printf("%-28s %14s %14s %10s\n", "query", "unifs (elide)",
+              "unifs (keep)", "elided");
+  for (const char* q :
+       {"grandmother(h13, G)", "aunt(h13, A)", "cousins(h13, C)"}) {
+    prore::engine::SolveOptions on, off;
+    off.use_choicepoint_elision = false;
+    prore::engine::Machine m_on(&store, &db.value(), on);
+    prore::engine::Machine m_off(&store, &db.value(), off);
+    auto q1 = prore::reader::ParseQueryText(&store, std::string(q) + ".");
+    auto q2 = prore::reader::ParseQueryText(&store, std::string(q) + ".");
+    if (!q1.ok() || !q2.ok()) return 1;
+    auto r1 = m_on.Solve(q1->term);
+    auto r2 = m_off.Solve(q2->term);
+    if (!r1.ok() || !r2.ok()) return 1;
+    std::printf("%-28s %14llu %14llu %10llu\n", q,
+                static_cast<unsigned long long>(r1->head_unifications),
+                static_cast<unsigned long long>(r2->head_unifications),
+                static_cast<unsigned long long>(r1->choicepoints_elided));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -227,5 +285,6 @@ int main() {
   failures += AStarVsExhaustive();
   failures += IndexingOnOff();
   failures += SpecializationOnOff();
+  failures += AbsintOnOff();
   return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
 }

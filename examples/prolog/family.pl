@@ -1,0 +1,30 @@
+% Family-tree knowledge base — the running example from the reordering
+% literature. Exercises fact indexing, conjunctive rules with shared
+% variables, and recursive ancestry.
+
+parent(tom, bob).
+parent(tom, liz).
+parent(bob, ann).
+parent(bob, pat).
+parent(pat, jim).
+
+male(tom).
+male(bob).
+male(jim).
+female(liz).
+female(ann).
+female(pat).
+
+father(F, C) :- parent(F, C), male(F).
+mother(M, C) :- parent(M, C), female(M).
+
+grandparent(G, C) :- parent(G, P), parent(P, C).
+
+sibling(X, Y) :- parent(P, X), parent(P, Y), X \== Y.
+
+ancestor(A, D) :- parent(A, D).
+ancestor(A, D) :- parent(A, P), ancestor(P, D).
+
+?- father(tom, Who).
+?- grandparent(tom, G).
+?- ancestor(tom, jim).

@@ -1,0 +1,24 @@
+% List utilities — recursive predicates whose determinism the abstract
+% interpreter can classify: len/2 and sum/2 are semidet under ground
+% input (exclusive []/[_|_] heads), append/3 is nondet when splitting.
+
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+
+sum([], 0).
+sum([X|T], S) :- sum(T, R), S is R + X.
+
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+
+member_of(X, [X|_]).
+member_of(X, [_|T]) :- member_of(X, T).
+
+last_of([X], X) :- !.
+last_of([_|T], X) :- last_of(T, X).
+
+?- len([a, b, c], N).
+?- sum([1, 2, 3], S).
+?- app(Front, Back, [a, b]).
+?- member_of(b, [a, b, c]).
+?- last_of([a, b, c], L).

@@ -126,6 +126,29 @@ void ModeTable::Add(const PredId& id, const ModePair& pair) {
   list.push_back(pair);
 }
 
+size_t ModeTable::Tighten(const PredId& id, const ModePair& pair) {
+  auto& list = pairs_[id];
+  for (ModePair& existing : list) {
+    if (existing.input == pair.input) {
+      size_t upgraded = 0;
+      for (size_t i = 0; i < existing.output.size(); ++i) {
+        if (existing.output[i] == ModeItem::kAny &&
+            pair.output[i] != ModeItem::kAny) {
+          existing.output[i] = pair.output[i];
+          ++upgraded;
+        }
+      }
+      return upgraded;
+    }
+  }
+  size_t informative = 0;
+  for (ModeItem m : pair.output) {
+    if (m != ModeItem::kAny) ++informative;
+  }
+  list.push_back(pair);
+  return informative;
+}
+
 const std::vector<ModePair>& ModeTable::PairsFor(const PredId& id) const {
   static const auto& kEmpty = *new std::vector<ModePair>();
   auto it = pairs_.find(id);

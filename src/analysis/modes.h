@@ -60,6 +60,13 @@ class ModeTable {
   /// intersecting output guarantees.
   void Add(const term::PredId& id, const ModePair& pair);
 
+  /// Strengthens the stored output for `pair.input` in place: positions
+  /// where the stored guarantee is '?' take the pair's '+'/'-' value;
+  /// existing '+'/'-' guarantees are kept. Adds the pair when the input is
+  /// new. Returns how many positions got stronger — the upgrade path for
+  /// analyses (absint groundness) that prove more than mode inference did.
+  size_t Tighten(const term::PredId& id, const ModePair& pair);
+
   /// All pairs registered for `id` (empty if none — meaning "no information",
   /// not "no legal mode").
   const std::vector<ModePair>& PairsFor(const term::PredId& id) const;

@@ -62,7 +62,8 @@ void AppendJsonString(std::string* out, std::string_view s) {
 }  // namespace
 
 bool PipelineReport::degraded() const {
-  if (unfold_disabled || factor_disabled || !global_trigger.empty()) {
+  if (unfold_disabled || factor_disabled || absint_disabled ||
+      !global_trigger.empty()) {
     return true;
   }
   return quarantined() > 0;
@@ -90,6 +91,9 @@ std::string PipelineReport::ToText() const {
   if (factor_disabled) {
     out += "  factor stage disabled: " + factor_trigger + "\n";
   }
+  if (absint_disabled) {
+    out += "  absint stage disabled: " + absint_trigger + "\n";
+  }
   for (const PredOutcome& p : preds) {
     if (p.level == LadderLevel::kFull) continue;
     out += prore::StrFormat("  %s: %s after %d attempt%s\n", p.name.c_str(),
@@ -116,6 +120,10 @@ std::string PipelineReport::ToJson() const {
                           factor_disabled ? "true" : "false");
   out += ",\"factor_trigger\":";
   AppendJsonString(&out, factor_trigger);
+  out += prore::StrFormat(",\"absint_disabled\":%s",
+                          absint_disabled ? "true" : "false");
+  out += ",\"absint_trigger\":";
+  AppendJsonString(&out, absint_trigger);
   out += ",\"preds\":[";
   for (size_t i = 0; i < preds.size(); ++i) {
     const PredOutcome& p = preds[i];
@@ -172,6 +180,7 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
 
   bool unfold_enabled = options_.unfold;
   bool factor_enabled = options_.factor;
+  bool absint_enabled = options_.reorder.absint;
   PipelineReport report;
 
   // One rung per predicate per run, plus stage disables, bounds the loop;
@@ -306,6 +315,8 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
     ro.identity_preds = identity;
     ro.cost_watchdog = options_.cost_watchdog;
     ro.inference.watchdog = options_.inference_watchdog;
+    ro.absint = absint_enabled;
+    ro.absint_watchdog = options_.absint_watchdog;
     if (options_.fault != nullptr) ro.fault = options_.fault;
     PredId blamed{};
     bool have_blame = false;
@@ -325,6 +336,17 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
     }
 
     if (!rr.ok()) {
+      // An absint watchdog trip is a stage failure, not a predicate's
+      // fault: drop the stage (baseline estimates) and retry instead of
+      // descending the ladder or falling to identity.
+      if (absint_enabled &&
+          rr.status().code() == prore::StatusCode::kResourceExhausted &&
+          rr.status().error_term() == "resource_error(watchdog(absint))") {
+        absint_enabled = false;
+        report.absint_disabled = true;
+        report.absint_trigger = rr.status().ToString();
+        continue;
+      }
       if (have_blame && levels.count(blamed) > 0 &&
           demote(blamed, rr.status().ToString())) {
         continue;
@@ -366,6 +388,7 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
     result.program = std::move(rr->program);
     result.reports = std::move(rr->reports);
     result.diagnostics = std::move(rr->diagnostics);
+    result.absint_report = std::move(rr->absint_report);
     result.report = std::move(report);
     return result;
   }
@@ -526,6 +549,10 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
       rep.factor_disabled = true;
       rep.factor_trigger = pr.report.factor_trigger;
     }
+    if (pr.report.absint_disabled && !rep.absint_disabled) {
+      rep.absint_disabled = true;
+      rep.absint_trigger = pr.report.absint_trigger;
+    }
     if (!pr.report.global_trigger.empty() && rep.global_trigger.empty()) {
       rep.global_trigger = prore::StrFormat(
           "group %zu: %s", gi, pr.report.global_trigger.c_str());
@@ -548,6 +575,10 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
       auto it = owner_group.find(d.pred);
       if (it != owner_group.end() && it->second != gi) continue;
       out.diagnostics.push_back(d);
+    }
+    if (!pr.absint_report.empty()) {
+      out.absint_report +=
+          prore::StrFormat("== group %zu ==\n", gi) + pr.absint_report;
     }
     for (const PredOutcome& o : pr.report.preds) {
       if (dg.group_of.count(o.pred) > 0 && dg.group_of.at(o.pred) == gi) {

@@ -60,6 +60,11 @@ struct PipelineOptions {
   /// Budget for cost-model evaluation (0 fields = unlimited); covers the
   /// goal-order search transitively.
   prore::WatchdogBudget cost_watchdog;
+  /// Budget for the abstract-interpretation fixpoints (0 fields =
+  /// unlimited). A trip does not quarantine a predicate: the whole stage
+  /// is disabled (reorder.absint = false) and the run retried — absint is
+  /// an accuracy upgrade, not a correctness requirement.
+  prore::WatchdogBudget absint_watchdog;
   /// Whole-pipeline retry cap; 0 = automatic (enough for every predicate
   /// to descend the full ladder, plus slack).
   size_t max_runs = 0;
@@ -100,6 +105,8 @@ struct PipelineReport {
   std::string unfold_trigger;
   bool factor_disabled = false;
   std::string factor_trigger;
+  bool absint_disabled = false;
+  std::string absint_trigger;
 
   /// True if any predicate ended below kFull (or a stage was disabled).
   bool degraded() const;
@@ -117,6 +124,9 @@ struct PipelineResult {
   /// Diagnostics from the final run (notes and warnings; error-severity
   /// findings have been consumed as quarantine triggers by then).
   std::vector<lint::Diagnostic> diagnostics;
+  /// DumpAbsint text from the final run (sharded: per-group sections, in
+  /// deterministic merge order). Empty when absint was off or disabled.
+  std::string absint_report;
   PipelineReport report;
 };
 

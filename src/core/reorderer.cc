@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 
+#include "analysis/absint/absint.h"
 #include "analysis/body.h"
 #include "analysis/callgraph.h"
 #include "analysis/fixity.h"
@@ -118,6 +119,7 @@ class Pipeline {
   analysis::FixityResult fixity_;
   analysis::PredSet frozen_;
   analysis::ModeAnalysis modes_;
+  std::unique_ptr<analysis::absint::AbsintResult> absint_;
   std::unique_ptr<analysis::LegalityOracle> oracle_;
   std::unique_ptr<cost::CostModel> costs_;
   std::unique_ptr<GoalOrderSearch> search_;
@@ -145,12 +147,29 @@ prore::Status Pipeline::Setup() {
   PRORE_ASSIGN_OR_RETURN(
       modes_, analysis::InferModes(*store_, original_, graph_, decls_,
                                    options_.inference));
+  if (options_.absint) {
+    analysis::absint::AbsintOptions ao;
+    ao.watchdog = options_.absint_watchdog;
+    PRORE_ASSIGN_OR_RETURN(
+        auto absint, analysis::absint::RunAbsint(*store_, original_, graph_,
+                                                 decls_, &modes_, ao));
+    absint_ =
+        std::make_unique<analysis::absint::AbsintResult>(std::move(absint));
+    // Fold the groundness success patterns into the guarantee table before
+    // the oracle captures it: '?' slots the local fixpoint left behind can
+    // become '+'/'-' here, which admits orderings legality would otherwise
+    // reject. legal_table is left alone — absint proves outputs, not that
+    // an input mode is legal for a recursive predicate.
+    analysis::absint::TightenModes(*store_, absint_->groundness,
+                                   &modes_.table);
+  }
   oracle_ = std::make_unique<analysis::LegalityOracle>(store_, &original_,
                                                        &graph_, &modes_);
   PRORE_RETURN_IF_ERROR(analysis::RefineSemifixity(
       *store_, original_, graph_, oracle_.get(), &fixity_));
   costs_ = std::make_unique<cost::CostModel>(store_, &original_, &graph_,
                                              &decls_, oracle_.get());
+  if (absint_ != nullptr) costs_->SetDeterminism(&absint_->determinism);
   costs_->ArmWatchdog(options_.cost_watchdog);
   search_ = std::make_unique<GoalOrderSearch>(store_, costs_.get(), &fixity_,
                                               options_.goal_search);
@@ -1035,7 +1054,7 @@ prore::Result<ReorderResult> Pipeline::Run() {
     }
     if (added == 0) {
       diagnostics_.push_back(lint::Diagnostic{
-          "PL200", lint::Severity::kNote, {},
+          "PL210", lint::Severity::kNote, {},
           reader::PredName(*store_, pred),
           "no legal {+,-} mode; emitting the predicate unspecialized"});
       EnsureVersion(pred, Mode(pred.arity, ModeItem::kAny));
@@ -1072,6 +1091,9 @@ prore::Result<ReorderResult> Pipeline::Run() {
   result.reports = std::move(reports_);
   result.modes = std::move(modes_);
   result.diagnostics = std::move(diagnostics_);
+  if (absint_ != nullptr) {
+    result.absint_report = analysis::absint::DumpAbsint(*absint_);
+  }
   return result;
 }
 

@@ -52,6 +52,18 @@ struct ReorderOptions {
   /// program and report its findings in ReorderResult::diagnostics. The
   /// optimizer thereby verifies its own output on every run.
   bool validate_output = true;
+  /// Run the interprocedural abstract interpretation (analysis/absint/)
+  /// during setup: groundness success patterns tighten the inferred mode
+  /// table before legality is decided (expanding the legal-reordering
+  /// set), and determinism bounds clamp the cost model's expected solution
+  /// counts. Off = the paper-baseline estimates — the --no-absint ablation
+  /// and the GuardedPipeline's fallback after an absint watchdog trip.
+  bool absint = true;
+  /// Step/wall-clock budget for the absint fixpoints (0 fields =
+  /// unlimited); a trip aborts Run with kResourceExhausted carrying
+  /// resource_error(watchdog(absint)), which the GuardedPipeline maps to
+  /// an absint-disabled re-run instead of quarantining a predicate.
+  prore::WatchdogBudget absint_watchdog;
 
   // ---- Guarded-pipeline controls (core/pipeline.h) ----------------------
 
@@ -106,11 +118,13 @@ struct ReorderResult {
   reader::Program program;  ///< transformed program (versions + dispatchers)
   std::vector<PredModeReport> reports;
   analysis::ModeAnalysis modes;  ///< the inference results used
-  /// Structured diagnostics: the reorderer's own notes (PL2xx) plus, when
+  /// Structured diagnostics: the reorderer's own notes (PL21x) plus, when
   /// ReorderOptions::validate_output is on, the reorder validator's
   /// findings (PL1xx). An error-severity entry means the transformation
   /// failed self-verification. Render with Diagnostic::ToString().
   std::vector<lint::Diagnostic> diagnostics;
+  /// DumpAbsint text when ReorderOptions::absint ran (for --report).
+  std::string absint_report;
 };
 
 /// The reordering system: ties together the restriction analyses (§IV),

@@ -73,7 +73,33 @@ std::string CostModel::Key(const PredId& id, const Mode& mode) const {
 
 void CostModel::SetOverride(const PredId& id, const Mode& mode,
                             const PredModeStats& stats) {
-  memo_[Key(id, mode)] = stats;
+  PredModeStats s = stats;
+  ClampWithDeterminism(id, mode, &s);
+  memo_[Key(id, mode)] = s;
+}
+
+void CostModel::ClampWithDeterminism(const PredId& id, const Mode& mode,
+                                     PredModeStats* s) {
+  if (determinism_ == nullptr || !program_->Has(id)) return;
+  using analysis::absint::Det;
+  switch (determinism_->DetFor(*store_, id, mode)) {
+    case Det::kFailure:
+      s->success_prob = 0.0;
+      s->expected_solutions = 0.0;
+      break;
+    case Det::kDet:
+    case Det::kSemidet:
+      // At most one solution: exhausting the predicate costs no more than
+      // finding the first answer plus the (already-counted) retry that
+      // fails, so cost_all never exceeds the sum estimate either way — we
+      // only pull down the solution count, which is what the chain uses
+      // to size backtracking fan-out.
+      s->expected_solutions = std::min(s->expected_solutions, 1.0);
+      break;
+    case Det::kMulti:
+    case Det::kNondet:
+      break;
+  }
 }
 
 const CostModel::Domains& CostModel::DomainsFor(const PredId& id) {
@@ -198,6 +224,7 @@ PredModeStats CostModel::StatsFor(const PredId& id, const Mode& mode) {
     s.cost_single = ClampCost(c);
     s.cost_all = ClampCost(2.0 * c);
     s.expected_solutions = std::max(s.success_prob, 1.0 * s.success_prob);
+    ClampWithDeterminism(id, mode, &s);
     memo_[key] = s;
     return s;
   }
@@ -227,6 +254,7 @@ PredModeStats CostModel::StatsFor(const PredId& id, const Mode& mode) {
     }
   }
   in_progress_.erase(key);
+  ClampWithDeterminism(id, mode, &stats);
   memo_[key] = stats;
   return stats;
 }

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/absint/determinism.h"
 #include "analysis/body.h"
 #include "analysis/callgraph.h"
 #include "analysis/mode_inference.h"
@@ -73,6 +74,18 @@ class CostModel {
   void SetOverride(const term::PredId& id, const analysis::Mode& mode,
                    const PredModeStats& stats);
 
+  /// Feeds determinism/cardinality bounds into every subsequent StatsFor
+  /// and SetOverride: a provably failing (pred, mode) gets success_prob and
+  /// expected_solutions 0, a det/semidet one has expected_solutions clamped
+  /// to at most 1. Only *upper* bounds are applied — those transfer to any
+  /// call at least as bound as an analyzed pattern, so the clamp is sound
+  /// wherever the heuristic estimates are used. Must be set before the
+  /// first StatsFor (results are memoized); nullptr detaches. The analysis
+  /// must outlive the model.
+  void SetDeterminism(const analysis::absint::DeterminismAnalysis* det) {
+    determinism_ = det;
+  }
+
   /// Stats for one body element (call / negation / disjunction / ...)
   /// under `env`. For kCall this is StatsFor of the callee in the goal's
   /// current mode; control constructs combine their children.
@@ -128,6 +141,9 @@ class CostModel {
                                  const analysis::Mode& mode);
   PredModeStats BuiltinStats(const std::string& name, uint32_t arity,
                              const analysis::Mode& mode);
+  /// Applies the absint cardinality bounds (if any) to `s` in place.
+  void ClampWithDeterminism(const term::PredId& id,
+                            const analysis::Mode& mode, PredModeStats* s);
   /// Applies a node's effect on the abstract environment (bindings).
   void ApplyNode(const analysis::BodyNode& node, analysis::AbstractEnv* env);
   /// True if every call in the node is legal under env (recursing into
@@ -142,6 +158,7 @@ class CostModel {
   const analysis::CallGraph* graph_;
   const analysis::Declarations* decls_;
   analysis::LegalityOracle* oracle_;
+  const analysis::absint::DeterminismAnalysis* determinism_ = nullptr;
 
   prore::Watchdog watchdog_;
   std::unordered_map<std::string, PredModeStats> memo_;

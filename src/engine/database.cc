@@ -182,6 +182,10 @@ void Database::AddProgram(TermStore* store, const reader::Program& program) {
       entry.clauses.push_back(cc);
     }
     entry.indexed = true;
+    std::vector<TermRef> heads;
+    heads.reserve(entry.clauses.size());
+    for (const CompiledClause& cc : entry.clauses) heads.push_back(cc.head);
+    entry.witnesses = ExclusivityWitnesses(*store, heads, id.arity);
     preds_.emplace(id, std::move(entry));
   }
 }
@@ -242,6 +246,7 @@ prore::Status Database::Assert(TermStore* store, TermRef clause_term,
   term::PredId id = store->pred_id(store->Deref(clause.head));
   CompiledClause cc = CompileClause(store, clause.head, clause.body);
   auto& entry = preds_[id];
+  entry.witnesses.clear();
   if (front) {
     // Prepending shifts every clause position, so the bucket index would
     // have to be rebuilt under the feet of live choicepoints; instead the
@@ -264,6 +269,7 @@ void Database::MarkDead(const term::PredId& id, size_t index) {
   auto it = preds_.find(id);
   if (it != preds_.end() && index < it->second.clauses.size()) {
     it->second.clauses[index].died_at = ++update_clock_;
+    it->second.witnesses.clear();
   }
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/exclusivity.h"
 #include "reader/program.h"
 #include "term/store.h"
 
@@ -79,6 +80,12 @@ struct PredEntry {
   /// clause positions; such predicates fall back to a scan with an on-the-
   /// fly first-argument pretest.
   bool indexed = false;
+  /// Head-exclusivity witnesses (see engine/exclusivity.h): when a call
+  /// has every position of some witness bound, at most one clause head can
+  /// unify and the machine commits without a choicepoint. Cleared by any
+  /// dynamic update — the witnesses were computed over the static clause
+  /// set and a changed set needs a fresh proof.
+  std::vector<Witness> witnesses;
 };
 
 /// Executable form of a program: clause lists per predicate, with

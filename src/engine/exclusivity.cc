@@ -1,0 +1,132 @@
+#include "engine/exclusivity.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace prore::engine {
+
+namespace {
+
+using term::Tag;
+using term::TermRef;
+using term::TermStore;
+
+/// Principal functor of one head argument, flattened to a comparable key.
+/// `known == false` means the position can never discriminate a pair this
+/// argument is part of (variable, float, or out-of-range).
+struct ArgShape {
+  bool known = false;
+  uint8_t kind = 0;     // 1 = atom, 2 = int, 3 = struct
+  uint64_t a = 0;       // symbol / int bits
+  uint32_t b = 0;       // struct arity
+
+  bool Distinct(const ArgShape& o) const {
+    if (!known || !o.known) return false;
+    return kind != o.kind || a != o.a || b != o.b;
+  }
+};
+
+ArgShape ShapeOf(const TermStore& store, TermRef head, uint32_t pos) {
+  ArgShape s;
+  head = store.Deref(head);
+  if (store.tag(head) != Tag::kStruct || pos >= store.arity(head)) return s;
+  TermRef arg = store.Deref(store.arg(head, pos));
+  switch (store.tag(arg)) {
+    case Tag::kAtom:
+      s = {true, 1, store.symbol(arg), 0};
+      break;
+    case Tag::kInt:
+      s = {true, 2, static_cast<uint64_t>(store.int_value(arg)), 0};
+      break;
+    case Tag::kStruct:
+      s = {true, 3, store.symbol(arg), store.arity(arg)};
+      break;
+    case Tag::kVar:
+    case Tag::kFloat:
+      // Variables match anything; floats are excluded from discrimination
+      // the same way first-arg indexing excludes them (equality of doubles
+      // is not the same relation as unification).
+      break;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<Witness> ExclusivityWitnesses(const TermStore& store,
+                                          const std::vector<TermRef>& heads,
+                                          uint32_t arity,
+                                          size_t max_witnesses,
+                                          size_t max_clauses) {
+  if (heads.size() < 2) return {Witness{}};
+  if (arity == 0 || heads.size() > max_clauses) return {};
+
+  // Shape table: shapes[c][k] = principal functor of clause c's argument k.
+  std::vector<std::vector<ArgShape>> shapes(heads.size());
+  for (size_t c = 0; c < heads.size(); ++c) {
+    shapes[c].reserve(arity);
+    for (uint32_t k = 0; k < arity; ++k) {
+      shapes[c].push_back(ShapeOf(store, heads[c], k));
+    }
+  }
+
+  // discriminates[k] = the clause pairs position k tells apart, as indices
+  // into the (i, j) pair enumeration.
+  const size_t num_pairs = heads.size() * (heads.size() - 1) / 2;
+  std::vector<std::vector<bool>> discriminates(
+      arity, std::vector<bool>(num_pairs, false));
+  std::vector<size_t> covered_count(arity, 0);
+  size_t pair_idx = 0;
+  for (size_t i = 0; i < heads.size(); ++i) {
+    for (size_t j = i + 1; j < heads.size(); ++j, ++pair_idx) {
+      for (uint32_t k = 0; k < arity; ++k) {
+        if (shapes[i][k].Distinct(shapes[j][k])) {
+          discriminates[k][pair_idx] = true;
+          ++covered_count[k];
+        }
+      }
+    }
+  }
+
+  std::vector<Witness> out;
+  // Single-position witnesses first: they elide under the weakest
+  // boundness requirement, so different call patterns can each find one
+  // they satisfy.
+  for (uint32_t k = 0; k < arity && out.size() < max_witnesses; ++k) {
+    if (covered_count[k] == num_pairs) out.push_back(Witness{k});
+  }
+  if (!out.empty() || max_witnesses == 0) return out;
+
+  // No single position suffices: greedy set cover over positions.
+  Witness combo;
+  std::vector<bool> covered(num_pairs, false);
+  size_t remaining = num_pairs;
+  while (remaining > 0) {
+    uint32_t best = arity;
+    size_t best_gain = 0;
+    for (uint32_t k = 0; k < arity; ++k) {
+      if (std::find(combo.begin(), combo.end(), k) != combo.end()) continue;
+      size_t gain = 0;
+      for (size_t p = 0; p < num_pairs; ++p) {
+        if (!covered[p] && discriminates[k][p]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = k;
+      }
+    }
+    if (best == arity) return {};  // some pair is indistinguishable
+    combo.push_back(best);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      if (discriminates[best][p] && !covered[p]) {
+        covered[p] = true;
+        --remaining;
+      }
+    }
+  }
+  std::sort(combo.begin(), combo.end());
+  out.push_back(std::move(combo));
+  return out;
+}
+
+}  // namespace prore::engine

@@ -1,0 +1,43 @@
+#ifndef PRORE_ENGINE_EXCLUSIVITY_H_
+#define PRORE_ENGINE_EXCLUSIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "term/store.h"
+
+namespace prore::engine {
+
+/// A head-exclusivity witness: a set of argument positions such that for
+/// every pair of clause heads of a predicate, at least one position in the
+/// set carries *distinct principal functors* in both heads (atom vs other
+/// atom, int vs other int, f/2 vs g/2 — floats and variables never
+/// discriminate; structs with the same functor/arity are not told apart).
+///
+/// The runtime guarantee: a call whose arguments at every witness position
+/// dereference to nonvar terms can head-unify with at most one clause, so
+/// the machine may commit to the first matching clause without pushing a
+/// choicepoint. This is sound for *any* call mode — boundness is re-checked
+/// per call, and the only work skipped is head unifications that were going
+/// to fail, so answers, side-effect order, and error outcomes are
+/// unchanged. The analysis layer uses the same witnesses statically: a
+/// witness covered by '+' positions of an abstract call pattern proves the
+/// clauses mutually exclusive under that pattern.
+using Witness = std::vector<uint32_t>;
+
+/// Computes exclusivity witnesses for a predicate's clause heads: every
+/// single position that alone discriminates all head pairs, plus (if no
+/// single position suffices) one greedy multi-position cover. Returns an
+/// empty vector when the heads cannot be proven exclusive, and a single
+/// empty witness (no boundness requirement) when there are fewer than two
+/// heads. Predicates with more than `max_clauses` heads are skipped (the
+/// pair scan is quadratic). At most `max_witnesses` are returned.
+std::vector<Witness> ExclusivityWitnesses(const term::TermStore& store,
+                                          const std::vector<term::TermRef>& heads,
+                                          uint32_t arity,
+                                          size_t max_witnesses = 4,
+                                          size_t max_clauses = 512);
+
+}  // namespace prore::engine
+
+#endif  // PRORE_ENGINE_EXCLUSIVITY_H_

@@ -553,6 +553,53 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
     return prore::Status::OK();
   }
 
+  if (opts_.use_choicepoint_elision && !entry->witnesses.empty()) {
+    bool witness_bound = false;
+    for (const Witness& w : entry->witnesses) {
+      witness_bound = true;
+      for (uint32_t k : w) {
+        if (store_->tag(store_->Deref(store_->arg(goal, k))) == Tag::kVar) {
+          witness_bound = false;
+          break;
+        }
+      }
+      if (witness_bound) break;
+    }
+    if (witness_bound) {
+      // All positions of an exclusivity witness are bound: at most one
+      // clause head can unify, so commit to the first match without a
+      // choicepoint. Between attempts only a failed head unification has
+      // run (no body, no catch-log entries), so unwinding the trail and
+      // reclaiming the heap is all the undo needed — exactly the
+      // deterministic-call path above, repeated per candidate.
+      size_t trail_mark = trail_.size();
+      term::TermStore::Mark heap_mark = store_->Watermark();
+      while (true) {
+        uint32_t idx = scan.Next();
+        if (idx == kNoClause) {
+          TrailUnwind(trail_mark);
+          if (CanReclaimHeap()) store_->Truncate(heap_mark);
+          *failed = true;
+          return prore::Status::OK();
+        }
+        TrailUnwind(trail_mark);
+        if (CanReclaimHeap()) store_->Truncate(heap_mark);
+        const CompiledClause& clause = entry->clauses[idx];
+        ++metrics_.head_unifications;
+        TermRef head = RenameHead(clause);
+        if (opts_.fault != nullptr && opts_.fault->SabotageUnification()) {
+          continue;
+        }
+        if (!Unify(goal, head)) continue;
+        ++metrics_.choicepoints_elided;
+        TermRef body =
+            store_->RenameSkeleton(clause.body, clause.var_base, regs_);
+        PushConjunction(body, body_barrier);
+        return prore::Status::OK();
+      }
+    }
+  }
+
   Choicepoint cp;
   cp.kind = Choicepoint::Kind::kClauses;
   cp.continuation = goals_;

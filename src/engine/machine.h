@@ -54,6 +54,13 @@ struct SolveOptions {
   /// First-argument clause indexing (paper §III-A discusses its interaction
   /// with clause reordering; the ablation bench toggles it).
   bool use_indexing = true;
+  /// Choicepoint elision for head-exclusive predicates: when every
+  /// position of an exclusivity witness (engine/exclusivity.h) is bound at
+  /// call time, commit to the first matching clause without pushing a
+  /// choicepoint. Answers and error outcomes are unaffected — only head
+  /// unifications that were going to fail on backtracking are skipped; the
+  /// ablation bench and the absint differential tests toggle it.
+  bool use_choicepoint_elision = true;
   /// If false, calling an undefined predicate is an ExistenceError;
   /// if true it just fails (C-Prolog's `unknown` flag).
   bool unknown_predicate_fails = false;

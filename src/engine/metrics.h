@@ -13,6 +13,9 @@ struct Metrics {
   uint64_t head_unifications = 0;  ///< Clause-head unification attempts.
   uint64_t backtracks = 0;      ///< Failure-driven returns to a choicepoint.
   uint64_t solutions = 0;       ///< Answers delivered.
+  /// Multi-candidate calls that committed without a choicepoint because a
+  /// head-exclusivity witness was bound (engine/exclusivity.h).
+  uint64_t choicepoints_elided = 0;
   /// Peak term cells the query had live above its starting watermark
   /// (engine-health stat for the perf trajectory, not a paper metric;
   /// approximate when nested findall queries share the store).
@@ -27,6 +30,7 @@ struct Metrics {
     head_unifications += o.head_unifications;
     backtracks += o.backtracks;
     solutions += o.solutions;
+    choicepoints_elided += o.choicepoints_elided;
     heap_cells += o.heap_cells;
     return *this;
   }

@@ -138,6 +138,63 @@ std::string RenderJson(const std::vector<Diagnostic>& diags,
   return out;
 }
 
+std::string RenderSarif(
+    const std::vector<std::pair<std::string, std::vector<Diagnostic>>>&
+        file_diags) {
+  // Rule metadata is keyed by code; first-seen order keeps the ruleIndex
+  // assignment deterministic across runs.
+  std::vector<std::string> rules;
+  auto rule_index = [&rules](const std::string& code) {
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i] == code) return i;
+    }
+    rules.push_back(code);
+    return rules.size() - 1;
+  };
+
+  std::string results;
+  bool first_result = true;
+  for (const auto& [file, diags] : file_diags) {
+    for (const Diagnostic& d : diags) {
+      if (!first_result) results += ",";
+      first_result = false;
+      size_t idx = rule_index(d.code);
+      results += "{\"ruleId\":";
+      AppendJsonString(&results, d.code);
+      results += prore::StrFormat(",\"ruleIndex\":%zu,\"level\":", idx);
+      AppendJsonString(&results, SeverityName(d.severity));
+      results += ",\"message\":{\"text\":";
+      std::string text = d.message;
+      if (!d.pred.empty()) text += " [" + d.pred + "]";
+      AppendJsonString(&results, text);
+      results += "},\"locations\":[{\"physicalLocation\":{"
+                 "\"artifactLocation\":{\"uri\":";
+      AppendJsonString(&results, file);
+      // SARIF regions are 1-based; clamp unknown spans (line 0) to 1.
+      results += prore::StrFormat(
+          "},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}",
+          d.span.line > 0 ? d.span.line : 1,
+          d.span.column > 0 ? d.span.column : 1);
+    }
+  }
+
+  std::string out =
+      "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"prolint\",\"informationUri\":"
+      "\"https://example.invalid/prore\",\"rules\":[";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"id\":";
+    AppendJsonString(&out, rules[i]);
+    out += "}";
+  }
+  out += "]}},\"results\":[";
+  out += results;
+  out += "]}]}";
+  return out;
+}
+
 Diagnostic FromParseStatus(const prore::Status& status) {
   Diagnostic d;
   d.code = "PL000";

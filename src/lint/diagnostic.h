@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -75,6 +76,15 @@ std::string RenderText(const std::vector<Diagnostic>& diags,
 /// the `prolint --format=json` payload.
 std::string RenderJson(const std::vector<Diagnostic>& diags,
                        std::string_view file);
+
+/// Renders one SARIF 2.1.0 log covering all files — the
+/// `prolint --format=sarif` payload, suitable for code-scanning upload.
+/// Codes (PLxxx) become stable ruleIds; severities map to SARIF levels
+/// note/warning/error. Each (file, diagnostics) pair contributes results
+/// in a single run.
+std::string RenderSarif(
+    const std::vector<std::pair<std::string, std::vector<Diagnostic>>>&
+        file_diags);
 
 /// Converts a reader failure into a span-annotated diagnostic (code PL000,
 /// error). Parser messages embed "at line L column C"; this recovers the

@@ -28,6 +28,7 @@ prore::Result<std::vector<Diagnostic>> Linter::Run(
   std::optional<analysis::FixityResult> fixity;
   std::optional<analysis::ModeAnalysis> modes;
   std::unique_ptr<analysis::LegalityOracle> oracle;
+  std::optional<analysis::absint::AbsintResult> absint;
 
   auto note_unavailable = [&sink](const char* what, const prore::Status& st) {
     sink.Report("PL000", Severity::kNote, reader::SourceSpan{}, "",
@@ -65,6 +66,14 @@ prore::Result<std::vector<Diagnostic>> Linter::Run(
           // Best-effort: a failing refinement leaves the coarser fixity.
           (void)analysis::RefineSemifixity(store, program, *graph,
                                            oracle.get(), &*fixity);
+        }
+        if (auto a = analysis::absint::RunAbsint(store, program, *graph,
+                                                 *decls, &*modes);
+            a.ok()) {
+          absint = std::move(a).value();
+          ctx.absint = &*absint;
+        } else {
+          note_unavailable("abstract-interpretation", a.status());
         }
       } else {
         note_unavailable("mode", m.status());

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/absint.h"
 #include "analysis/callgraph.h"
 #include "analysis/fixity.h"
 #include "analysis/mode_inference.h"
@@ -28,6 +29,9 @@ struct LintContext {
   const analysis::FixityResult* fixity = nullptr;    // may be null
   const analysis::ModeAnalysis* modes = nullptr;     // may be null
   analysis::LegalityOracle* oracle = nullptr;        // may be null
+  /// Interprocedural groundness + determinism (analysis/absint); null when
+  /// any prerequisite analysis failed or the fixpoint tripped its budget.
+  const analysis::absint::AbsintResult* absint = nullptr;
 };
 
 /// One analysis pass over a parsed program. Passes are stateless; a pass

@@ -1,4 +1,5 @@
-// The built-in lint passes (PL001..PL008). Each pass is stateless and
+// The built-in lint passes (PL001..PL008 structural, PL200..PL203 fed by
+// the abstract interpretation). Each pass is stateless and
 // consults only the LintContext; passes needing an analysis that failed to
 // build (null pointer in the context) skip silently — the linter already
 // reported the failure as a PL000 note.
@@ -7,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <tuple>
 #include <string>
@@ -15,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/absint/absint.h"
 #include "analysis/body.h"
 #include "analysis/fixity.h"
 #include "analysis/mode_inference.h"
@@ -626,6 +629,369 @@ class ExceptionHygienePass : public LintPass {
   }
 };
 
+// ---- PL200: goal provably always fails -------------------------------------
+
+/// Input modes to analyze a predicate's clauses under: the observed call
+/// patterns when mode inference saw any, else a single all-'?' mode.
+std::vector<Mode> InputModesOf(const LintContext& ctx, const PredId& id) {
+  auto it = ctx.modes->observed_inputs.find(id);
+  if (it != ctx.modes->observed_inputs.end() && !it->second.empty()) {
+    return it->second;
+  }
+  return {Mode(id.arity, ModeItem::kAny)};
+}
+
+class AlwaysFailsPass : public LintPass {
+ public:
+  const char* name() const override { return "always-fails-goal"; }
+  const char* code() const override { return "PL200"; }
+  const char* description() const override {
+    return "goal calls a (predicate, mode) the analysis proves cannot "
+           "succeed";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    if (ctx.absint == nullptr || ctx.modes == nullptr ||
+        ctx.oracle == nullptr) {
+      return;
+    }
+    const TermStore& store = *ctx.store;
+    std::set<std::string> seen;  // dedup repeated identical goals
+    for (const PredId& id : ctx.program->pred_order()) {
+      const std::string pred = reader::PredName(store, id);
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        auto body = analysis::ParseBody(store, clause.body);
+        if (!body.ok()) continue;
+        // A goal is flagged only when it fails under EVERY observed caller
+        // mode — failing in just one of several modes is often the point
+        // (e.g. a guard clause).
+        const std::vector<Mode> input_modes = InputModesOf(ctx, id);
+        std::map<TermRef, size_t> fail_counts;
+        for (const Mode& mode : input_modes) {
+          AbstractEnv env = analysis::EnvFromHead(store, clause.head, mode);
+          WalkCallsWithEnv(
+              store, *body.value(), ctx.oracle, &env,
+              [&](TermRef goal, const AbstractEnv& before) {
+                if (GoalAlwaysFails(ctx, store, goal, before)) {
+                  ++fail_counts[store.Deref(goal)];
+                }
+              });
+        }
+        for (const auto& [g, count] : fail_counts) {
+          if (count < input_modes.size()) continue;
+          Diagnostic d{"PL200", Severity::kWarning, SpanOf(ctx, g, clause),
+                       pred,
+                       prore::StrFormat(
+                           "call to %s can never succeed here",
+                           reader::PredName(store, store.pred_id(g))
+                               .c_str())};
+          if (seen.insert(d.ToString()).second) sink->Report(std::move(d));
+        }
+      }
+    }
+  }
+
+ private:
+  static bool GoalAlwaysFails(const LintContext& ctx, const TermStore& store,
+                              TermRef goal, const AbstractEnv& env) {
+    TermRef g = store.Deref(goal);
+    if (!store.IsCallable(g)) return false;
+    PredId callee = store.pred_id(g);
+    if (!ctx.program->Has(callee)) return false;
+    Mode call_mode = env.CallModeOf(store, g);
+    if (ctx.absint->determinism.DetFor(store, callee, call_mode) ==
+        analysis::absint::Det::kFailure) {
+      return true;
+    }
+    const analysis::absint::GroundnessValue* gv =
+        ctx.absint->groundness.Find(store, callee, call_mode);
+    return gv != nullptr && !gv->can_succeed;
+  }
+};
+
+// ---- PL201: clause head matches no call site --------------------------------
+
+class UnreachableHeadPass : public LintPass {
+ public:
+  const char* name() const override { return "unreachable-clause-pattern"; }
+  const char* code() const override { return "PL201"; }
+  const char* description() const override {
+    return "clause head is incompatible with every static call site's "
+           "argument shapes";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    if (ctx.absint == nullptr || ctx.decls == nullptr) return;
+    const TermStore& store = *ctx.store;
+    // The harvest below only sees textual call sites, so any dynamic way
+    // of constructing a call voids the whole pass.
+    if (ProgramHasDynamicCalls(ctx)) return;
+
+    // callee -> call-site goals, across every clause body.
+    std::unordered_map<PredId, std::vector<TermRef>, term::PredIdHash> sites;
+    for (const PredId& id : ctx.program->pred_order()) {
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        auto body = analysis::ParseBody(store, clause.body);
+        if (!body.ok()) return;  // incomplete harvest: not sound to judge
+        std::vector<TermRef> goals;
+        analysis::CollectCalledGoals(store, *body.value(), &goals);
+        for (TermRef goal : goals) {
+          TermRef g = store.Deref(goal);
+          if (!store.IsCallable(g)) continue;
+          sites[store.pred_id(g)].push_back(g);
+        }
+      }
+    }
+
+    std::unordered_set<PredId, term::PredIdHash> entries(
+        ctx.decls->entries.begin(), ctx.decls->entries.end());
+    if (ctx.graph != nullptr) {
+      for (const PredId& e : ctx.graph->EntryPoints()) entries.insert(e);
+    }
+    for (const PredId& id : ctx.program->pred_order()) {
+      if (entries.count(id) > 0) continue;  // called from outside too
+      auto sit = sites.find(id);
+      if (sit == sites.end() || sit->second.empty()) continue;
+      CheckPred(ctx, store, id, sit->second, sink);
+    }
+  }
+
+ private:
+  /// Principal-functor shape usable for match/mismatch decisions: atoms by
+  /// symbol, integers by value, structures by functor/arity. Variables
+  /// (match anything) and floats (equality is hazy) yield nullopt.
+  static std::optional<std::string> ShapeOf(const TermStore& store,
+                                            TermRef t) {
+    t = store.Deref(t);
+    switch (store.tag(t)) {
+      case Tag::kAtom:
+        return "a:" + store.symbols().Name(store.symbol(t));
+      case Tag::kInt:
+        return prore::StrFormat("i:%lld",
+                                static_cast<long long>(store.int_value(t)));
+      case Tag::kStruct:
+        return prore::StrFormat(
+            "s:%s/%u", store.symbols().Name(store.pred_id(t).name).c_str(),
+            store.pred_id(t).arity);
+      default:
+        return std::nullopt;
+    }
+  }
+
+  static bool ProgramHasDynamicCalls(const LintContext& ctx) {
+    const TermStore& store = *ctx.store;
+    static const std::unordered_set<std::string> kDynamic = {
+        "assert", "asserta", "assertz", "retract", "call", "findall",
+        "bagof", "setof", "forall"};
+    for (const PredId& id : ctx.program->pred_order()) {
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        auto body = analysis::ParseBody(store, clause.body);
+        if (!body.ok()) return true;
+        std::vector<TermRef> goals;
+        analysis::CollectCalledGoals(store, *body.value(), &goals);
+        for (TermRef goal : goals) {
+          TermRef g = store.Deref(goal);
+          if (!store.IsCallable(g)) return true;  // variable goal
+          const std::string& name =
+              store.symbols().Name(store.pred_id(g).name);
+          if (kDynamic.count(name) > 0) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  static void CheckPred(const LintContext& ctx, const TermStore& store,
+                        const PredId& id,
+                        const std::vector<TermRef>& call_sites,
+                        DiagnosticSink* sink) {
+    // Per position: the shapes seen across call sites, or "unconstrained"
+    // as soon as one site passes something shapeless (variable, float).
+    std::vector<std::set<std::string>> shapes(id.arity);
+    std::vector<bool> constrained(id.arity, true);
+    for (TermRef g : call_sites) {
+      for (uint32_t k = 0; k < id.arity; ++k) {
+        if (!constrained[k]) continue;
+        auto s = ShapeOf(store, store.arg(g, k));
+        if (!s.has_value()) {
+          constrained[k] = false;
+          shapes[k].clear();
+        } else {
+          shapes[k].insert(std::move(*s));
+        }
+      }
+    }
+    const std::string pred = reader::PredName(store, id);
+    const auto& clauses = ctx.program->ClausesOf(id);
+    for (size_t c = 0; c < clauses.size(); ++c) {
+      TermRef head = store.Deref(clauses[c].head);
+      for (uint32_t k = 0; k < id.arity; ++k) {
+        if (!constrained[k]) continue;
+        auto s = ShapeOf(store, store.arg(head, k));
+        if (!s.has_value() || shapes[k].count(*s) > 0) continue;
+        sink->Report(
+            "PL201", Severity::kWarning,
+            clauses[c].span.known()
+                ? clauses[c].span
+                : SpanOf(ctx, clauses[c].head, clauses[c]),
+            pred,
+            prore::StrFormat("clause %zu can match no call: no call site "
+                             "passes %s at argument %u",
+                             c + 1, s->substr(2).c_str(), k + 1));
+        break;  // one report per clause is enough
+      }
+    }
+  }
+};
+
+// ---- PL202: at-most-one-solution call leaves a choicepoint ------------------
+
+class DetChoicepointPass : public LintPass {
+ public:
+  const char* name() const override { return "det-leaves-choicepoint"; }
+  const char* code() const override { return "PL202"; }
+  const char* description() const override {
+    return "call has at most one solution but its clauses are not "
+           "exclusive, so a dead choicepoint survives into later goals";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    if (ctx.absint == nullptr || ctx.modes == nullptr ||
+        ctx.oracle == nullptr) {
+      return;
+    }
+    const TermStore& store = *ctx.store;
+    std::set<std::string> seen;
+    for (const PredId& id : ctx.program->pred_order()) {
+      const std::string pred = reader::PredName(store, id);
+      for (const Clause& clause : ctx.program->ClausesOf(id)) {
+        auto body = analysis::ParseBody(store, clause.body);
+        if (!body.ok()) continue;
+        const BodyNode& top = *body.value();
+        if (top.kind != BodyKind::kConj || top.children.size() < 2) {
+          continue;  // nothing follows the call within this clause
+        }
+        for (const Mode& mode : InputModesOf(ctx, id)) {
+          AbstractEnv env = analysis::EnvFromHead(store, clause.head, mode);
+          // Top-level goals only (followed by at least one more goal):
+          // deeper calls are hard to attribute to a live choicepoint.
+          for (size_t i = 0; i + 1 < top.children.size(); ++i) {
+            const BodyNode& node = *top.children[i];
+            if (node.kind == BodyKind::kCall) {
+              CheckGoal(ctx, store, node.goal, env, clause, pred, &seen,
+                        sink);
+            }
+            analysis::AdvanceEnvOverNode(store, node, ctx.oracle, &env);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  static void CheckGoal(const LintContext& ctx, const TermStore& store,
+                        TermRef goal, const AbstractEnv& env,
+                        const Clause& clause, const std::string& pred,
+                        std::set<std::string>* seen, DiagnosticSink* sink) {
+    TermRef g = store.Deref(goal);
+    if (!store.IsCallable(g)) return;
+    PredId callee = store.pred_id(g);
+    if (!ctx.program->Has(callee)) return;
+    const auto& callee_clauses = ctx.program->ClausesOf(callee);
+    if (callee_clauses.size() < 2) return;
+    // A cut anywhere in the callee means the author is already managing
+    // its choicepoints; flagging the standard guard-cut idiom is noise.
+    for (const Clause& cc : callee_clauses) {
+      auto cb = analysis::ParseBody(store, cc.body);
+      if (!cb.ok() || analysis::ContainsClauseCut(*cb.value())) return;
+    }
+    Mode call_mode = env.CallModeOf(store, g);
+    analysis::absint::Det det =
+        ctx.absint->determinism.DetFor(store, callee, call_mode);
+    if (det != analysis::absint::Det::kDet &&
+        det != analysis::absint::Det::kSemidet) {
+      return;
+    }
+    if (ctx.absint->determinism.ExclusiveUnder(callee, call_mode)) return;
+    Diagnostic d{
+        "PL202", Severity::kNote, SpanOf(ctx, g, clause), pred,
+        prore::StrFormat(
+            "call to %s is %s in mode %s but its clauses are not "
+            "exclusive; the engine keeps a choicepoint later goals can "
+            "needlessly retry (consider a cut or indexable arguments)",
+            reader::PredName(store, callee).c_str(),
+            analysis::absint::DetName(det),
+            analysis::ModeString(call_mode).c_str())};
+    if (seen->insert(d.ToString()).second) sink->Report(std::move(d));
+  }
+};
+
+// ---- PL203: cut in a clause already proven exclusive ------------------------
+
+class RedundantCutPass : public LintPass {
+ public:
+  const char* name() const override { return "redundant-cut"; }
+  const char* code() const override { return "PL203"; }
+  const char* description() const override {
+    return "leading cut in a predicate whose clause heads are mutually "
+           "exclusive under every inferred call mode";
+  }
+
+  void Run(const LintContext& ctx, DiagnosticSink* sink) const override {
+    if (ctx.absint == nullptr || ctx.modes == nullptr) return;
+    const TermStore& store = *ctx.store;
+    for (const PredId& id : ctx.program->pred_order()) {
+      const auto& clauses = ctx.program->ClausesOf(id);
+      if (clauses.size() < 2) continue;
+      auto wit = ctx.absint->determinism.witnesses.find(id);
+      if (wit == ctx.absint->determinism.witnesses.end() ||
+          wit->second.empty()) {
+        continue;
+      }
+      auto it = ctx.modes->observed_inputs.find(id);
+      if (it == ctx.modes->observed_inputs.end() || it->second.empty()) {
+        continue;  // no evidence about how it is called
+      }
+      bool always_exclusive = true;
+      for (const Mode& mode : it->second) {
+        if (!ctx.absint->determinism.ExclusiveUnder(id, mode)) {
+          always_exclusive = false;
+          break;
+        }
+      }
+      if (!always_exclusive) continue;
+      const std::string pred = reader::PredName(store, id);
+      for (size_t c = 0; c < clauses.size(); ++c) {
+        if (!HasLeadingCut(store, clauses[c])) continue;
+        sink->Report(
+            "PL203", Severity::kNote,
+            clauses[c].span.known()
+                ? clauses[c].span
+                : SpanOf(ctx, clauses[c].head, clauses[c]),
+            pred,
+            prore::StrFormat("cut in clause %zu is redundant: clause heads "
+                             "are mutually exclusive under every inferred "
+                             "call mode",
+                             c + 1));
+      }
+    }
+  }
+
+ private:
+  /// True when the first executed goal of the clause body is `!` — nothing
+  /// runs before it, so the cut can only be pruning clause alternatives
+  /// that head exclusivity already rules out.
+  static bool HasLeadingCut(const TermStore& store, const Clause& clause) {
+    auto body = analysis::ParseBody(store, clause.body);
+    if (!body.ok()) return false;
+    const BodyNode* node = body.value().get();
+    while (node->kind == BodyKind::kConj && !node->children.empty()) {
+      node = node->children.front().get();
+    }
+    return node->kind == BodyKind::kCut;
+  }
+};
+
 }  // namespace
 
 const PassRegistry& PassRegistry::Default() {
@@ -639,6 +1005,10 @@ const PassRegistry& PassRegistry::Default() {
     r->Register(std::make_unique<PinnedSideEffectPass>());
     r->Register(std::make_unique<DiscontiguousPass>());
     r->Register(std::make_unique<ExceptionHygienePass>());
+    r->Register(std::make_unique<AlwaysFailsPass>());
+    r->Register(std::make_unique<UnreachableHeadPass>());
+    r->Register(std::make_unique<DetChoicepointPass>());
+    r->Register(std::make_unique<RedundantCutPass>());
     return r;
   }();
   return *registry;

@@ -10,9 +10,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/absint.h"
 #include "common/str_util.h"
 #include "core/evaluation.h"
 #include "core/reorderer.h"
+#include "engine/database.h"
+#include "engine/machine.h"
 #include "lint/diagnostic.h"
 #include "lint/lint.h"
 #include "reader/parser.h"
@@ -323,6 +326,74 @@ TEST_P(ReorderFuzzTest, ReorderedProgramTextReparses) {
   auto reparsed = reader::ParseProgramText(&fresh, text);
   ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
   EXPECT_EQ(reparsed->NumClauses(), reordered->program.NumClauses());
+}
+
+TEST_P(ReorderFuzzTest, AbsintNeverCrashesAndIsDeterministic) {
+  // The abstract interpreter must terminate cleanly on every generated
+  // program (ok or a plain Status — never a crash or a hang past the
+  // widening/saturation caps) and, when it succeeds, produce a
+  // bit-identical dump on a second run.
+  ProgramGenerator gen(GetParam() ^ 0xAB51u);
+  auto generated = gen.Generate();
+  SCOPED_TRACE(generated.source);
+
+  term::TermStore store;
+  auto program = reader::ParseProgramText(&store, generated.source);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto graph = analysis::CallGraph::Build(store, *program);
+  if (!graph.ok()) return;
+  auto decls = analysis::ParseDeclarations(store, *program);
+  if (!decls.ok()) return;
+  auto modes = analysis::InferModes(store, *program, *graph, *decls);
+  const analysis::ModeAnalysis* modes_ptr = modes.ok() ? &*modes : nullptr;
+
+  auto first = analysis::absint::RunAbsint(store, *program, *graph, *decls,
+                                           modes_ptr);
+  auto second = analysis::absint::RunAbsint(store, *program, *graph, *decls,
+                                            modes_ptr);
+  ASSERT_EQ(first.ok(), second.ok());
+  if (first.ok()) {
+    EXPECT_EQ(analysis::absint::DumpAbsint(*first),
+              analysis::absint::DumpAbsint(*second));
+  }
+}
+
+TEST_P(ReorderFuzzTest, ChoicepointElisionPreservesAnswersAndErrors) {
+  // Elision may only skip clauses whose head unification was going to
+  // fail: the answer sequence (order included) and any error outcome must
+  // be identical with the optimization on and off.
+  ProgramGenerator gen(GetParam() ^ 0xE115u);
+  auto generated = gen.Generate();
+  SCOPED_TRACE(generated.source);
+
+  term::TermStore store;
+  auto program = reader::ParseProgramText(&store, generated.source);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto db = engine::Database::Build(&store, *program);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  engine::SolveOptions on;
+  on.use_choicepoint_elision = true;
+  engine::SolveOptions off;
+  off.use_choicepoint_elision = false;
+  engine::Machine m_on(&store, &*db, on);
+  engine::Machine m_off(&store, &*db, off);
+
+  for (const std::string& query : generated.queries) {
+    SCOPED_TRACE(query);
+    auto q1 = reader::ParseQueryText(&store, query + ".");
+    auto q2 = reader::ParseQueryText(&store, query + ".");
+    ASSERT_TRUE(q1.ok() && q2.ok());
+    auto a_on = m_on.SolveToStrings(q1->term, q1->term);
+    auto a_off = m_off.SolveToStrings(q2->term, q2->term);
+    ASSERT_EQ(a_on.ok(), a_off.ok())
+        << (a_on.ok() ? a_off.status() : a_on.status()).ToString();
+    if (a_on.ok()) {
+      EXPECT_EQ(*a_on, *a_off);
+    } else {
+      EXPECT_EQ(a_on.status().ToString(), a_off.status().ToString());
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReorderFuzzTest,

@@ -249,9 +249,117 @@ TEST(DiagnosticTest, RenderingCarriesCodeSeverityAndSpan) {
 
 // ---- Registry and pass selection --------------------------------------------
 
+// ---- PL200: goal provably always fails ------------------------------------
+
+TEST_F(LintPassTest, PL200FlagsAlwaysFailingCall) {
+  auto diags = Lint(
+      ":- entry(top/1).\n"
+      "top(X) :- doomed(X), write(X).\n"
+      "doomed(X) :- fail, X = 1.\n");
+  auto hits = WithCode(diags, "PL200");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kWarning);
+  EXPECT_NE(hits[0].message.find("doomed/1"), std::string::npos);
+}
+
+TEST_F(LintPassTest, PL200QuietOnSucceedingCall) {
+  auto diags = Lint(
+      ":- entry(top/1).\n"
+      "top(X) :- fine(X), write(X).\n"
+      "fine(1).\n");
+  EXPECT_TRUE(WithCode(diags, "PL200").empty());
+}
+
+// ---- PL201: clause head incompatible with every call site -----------------
+
+TEST_F(LintPassTest, PL201FlagsHeadNoCallSiteMatches) {
+  auto diags = Lint(
+      ":- entry(top/1).\n"
+      "top(X) :- speed(slow, X).\n"
+      "speed(slow, 1).\n"
+      "speed(fast, 9).\n");
+  auto hits = WithCode(diags, "PL201");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].pred, "speed/2");
+  EXPECT_NE(hits[0].message.find("clause 2"), std::string::npos);
+}
+
+TEST_F(LintPassTest, PL201QuietWhenAnySiteUnconstrained) {
+  auto diags = Lint(
+      ":- entry(top/1).\n"
+      "top(X) :- speed(X, _).\n"  // variable argument: any clause reachable
+      "speed(slow, 1).\n"
+      "speed(fast, 9).\n");
+  EXPECT_TRUE(WithCode(diags, "PL201").empty());
+}
+
+TEST_F(LintPassTest, PL201QuietUnderDynamicCalls) {
+  auto diags = Lint(
+      ":- entry(top/1).\n"
+      "top(X) :- assert(speed(stopped, 0)), speed(slow, X).\n"
+      "speed(slow, 1).\n"
+      "speed(fast, 9).\n");
+  EXPECT_TRUE(WithCode(diags, "PL201").empty());
+}
+
+// ---- PL202: at-most-one-solution call leaves a choicepoint ----------------
+
+TEST_F(LintPassTest, PL202FlagsSemidetWithLiveChoicepoint) {
+  // lookup/2 has at most one solution (clause 1 calls an always-failing
+  // predicate), its clauses are not exclusive under the '-' result
+  // argument, and write/1 runs with the dead choicepoint still stacked.
+  auto diags = Lint(
+      ":- entry(top/1).\n"
+      ":- legal_mode(top(+), top(+)).\n"
+      "top(X) :- lookup(X, Y), write(Y).\n"
+      "lookup(X, one) :- broken(X), X > 0.\n"
+      "lookup(X, two) :- X > 1.\n"
+      "broken(X) :- fail, X = 0.\n");
+  auto hits = WithCode(diags, "PL202");
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kNote);
+  EXPECT_NE(hits[0].message.find("lookup/2"), std::string::npos);
+}
+
+TEST_F(LintPassTest, PL202QuietWhenHeadsExclusive) {
+  auto diags = Lint(
+      ":- entry(top/1).\n"
+      ":- legal_mode(top(+), top(+)).\n"
+      "top(X) :- speed(X, Y), write(Y).\n"
+      "speed(slow, 1).\n"
+      "speed(fast, 9).\n");
+  EXPECT_TRUE(WithCode(diags, "PL202").empty());
+}
+
+// ---- PL203: cut in a clause already proven exclusive ----------------------
+
+TEST_F(LintPassTest, PL203FlagsRedundantLeadingCut) {
+  auto diags = Lint(
+      ":- entry(top/1).\n"
+      ":- legal_mode(top(+), top(+)).\n"
+      "top(X) :- speed(X, Y), write(Y).\n"
+      "speed(slow, 1) :- !.\n"
+      "speed(fast, 9).\n");
+  auto hits = WithCode(diags, "PL203");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::kNote);
+  EXPECT_EQ(hits[0].pred, "speed/2");
+}
+
+TEST_F(LintPassTest, PL203QuietWhenCutDoesWork) {
+  // Variable heads: nothing exclusive, the cut genuinely commits.
+  auto diags = Lint(
+      ":- entry(top/1).\n"
+      ":- legal_mode(top(+), top(+)).\n"
+      "top(X) :- classify(X, Y), write(Y).\n"
+      "classify(X, small) :- X < 5, !.\n"
+      "classify(_, large).\n");
+  EXPECT_TRUE(WithCode(diags, "PL203").empty());
+}
+
 TEST(RegistryTest, AllPassesRegisteredWithUniqueCodes) {
   const PassRegistry& registry = PassRegistry::Default();
-  EXPECT_EQ(registry.passes().size(), 8u);
+  EXPECT_EQ(registry.passes().size(), 12u);
   std::set<std::string> codes;
   for (const auto& pass : registry.passes()) {
     EXPECT_TRUE(codes.insert(pass->code()).second)

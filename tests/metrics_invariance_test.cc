@@ -50,11 +50,38 @@ TEST(MetricsInvariance, MatchesSeedEngineCounters) {
                  (g.use_indexing ? " indexed" : " unindexed"));
     engine::SolveOptions opts;
     opts.use_indexing = g.use_indexing;
+    // Choicepoint elision intentionally skips head unifications that could
+    // only fail on backtracking; the seed comparison runs without it so
+    // the golden counters stay meaningful.
+    opts.use_choicepoint_elision = false;
     auto run = programs::RunWorkload(ProgramByName(g.program), opts);
     ASSERT_TRUE(run.ok()) << run.status().message();
     EXPECT_EQ(run->metrics.TotalCalls(), g.calls);
     EXPECT_EQ(run->metrics.head_unifications, g.head_unifications);
     EXPECT_EQ(run->answers, g.answers);
+  }
+}
+
+TEST(MetricsInvariance, ElisionNeverChangesCallCountsOrAnswers) {
+  // Choicepoint elision commits head-exclusive calls without a
+  // choicepoint. The clauses it skips are exactly the ones whose head
+  // unification would have failed on backtracking, so predicate calls and
+  // answers are bit-identical and head unifications only ever shrink.
+  for (const programs::BenchmarkProgram* p : programs::AllPrograms()) {
+    SCOPED_TRACE(p->name);
+    engine::SolveOptions on;
+    on.use_choicepoint_elision = true;
+    engine::SolveOptions off;
+    off.use_choicepoint_elision = false;
+    auto run_on = programs::RunWorkload(*p, on);
+    auto run_off = programs::RunWorkload(*p, off);
+    ASSERT_TRUE(run_on.ok()) << run_on.status().message();
+    ASSERT_TRUE(run_off.ok()) << run_off.status().message();
+    EXPECT_EQ(run_on->metrics.TotalCalls(), run_off->metrics.TotalCalls());
+    EXPECT_EQ(run_on->answers, run_off->answers);
+    EXPECT_LE(run_on->metrics.head_unifications,
+              run_off->metrics.head_unifications);
+    EXPECT_EQ(run_off->metrics.choicepoints_elided, 0u);
   }
 }
 

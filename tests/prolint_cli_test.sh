@@ -1,0 +1,52 @@
+#!/bin/sh
+# Regression test for the prolint command line: comma-separated --only
+# lists, uniform acceptance of the reorder-check codes (PL100-PL103,
+# PL210/PL211) alongside registered pass selectors, and the SARIF output
+# format. Run by CTest with the prolint binary path as $1.
+set -eu
+
+PROLINT="$1"
+TMP="${TMPDIR:-/tmp}/prolint_cli_test.$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+cat > "$TMP/sample.pl" <<'EOF'
+doomed(X) :- fail, X = 0.
+top(Y) :- doomed(Y), missing(Y).
+?- top(Z).
+EOF
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# Comma-separated --only restricts to exactly the listed codes.
+out="$("$PROLINT" --only=PL200,PL002 "$TMP/sample.pl")" || true
+echo "$out" | grep -q "PL200" || fail "--only=PL200,PL002 dropped PL200"
+echo "$out" | grep -q "PL002" || fail "--only=PL200,PL002 dropped PL002"
+echo "$out" | grep -q "PL004" && fail "--only=PL200,PL002 leaked PL004"
+
+# Validator/reorderer codes are accepted uniformly with pass selectors
+# (historically rejected as "unknown pass"); they run the reorder check
+# and suppress every registered pass.
+out="$("$PROLINT" --only=PL100 "$TMP/sample.pl")" || \
+  fail "--only=PL100 rejected or gated"
+echo "$out" | grep -q "PL00" && fail "--only=PL100 leaked a pass finding"
+
+"$PROLINT" --only=PL210 "$TMP/sample.pl" > /dev/null || \
+  fail "--only=PL210 rejected"
+
+# Unknown selectors are still a usage error (exit 2).
+rc=0
+"$PROLINT" --only=PL999 "$TMP/sample.pl" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "--only=PL999 exited $rc, want 2"
+
+# SARIF output is one log covering every input, with stable ruleIds.
+out="$("$PROLINT" --format=sarif "$TMP/sample.pl" "$TMP/sample.pl")" || true
+echo "$out" | grep -q '"version":"2.1.0"' || fail "sarif missing version"
+echo "$out" | grep -q '"ruleId":"PL200"' || fail "sarif missing PL200 result"
+count=$(echo "$out" | grep -c '"\$schema"')
+[ "$count" -eq 1 ] || fail "sarif emitted $count logs, want 1 combined"
+
+echo "PASS"

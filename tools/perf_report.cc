@@ -4,10 +4,14 @@
 //
 // Schema: an array of
 //   {"workload": str, "wall_ns": int, "calls": int, "unifications": int,
-//    "heap_cells": int, "threads": int, "hw_threads": int}
+//    "heap_cells": int, "choicepoints_elided": int, "threads": int,
+//    "hw_threads": int}
 // where `calls` is the paper's headline counter (user + builtin calls),
 // `unifications` counts clause-head unification attempts, `heap_cells`
-// is the peak term cells live above the query watermark, `threads` is how
+// is the peak term cells live above the query watermark,
+// `choicepoints_elided` counts choicepoints the engine skipped because a
+// head-exclusivity witness proved at most one clause could match, `threads`
+// is how
 // many engine workers solved the scenario concurrently (snapshot-backed
 // machines; 1 = the classic single machine), and `hw_threads` is the
 // host's hardware concurrency — so scaling numbers carry their context.
@@ -42,6 +46,7 @@ struct Row {
   uint64_t calls = 0;
   uint64_t unifications = 0;
   uint64_t heap_cells = 0;
+  uint64_t choicepoints_elided = 0;
   size_t threads = 1;  ///< concurrent engine workers for this entry
 };
 
@@ -67,6 +72,7 @@ Row Measure(const std::string& name, Fn&& run_once) {
     row.calls = m.TotalCalls();
     row.unifications = m.head_unifications;
     row.heap_cells = m.heap_cells;
+    row.choicepoints_elided = m.choicepoints_elided;
     if (++runs >= 200) break;
   }
   row.wall_ns = best_ns;
@@ -236,14 +242,15 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "  {\"workload\": \"%s\", \"wall_ns\": %llu, "
                  "\"calls\": %llu, \"unifications\": %llu, "
-                 "\"heap_cells\": %llu, \"threads\": %zu, "
-                 "\"hw_threads\": %zu}%s\n",
+                 "\"heap_cells\": %llu, \"choicepoints_elided\": %llu, "
+                 "\"threads\": %zu, \"hw_threads\": %zu}%s\n",
                  JsonEscape(r.workload).c_str(),
                  static_cast<unsigned long long>(r.wall_ns),
                  static_cast<unsigned long long>(r.calls),
                  static_cast<unsigned long long>(r.unifications),
-                 static_cast<unsigned long long>(r.heap_cells), r.threads,
-                 prore::ThreadPool::HardwareConcurrency(),
+                 static_cast<unsigned long long>(r.heap_cells),
+                 static_cast<unsigned long long>(r.choicepoints_elided),
+                 r.threads, prore::ThreadPool::HardwareConcurrency(),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -9,15 +9,21 @@
 //   prolint [options] file.pl...
 //
 // Options:
-//   --format=text|json  output format (default text)
+//   --format=text|json|sarif  output format (default text). sarif emits
+//                       one SARIF 2.1.0 log covering every input file.
 //   --werror            treat warnings as errors (exit 1)
 //   --no-check-reorder  skip the reorder + validate step
-//   --only=NAME|CODE    run only the named pass (repeatable)
+//   --only=LIST         run only the selected passes; LIST is a comma-
+//                       separated mix of pass names and codes, including
+//                       the validator codes PL100-PL103 and the reorderer
+//                       notes PL210/PL211 (selecting any of those runs the
+//                       reorder check and filters its findings). Repeatable.
 //   --list-passes       list the registered passes and exit
 //
 // Exit codes: 0 clean (or warnings without --werror), 1 diagnostics at the
 // gating severity or a file error, 2 usage error.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -34,10 +40,17 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: prolint [--format=text|json] [--werror]\n"
-               "               [--no-check-reorder] [--only=PASS]\n"
+               "usage: prolint [--format=text|json|sarif] [--werror]\n"
+               "               [--no-check-reorder] [--only=PASS,PASS,...]\n"
                "               [--list-passes] file.pl...\n");
   return 2;
+}
+
+/// Codes emitted by the reorder + validate step rather than by a
+/// registered pass: accepted by --only all the same.
+bool IsReorderCheckCode(const std::string& sel) {
+  return sel == "PL100" || sel == "PL101" || sel == "PL102" ||
+         sel == "PL103" || sel == "PL210" || sel == "PL211";
 }
 
 int ListPasses() {
@@ -53,29 +66,45 @@ int ListPasses() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
+  enum class Format { kText, kJson, kSarif };
+  Format format = Format::kText;
   bool werror = false;
   bool check_reorder = true;
-  prore::lint::LintOptions lint_options;
+  std::vector<std::string> only_selected;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--format=text") {
-      json = false;
+      format = Format::kText;
     } else if (arg == "--format=json") {
-      json = true;
+      format = Format::kJson;
+    } else if (arg == "--format=sarif") {
+      format = Format::kSarif;
     } else if (arg == "--werror") {
       werror = true;
     } else if (arg == "--no-check-reorder") {
       check_reorder = false;
     } else if (arg.rfind("--only=", 0) == 0) {
-      std::string sel = arg.substr(7);
-      if (prore::lint::PassRegistry::Default().Find(sel) == nullptr) {
-        std::fprintf(stderr, "prolint: unknown pass %s\n", sel.c_str());
-        return 2;
+      // Comma-separated names/codes; validator and reorderer codes
+      // (PL100..PL103, PL21x) are accepted uniformly with pass selectors.
+      std::string list = arg.substr(7);
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        std::string sel = list.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        if (!sel.empty()) {
+          if (prore::lint::PassRegistry::Default().Find(sel) == nullptr &&
+              !IsReorderCheckCode(sel)) {
+            std::fprintf(stderr, "prolint: unknown pass %s\n", sel.c_str());
+            return 2;
+          }
+          only_selected.push_back(std::move(sel));
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
       }
-      lint_options.only.push_back(std::move(sel));
     } else if (arg == "--list-passes") {
       return ListPasses();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -87,11 +116,30 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) return Usage();
 
+  // Registry selectors go to the Linter; reorder-check codes (which no
+  // registered pass owns) additionally force the reorder step to run and
+  // its findings to be filtered. An all-PL1xx selection still suppresses
+  // every registered pass: the codes match no pass, so none run.
+  prore::lint::LintOptions lint_options;
+  lint_options.only = only_selected;
+  const bool want_reorder_codes =
+      std::any_of(only_selected.begin(), only_selected.end(),
+                  IsReorderCheckCode);
+  auto selected = [&](const std::string& code) {
+    return only_selected.empty() ||
+           std::find(only_selected.begin(), only_selected.end(), code) !=
+               only_selected.end();
+  };
+
   const prore::lint::Severity gate = werror
                                          ? prore::lint::Severity::kWarning
                                          : prore::lint::Severity::kError;
   bool any_gating = false;
   bool any_io_error = false;
+  // --format=sarif: one combined log; (file, diagnostics) accumulated
+  // across inputs.
+  std::vector<std::pair<std::string, std::vector<prore::lint::Diagnostic>>>
+      sarif_runs;
 
   for (size_t f = 0; f < files.size(); ++f) {
     const std::string& path = files[f];
@@ -129,8 +177,8 @@ int main(int argc, char** argv) {
         diags.push_back(std::move(d));
       }
 
-      if (check_reorder && lint_options.only.empty() &&
-          parse_errors.empty()) {
+      if (check_reorder && parse_errors.empty() &&
+          (only_selected.empty() || want_reorder_codes)) {
         // Reorder and self-verify; the reorderer embeds the validator
         // (ReorderOptions::validate_output), so its diagnostics carry the
         // PL1xx findings. A program the reorderer rejects outright is not
@@ -141,6 +189,7 @@ int main(int argc, char** argv) {
         auto reordered = reorderer.Run(program);
         if (reordered.ok()) {
           for (prore::lint::Diagnostic& d : reordered->diagnostics) {
+            if (!selected(d.code)) continue;
             diags.push_back(std::move(d));
           }
         } else {
@@ -158,13 +207,22 @@ int main(int argc, char** argv) {
         break;
       }
     }
-    if (json) {
-      std::printf("%s\n", prore::lint::RenderJson(diags, path).c_str());
-    } else {
-      std::fputs(prore::lint::RenderText(diags, path).c_str(), stdout);
+    switch (format) {
+      case Format::kJson:
+        std::printf("%s\n", prore::lint::RenderJson(diags, path).c_str());
+        break;
+      case Format::kSarif:
+        sarif_runs.emplace_back(path, std::move(diags));
+        break;
+      case Format::kText:
+        std::fputs(prore::lint::RenderText(diags, path).c_str(), stdout);
+        break;
     }
   }
 
+  if (format == Format::kSarif) {
+    std::printf("%s\n", prore::lint::RenderSarif(sarif_runs).c_str());
+  }
   if (any_io_error) return 1;
   return any_gating ? 1 : 0;
 }

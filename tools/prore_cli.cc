@@ -39,6 +39,11 @@
 //   --cost-timeout-ms=N   cost-model watchdog wall-clock budget
 //   --infer-steps=N       mode-inference watchdog step budget
 //   --infer-timeout-ms=N  mode-inference watchdog wall-clock budget
+//   --absint / --no-absint  toggle the abstract interpretation (groundness
+//                           + determinism; on by default). --report prints
+//                           its summaries when it ran.
+//   --absint-steps=N        absint watchdog step budget (0 = off); a trip
+//   --absint-timeout-ms=N   disables the stage, not the pipeline
 //   --timeout-ms=N      wall-clock deadline per --compare query (0 = off)
 //   --max-depth=N       resolution-depth budget per --compare query
 //   --max-heap-cells=N  heap growth budget per --compare query
@@ -146,6 +151,10 @@ int main(int argc, char** argv) {
       options.reorder_goals = false;
     } else if (arg == "--warren") {
       options.goal_search.warren_heuristic = true;
+    } else if (arg == "--absint") {
+      options.absint = true;
+    } else if (arg == "--no-absint") {
+      options.absint = false;
     } else if (arg == "--lint") {
       lint = true;
     } else if (arg == "--report") {
@@ -174,7 +183,11 @@ int main(int argc, char** argv) {
         ParseBudget(arg, "--infer-steps=",
                     &pipeline_options.inference_watchdog.max_steps) ||
         ParseBudget(arg, "--infer-timeout-ms=",
-                    &pipeline_options.inference_watchdog.timeout_ms)) {
+                    &pipeline_options.inference_watchdog.timeout_ms) ||
+        ParseBudget(arg, "--absint-steps=",
+                    &pipeline_options.absint_watchdog.max_steps) ||
+        ParseBudget(arg, "--absint-timeout-ms=",
+                    &pipeline_options.absint_watchdog.timeout_ms)) {
       // value stored by ParseBudget
     } else if (arg.rfind("--timeout-ms=", 0) == 0 ||
                arg.rfind("--max-depth=", 0) == 0 ||
@@ -277,6 +290,9 @@ int main(int argc, char** argv) {
   }
 
   if (report) {
+    if (!result->absint_report.empty()) {
+      std::fputs(result->absint_report.c_str(), stderr);
+    }
     std::fprintf(stderr, "%-28s %-8s %14s %14s %s\n", "predicate", "mode",
                  "predicted-orig", "predicted-new", "changed");
     for (const auto& r : result->reports) {
