@@ -81,6 +81,7 @@ prore::Result<AbsintResult> RunAbsint(const TermStore& store,
   solver_opts.widen_after = opts.widen_after;
   solver_opts.max_updates_per_key = opts.max_updates_per_key;
   solver_opts.watchdog = opts.watchdog;
+  solver_opts.exec = opts.exec;
 
   GroundnessDomain ground_domain(&store, &program);
   Solver<GroundnessDomain> ground_solver(&store, &graph, &groups,

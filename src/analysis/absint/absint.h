@@ -30,6 +30,9 @@ struct AbsintOptions {
   /// resource_error(watchdog(absint)) — the GuardedPipeline's signal to
   /// degrade to a no-absint run.
   prore::WatchdogBudget watchdog;
+  /// Cancellation/deadline scope for the fixpoint; observed through the
+  /// watchdog on every transfer even when the budget is unlimited.
+  prore::ExecContext exec;
 };
 
 struct AbsintStats {

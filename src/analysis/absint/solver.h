@@ -72,6 +72,8 @@ struct SolverOptions {
   /// Whole-solve step budget (one step per Transfer); a trip surfaces as
   /// kResourceExhausted carrying resource_error(watchdog(absint)).
   prore::WatchdogBudget watchdog;
+  /// Cancellation/deadline scope threaded into the watchdog.
+  prore::ExecContext exec;
 };
 
 /// Interprocedural worklist fixpoint solver over the SCC condensation.
@@ -101,7 +103,7 @@ class Solver {
         groups_(groups),
         domain_(domain),
         opts_(opts) {
-    watchdog_.Arm(opts_.watchdog, "absint");
+    watchdog_.Arm(opts_.watchdog, "absint", opts_.exec);
   }
 
   /// Runs the fixpoint from `seeds` (plus everything reachable from them).

@@ -93,7 +93,7 @@ class Inferencer {
         opts_(opts),
         out_(out) {
     AddLibraryModes(const_cast<TermStore*>(&store), &library_modes_);
-    watchdog_.Arm(opts.watchdog, "mode_inference");
+    watchdog_.Arm(opts.watchdog, "mode_inference", opts.exec);
   }
 
   prore::Status Run() {

@@ -33,6 +33,9 @@ struct InferenceOptions {
   /// a trip surfaces as kResourceExhausted carrying
   /// resource_error(watchdog(mode_inference)).
   prore::WatchdogBudget watchdog;
+  /// Cancellation/deadline scope for the inference; observed through the
+  /// watchdog on every step even when the budget itself is unlimited.
+  prore::ExecContext exec;
 };
 
 /// What mode inference learns about a program (paper §V-E, after Debray):

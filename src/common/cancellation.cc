@@ -1,0 +1,93 @@
+#include "common/cancellation.h"
+
+#include <limits>
+#include <thread>
+
+namespace prore {
+
+int64_t Deadline::RemainingMs() const {
+  if (!has_) return std::numeric_limits<int64_t>::max();
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      tp_ - Clock::now());
+  return left.count() < 0 ? 0 : left.count();
+}
+
+Deadline Deadline::Earlier(const Deadline& a, const Deadline& b) {
+  if (a.infinite()) return b;
+  if (b.infinite()) return a;
+  return a.tp_ <= b.tp_ ? a : b;
+}
+
+std::string CancellationToken::reason() const {
+  if (node_ == nullptr) return "";
+  std::lock_guard<std::mutex> lock(node_->mu);
+  return node_->reason;
+}
+
+bool CancellationToken::WaitForMs(uint64_t ms) const {
+  if (node_ == nullptr) {
+    // Nothing can interrupt a null token; plain bounded sleep.
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(node_->mu);
+  node_->cv.wait_for(lock, std::chrono::milliseconds(ms), [&] {
+    return node_->cancelled.load(std::memory_order_acquire);
+  });
+  return node_->cancelled.load(std::memory_order_acquire);
+}
+
+CancellationSource::CancellationSource()
+    : node_(std::make_shared<internal::CancelNode>()) {}
+
+CancellationSource::CancellationSource(const CancellationToken& parent)
+    : node_(std::make_shared<internal::CancelNode>()) {
+  if (parent.node_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(parent.node_->mu);
+  if (parent.node_->cancelled.load(std::memory_order_acquire)) {
+    node_->reason = parent.node_->reason;
+    node_->cancelled.store(true, std::memory_order_release);
+    return;
+  }
+  parent.node_->children.emplace_back(node_);
+}
+
+void CancellationSource::RequestCancel(std::string reason) {
+  // Collect children under the lock, cancel them outside it: child
+  // registration takes the parent lock, so recursing while holding it
+  // would order parent->child locks against child->parent registration.
+  std::vector<std::weak_ptr<internal::CancelNode>> children;
+  {
+    std::lock_guard<std::mutex> lock(node_->mu);
+    if (node_->cancelled.load(std::memory_order_acquire)) return;
+    node_->reason = std::move(reason);
+    node_->cancelled.store(true, std::memory_order_release);
+    children.swap(node_->children);
+    node_->cv.notify_all();
+  }
+  for (auto& weak : children) {
+    if (auto child = weak.lock()) {
+      CancellationSource child_source;
+      child_source.node_ = std::move(child);
+      std::string why;
+      {
+        std::lock_guard<std::mutex> lock(node_->mu);
+        why = node_->reason;
+      }
+      child_source.RequestCancel(why);
+    }
+  }
+}
+
+Status ExecContext::Check() const {
+  if (token.Cancelled()) {
+    std::string why = token.reason();
+    return Status::Cancelled(why.empty() ? "canceled" : why);
+  }
+  if (deadline.Expired()) {
+    return Status::ResourceExhausted("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace prore

@@ -1,0 +1,163 @@
+#ifndef PRORE_COMMON_CANCELLATION_H_
+#define PRORE_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prore {
+
+/// A point on the monotonic clock by which some piece of work must finish.
+/// Value type: copy freely, compose with Earlier(). A default-constructed
+/// Deadline is infinite (never expires), so threading one through code that
+/// was previously unbudgeted costs a single branch.
+///
+/// Always steady_clock: deadlines must survive NTP adjustments and
+/// suspend/resume wall-clock jumps (the Watchdog shares this type for the
+/// same reason).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  ///< infinite
+
+  static Deadline Infinite() { return Deadline(); }
+  /// Expires `ms` milliseconds from now. AfterMs(0) is already expired —
+  /// useful as a deterministic "trip at first check" injection — NOT
+  /// unlimited; use Infinite() for that.
+  static Deadline AfterMs(uint64_t ms) {
+    return At(Clock::now() + std::chrono::milliseconds(ms));
+  }
+  static Deadline At(Clock::time_point tp) {
+    Deadline d;
+    d.has_ = true;
+    d.tp_ = tp;
+    return d;
+  }
+
+  bool infinite() const { return !has_; }
+  bool Expired() const { return has_ && Clock::now() >= tp_; }
+  /// Milliseconds until expiry: 0 when expired, INT64_MAX when infinite.
+  int64_t RemainingMs() const;
+  /// The time point; only meaningful when !infinite().
+  Clock::time_point time_point() const { return tp_; }
+
+  /// The sooner of the two (either may be infinite).
+  static Deadline Earlier(const Deadline& a, const Deadline& b);
+
+ private:
+  bool has_ = false;
+  Clock::time_point tp_{};
+};
+
+namespace internal {
+/// Shared state of one cancellation scope. The flag is the only thing hot
+/// paths touch (one acquire load); reason, children and the waiter CV live
+/// behind the mutex and are only used at cancel/registration time.
+struct CancelNode {
+  std::atomic<bool> cancelled{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string reason;
+  std::vector<std::weak_ptr<CancelNode>> children;
+};
+}  // namespace internal
+
+/// Read side of a cancellation scope. Null tokens (default-constructed)
+/// can never be cancelled and cost one pointer test to check. Tokens are
+/// cheap to copy (one shared_ptr) and safe to read from any thread.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// False for the null token: no source can ever cancel it.
+  bool CanBeCancelled() const { return node_ != nullptr; }
+
+  bool Cancelled() const {
+    return node_ != nullptr &&
+           node_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// The reason passed to RequestCancel; "" while not cancelled.
+  std::string reason() const;
+
+  /// Blocks up to `ms` milliseconds or until cancelled, whichever is
+  /// first. Returns true if the token is cancelled (interruptible sleep —
+  /// retry backoff uses this so a cancelled pipeline never sits in a
+  /// sleep it no longer needs).
+  bool WaitForMs(uint64_t ms) const;
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<internal::CancelNode> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<internal::CancelNode> node_;
+};
+
+/// Write side of a cancellation scope, and the root of the hierarchy:
+/// a source constructed from a parent token is cancelled automatically
+/// when the parent is (parent -> child propagation, never child ->
+/// parent). Thread-safe; RequestCancel is idempotent and the first call
+/// wins the reason.
+class CancellationSource {
+ public:
+  /// A fresh root scope.
+  CancellationSource();
+  /// A child scope: cancelled immediately if `parent` already is,
+  /// otherwise registered for propagation. A null parent token yields an
+  /// independent root.
+  explicit CancellationSource(const CancellationToken& parent);
+
+  void RequestCancel(std::string reason = "canceled");
+  bool Cancelled() const { return token().Cancelled(); }
+  CancellationToken token() const { return CancellationToken(node_); }
+
+ private:
+  std::shared_ptr<internal::CancelNode> node_;
+};
+
+/// The execution context threaded through every cancellable layer: engine
+/// solve loop, absint/mode-inference/cost-model watchdogs, GuardedPipeline
+/// stages, and thread-pool workers. Value type — copying shares the same
+/// cancellation scope. A default ExecContext is inert (null token,
+/// infinite deadline) and costs one branch at each check point.
+struct ExecContext {
+  CancellationToken token;
+  Deadline deadline;
+
+  /// True when checking can ever fail (non-null token or finite deadline).
+  bool active() const {
+    return token.CanBeCancelled() || !deadline.infinite();
+  }
+
+  /// OK, or the failure this context has reached:
+  ///  - cancelled      -> kCancelled, error term `canceled`
+  ///  - past deadline  -> kResourceExhausted,
+  ///                      error term `resource_error(deadline_exceeded)`
+  /// Cancellation wins when both hold (it is the more deliberate signal).
+  Status Check() const;
+
+  /// This context with the sooner of the two deadlines.
+  ExecContext WithDeadline(const Deadline& d) const {
+    ExecContext out = *this;
+    out.deadline = Deadline::Earlier(deadline, d);
+    return out;
+  }
+  ExecContext WithToken(const CancellationToken& t) const {
+    ExecContext out = *this;
+    out.token = t;
+    return out;
+  }
+};
+
+}  // namespace prore
+
+#endif  // PRORE_COMMON_CANCELLATION_H_

@@ -1,0 +1,55 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prore {
+
+const char* FaultClassName(FaultClass c) {
+  switch (c) {
+    case FaultClass::kNone: return "none";
+    case FaultClass::kTransient: return "transient";
+    case FaultClass::kDeterministic: return "deterministic";
+    case FaultClass::kCancelled: return "canceled";
+  }
+  return "unknown";
+}
+
+FaultClass ClassifyFaultStatus(const Status& status) {
+  if (status.ok()) return FaultClass::kNone;
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      return FaultClass::kCancelled;
+    case StatusCode::kResourceExhausted:
+      // Watchdog trips, deadline expiry, heap/alloc exhaustion: all
+      // timing- or load-dependent, all worth one retry.
+      return FaultClass::kTransient;
+    default:
+      return FaultClass::kDeterministic;
+  }
+}
+
+uint64_t BackoffPolicy::DelayForAttemptMs(int attempt) const {
+  if (attempt <= 0) return 0;
+  double delay = static_cast<double>(initial_delay_ms) *
+                 std::pow(multiplier, attempt - 1);
+  double cap = static_cast<double>(max_delay_ms);
+  return static_cast<uint64_t>(std::min(delay, cap));
+}
+
+Status BackoffSleep(const BackoffPolicy& policy, int attempt,
+                    const ExecContext& ctx) {
+  PRORE_RETURN_IF_ERROR(ctx.Check());
+  uint64_t total = policy.DelayForAttemptMs(attempt);
+  // Chunk the sleep so a finite deadline with no cancel token still
+  // interrupts promptly (WaitForMs only watches the token).
+  while (total > 0) {
+    uint64_t chunk = std::min<uint64_t>(total, 10);
+    if (ctx.token.WaitForMs(chunk)) return ctx.Check();
+    PRORE_RETURN_IF_ERROR(ctx.Check());
+    total -= chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace prore

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "EvaluationError";
     case StatusCode::kPrologThrow:
       return "PrologThrow";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

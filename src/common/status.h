@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnsupported,      ///< Construct outside the supported Prolog subset.
   kEvaluationError,  ///< Arithmetic evaluation error (e.g. zero divisor).
   kPrologThrow,      ///< A Prolog exception (throw/1 ball) left uncaught.
+  kCancelled,        ///< Cooperative cancellation via a CancellationToken.
 };
 
 /// Returns a stable human-readable name, e.g. "ParseError".
@@ -68,6 +69,9 @@ class Status {
   }
   static Status EvaluationError(std::string m) {
     return Status(StatusCode::kEvaluationError, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   /// Attaches the canonical text of a structured Prolog error term. For

@@ -1,10 +1,12 @@
 #include "common/thread_pool.h"
 
+#include <cstdio>
 #include <utility>
 
 namespace prore {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, CancellationToken cancel)
+    : cancel_(std::move(cancel)) {
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -21,35 +23,89 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (cancel_.Cancelled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++cancelled_tasks_;
+    return;
+  }
   if (threads_.empty()) {
-    task();
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = next_seq_++;
+    }
+    RunTask(Task{seq, std::move(task)});
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{next_seq_++, std::move(task)});
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::Wait() {
-  if (threads_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!threads_.empty()) {
+      idle_cv_.wait(lock,
+                    [this] { return queue_.empty() && in_flight_ == 0; });
+    }
+    // Consume the error state so the pool is reusable after the throw;
+    // suppressed-exception counts survive for inspection until the next
+    // failure cycle begins.
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+size_t ThreadPool::CancelPending() {
+  size_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped = queue_.size();
+    queue_.clear();
+    cancelled_tasks_ += dropped;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+  return dropped;
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+size_t ThreadPool::cancelled_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_tasks_;
+}
+
+size_t ThreadPool::suppressed_exceptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_exceptions_;
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (cancel_.Cancelled()) {
+        // Popped after cancellation: drop without running, like
+        // CancelPending would have.
+        ++cancelled_tasks_;
+        if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+        continue;
+      }
       ++in_flight_;
     }
-    task();
+    RunTask(std::move(task));
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
@@ -58,9 +114,42 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-size_t ThreadPool::HardwareConcurrency() {
-  unsigned n = std::thread::hardware_concurrency();
-  return n == 0 ? 1 : static_cast<size_t>(n);
+void ThreadPool::RunTask(Task task) {
+  try {
+    task.fn();
+  } catch (...) {
+    RecordError(task.seq, std::current_exception());
+  }
+}
+
+void ThreadPool::RecordError(uint64_t seq, std::exception_ptr error) {
+  std::exception_ptr loser;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_ == nullptr) {
+      first_error_ = std::move(error);
+      first_error_seq_ = seq;
+      return;
+    }
+    // Deterministic winner: the earliest-submitted task's exception is
+    // the one Wait() rethrows regardless of completion order.
+    if (seq < first_error_seq_) {
+      loser = std::exchange(first_error_, std::move(error));
+      first_error_seq_ = seq;
+    } else {
+      loser = std::move(error);
+    }
+    ++suppressed_exceptions_;
+  }
+  try {
+    std::rethrow_exception(loser);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prore: thread_pool: suppressed task exception: %s\n",
+                 e.what());
+  } catch (...) {
+    std::fprintf(stderr,
+                 "prore: thread_pool: suppressed non-std task exception\n");
+  }
 }
 
 }  // namespace prore

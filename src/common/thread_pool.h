@@ -3,40 +3,76 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+
 namespace prore {
 
 /// A fixed-size worker pool over one shared task queue. Tasks are plain
-/// `void()` thunks; exceptions escaping a task terminate the process (tasks
-/// own their fault boundaries — the guarded pipeline catches per group, the
-/// engine benches catch per client), so keep catch blocks inside the task.
+/// `void()` thunks. Exceptions escaping a task no longer terminate the
+/// process: they are captured and rethrown from the next Wait() —
+/// deterministically, first-by-submission-order wins; later ones are
+/// logged to stderr and counted (suppressed_exceptions()). The pool stays
+/// usable after a throwing Wait(). Tasks should still prefer to own their
+/// fault boundaries (the guarded pipeline catches per group); the Wait()
+/// rethrow is the backstop that turns "worker died silently" into a
+/// visible failure at the join point.
 ///
 /// Submission is allowed from worker threads (a task may enqueue follow-up
 /// work); Wait() drains to full quiescence — queue empty AND every running
 /// task finished — so it is safe even when tasks fan out.
 ///
+/// A pool constructed with a CancellationToken cooperates with it: once
+/// the token is cancelled, queued-but-unstarted tasks are dropped (counted
+/// in cancelled_tasks()) and new submissions are refused the same way.
+/// Running tasks are never interrupted — cancellation of in-flight work is
+/// cooperative, via the ExecContext the task itself carries.
+/// CancelPending() gives the same drop-the-queue behavior imperatively.
+///
 /// With `num_threads == 0` the pool is *inline*: Submit runs the task on
-/// the calling thread immediately. That gives the single-threaded path the
-/// exact same code shape (and task order) as the parallel one, which is how
-/// the pipeline keeps jobs=1 and jobs=N bit-identical.
+/// the calling thread immediately (capturing exceptions for Wait() all the
+/// same). That gives the single-threaded path the exact same code shape
+/// (and task order) as the parallel one, which is how the pipeline keeps
+/// jobs=1 and jobs=N bit-identical.
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads);
+  explicit ThreadPool(size_t num_threads,
+                      CancellationToken cancel = CancellationToken());
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task`; runs it inline when the pool has no threads.
+  /// Enqueues `task`; runs it inline when the pool has no threads. If the
+  /// pool's token is already cancelled the task is dropped (and counted)
+  /// instead.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is in flight.
+  /// Blocks until the queue is empty and no task is in flight, then
+  /// rethrows the first (by submission order) exception any task raised
+  /// since the last Wait(). The error state is consumed: a subsequent
+  /// Wait() returns normally and the pool accepts new work.
   void Wait();
+
+  /// Drops every queued-but-unstarted task. Running tasks finish on their
+  /// own (interrupt them via their ExecContext). Returns the number
+  /// dropped; also accumulated in cancelled_tasks().
+  size_t CancelPending();
+
+  /// Tasks dropped before starting (token already cancelled at Submit, or
+  /// CancelPending) since construction.
+  size_t cancelled_tasks() const;
+
+  /// Task exceptions that lost the first-exception-wins race and were
+  /// logged instead of rethrown, since the last Wait().
+  size_t suppressed_exceptions() const;
 
   /// Worker threads owned by the pool (0 = inline mode).
   size_t size() const { return threads_.size(); }
@@ -46,14 +82,30 @@ class ThreadPool {
   static size_t HardwareConcurrency();
 
  private:
-  void WorkerLoop();
+  struct Task {
+    uint64_t seq;
+    std::function<void()> fn;
+  };
 
-  std::mutex mu_;
+  void WorkerLoop();
+  /// Runs one task, capturing any escaping exception under the error
+  /// policy. Called with mu_ NOT held.
+  void RunTask(Task task);
+  /// Records `error` from task `seq` (first-by-seq wins, losers logged).
+  void RecordError(uint64_t seq, std::exception_ptr error);
+
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< signals workers: task or shutdown
   std::condition_variable idle_cv_;   ///< signals Wait(): quiescent
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   size_t in_flight_ = 0;  ///< tasks popped but not yet finished
   bool shutdown_ = false;
+  uint64_t next_seq_ = 0;
+  std::exception_ptr first_error_;
+  uint64_t first_error_seq_ = 0;
+  size_t suppressed_exceptions_ = 0;
+  size_t cancelled_tasks_ = 0;
+  CancellationToken cancel_;
   std::vector<std::thread> threads_;
 };
 

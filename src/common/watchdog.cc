@@ -4,51 +4,74 @@
 
 namespace prore {
 
-void Watchdog::Arm(WatchdogBudget budget, std::string what) {
+void Watchdog::Arm(WatchdogBudget budget, std::string what, ExecContext ctx) {
   budget_ = budget;
+  ctx_ = std::move(ctx);
   what_ = std::move(what);
   steps_ = 0;
   next_clock_check_ = kClockStride;
-  tripped_ = false;
-  trip_reason_.clear();
-  if (budget_.timeout_ms != 0) start_ = std::chrono::steady_clock::now();
+  trip_status_ = Status::OK();
+  start_ = std::chrono::steady_clock::now();
+  wall_ = budget_.timeout_ms != 0 ? Deadline::AfterMs(budget_.timeout_ms)
+                                  : Deadline::Infinite();
 }
 
 Status Watchdog::Step(uint64_t n) {
-  if (tripped_) return Trip();
-  if (!budget_.enabled()) return Status::OK();
+  if (!trip_status_.ok()) return trip_status_;
+  if (!budget_.enabled() && !ctx_.active()) return Status::OK();
+  // Cancellation is one acquire load; check it on every step so a cancel
+  // lands within one transfer of work, not one clock stride.
+  if (ctx_.token.Cancelled()) {
+    std::string why = ctx_.token.reason();
+    trip_status_ =
+        Status::Cancelled(StrFormat("watchdog: %s canceled: %s",
+                                    what_.c_str(), why.c_str()))
+            .WithErrorTerm("canceled");
+    return trip_status_;
+  }
   steps_ += n;
   if (budget_.max_steps != 0 && steps_ > budget_.max_steps) {
-    tripped_ = true;
-    trip_reason_ = StrFormat("%llu steps (budget %llu)",
-                             static_cast<unsigned long long>(steps_),
-                             static_cast<unsigned long long>(
-                                 budget_.max_steps));
-    return Trip();
+    trip_status_ =
+        Status::ResourceExhausted(
+            StrFormat("watchdog: %s exceeded %llu steps (budget %llu)",
+                      what_.c_str(),
+                      static_cast<unsigned long long>(steps_),
+                      static_cast<unsigned long long>(budget_.max_steps)))
+            .WithErrorTerm(StrFormat("resource_error(watchdog(%s))",
+                                     what_.c_str()));
+    return trip_status_;
   }
-  if (budget_.timeout_ms != 0 && steps_ >= next_clock_check_) {
+  if ((!wall_.infinite() || !ctx_.deadline.infinite()) &&
+      steps_ >= next_clock_check_) {
     next_clock_check_ = steps_ + kClockStride;
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                             std::chrono::steady_clock::now() - start_)
-                             .count();
-    if (static_cast<uint64_t>(elapsed) > budget_.timeout_ms) {
-      tripped_ = true;
-      trip_reason_ = StrFormat("%lld ms (budget %llu ms)",
-                               static_cast<long long>(elapsed),
-                               static_cast<unsigned long long>(
-                                   budget_.timeout_ms));
-      return Trip();
+    if (wall_.Expired()) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count();
+      return TripBudgetWall(elapsed);
+    }
+    if (ctx_.deadline.Expired()) {
+      trip_status_ =
+          Status::ResourceExhausted(
+              StrFormat("watchdog: %s hit execution deadline",
+                        what_.c_str()))
+              .WithErrorTerm("resource_error(deadline_exceeded)");
+      return trip_status_;
     }
   }
   return Status::OK();
 }
 
-Status Watchdog::Trip() const {
-  return Status::ResourceExhausted(
-             StrFormat("watchdog: %s exceeded %s", what_.c_str(),
-                       trip_reason_.c_str()))
-      .WithErrorTerm(StrFormat("resource_error(watchdog(%s))",
-                               what_.c_str()));
+Status Watchdog::TripBudgetWall(int64_t elapsed_ms) {
+  trip_status_ =
+      Status::ResourceExhausted(
+          StrFormat("watchdog: %s exceeded %lld ms (budget %llu ms)",
+                    what_.c_str(), static_cast<long long>(elapsed_ms),
+                    static_cast<unsigned long long>(budget_.timeout_ms)))
+          .WithErrorTerm(
+              StrFormat("resource_error(watchdog(%s))", what_.c_str()));
+  return trip_status_;
 }
 
 }  // namespace prore

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 
 namespace prore {
@@ -26,6 +27,14 @@ struct WatchdogBudget {
 /// vocabulary of the engine's budget errors so callers can surface it the
 /// same way (catchable, exit code 4, ...).
 ///
+/// The wall budget is a Deadline (always steady_clock), and an armed
+/// watchdog also observes its ExecContext: cancellation is checked on
+/// every Step (one atomic load) and the context deadline on the clock
+/// stride — so every analysis that already steps a watchdog is
+/// automatically cancellable with no extra plumbing. Context trips keep
+/// their own identities (`canceled`, `resource_error(deadline_exceeded)`)
+/// distinct from budget trips (`resource_error(watchdog(what))`).
+///
 /// The wall clock is only sampled every kClockStride steps to keep Step()
 /// cheap on the hot path.
 class Watchdog {
@@ -38,30 +47,34 @@ class Watchdog {
   /// (Re)arms the watchdog: resets the step counter and the wall clock.
   /// `what` names the guarded analysis and appears in the error term,
   /// e.g. "mode_inference" -> resource_error(watchdog(mode_inference)).
-  void Arm(WatchdogBudget budget, std::string what);
+  /// `ctx` scopes the guarded work: its token/deadline trip the watchdog
+  /// even when the budget itself is unlimited.
+  void Arm(WatchdogBudget budget, std::string what, ExecContext ctx = {});
 
   /// Records `n` units of work. Returns OK while within budget; once the
   /// budget is exceeded, returns (and keeps returning) the trip status.
   Status Step(uint64_t n = 1);
 
   /// OK while within budget, otherwise the trip status. Does not advance.
-  Status Check() const { return tripped_ ? Trip() : Status::OK(); }
+  Status Check() const { return trip_status_; }
 
-  bool tripped() const { return tripped_; }
+  bool tripped() const { return !trip_status_.ok(); }
   uint64_t steps() const { return steps_; }
   const WatchdogBudget& budget() const { return budget_; }
+  const ExecContext& context() const { return ctx_; }
 
  private:
   static constexpr uint64_t kClockStride = 1024;
 
-  Status Trip() const;
+  Status TripBudgetWall(int64_t elapsed_ms);
 
   WatchdogBudget budget_;
+  ExecContext ctx_;
   std::string what_ = "analysis";
   uint64_t steps_ = 0;
   uint64_t next_clock_check_ = kClockStride;
-  bool tripped_ = false;
-  std::string trip_reason_;
+  Status trip_status_;  ///< OK until tripped; then returned forever.
+  Deadline wall_;       ///< Budget timeout as a monotonic deadline.
   std::chrono::steady_clock::time_point start_{};
 };
 

@@ -96,9 +96,15 @@ std::string PipelineReport::ToText() const {
   }
   for (const PredOutcome& p : preds) {
     if (p.level == LadderLevel::kFull) continue;
-    out += prore::StrFormat("  %s: %s after %d attempt%s\n", p.name.c_str(),
+    out += prore::StrFormat("  %s: %s after %d attempt%s", p.name.c_str(),
                             LadderLevelName(p.level), p.attempts,
                             p.attempts == 1 ? "" : "s");
+    if (!p.fault_class.empty()) {
+      out += prore::StrFormat(" (%s fault, %d retr%s)",
+                              p.fault_class.c_str(), p.retries,
+                              p.retries == 1 ? "y" : "ies");
+    }
+    out += "\n";
     for (const std::string& t : p.triggers) {
       out += "    - " + t + "\n";
     }
@@ -133,8 +139,12 @@ std::string PipelineReport::ToJson() const {
     out += ",\"level\":";
     AppendJsonString(&out, LadderLevelName(p.level));
     out += prore::StrFormat(
-        ",\"attempts\":%d,\"clauses_changed\":%s,\"goals_changed\":%s",
-        p.attempts, p.clauses_changed ? "true" : "false",
+        ",\"attempts\":%d,\"retries\":%d,\"fault_class\":", p.attempts,
+        p.retries);
+    AppendJsonString(&out, p.fault_class);
+    out += prore::StrFormat(
+        ",\"clauses_changed\":%s,\"goals_changed\":%s",
+        p.clauses_changed ? "true" : "false",
         p.goals_changed ? "true" : "false");
     out += ",\"triggers\":[";
     for (size_t j = 0; j < p.triggers.size(); ++j) {
@@ -172,6 +182,9 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
   std::unordered_map<PredId, int, term::PredIdHash> attempts;
   std::unordered_map<PredId, std::vector<std::string>, term::PredIdHash>
       triggers;
+  std::unordered_map<PredId, int, term::PredIdHash> retries_used;
+  std::unordered_map<PredId, prore::FaultClass, term::PredIdHash>
+      fault_classes;
   for (const PredId& p : preds) {
     levels[p] = options_.pinned_identity.count(p) > 0 ? LadderLevel::kIdentity
                                                       : LadderLevel::kFull;
@@ -183,10 +196,11 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
   bool absint_enabled = options_.reorder.absint;
   PipelineReport report;
 
-  // One rung per predicate per run, plus stage disables, bounds the loop;
-  // the cap is slack on top of that, never the expected exit path.
+  // One rung per predicate per run, plus stage disables and one transient
+  // retry per predicate, bounds the loop; the cap is slack on top of
+  // that, never the expected exit path.
   const size_t max_runs =
-      options_.max_runs != 0 ? options_.max_runs : 3 * preds.size() + 8;
+      options_.max_runs != 0 ? options_.max_runs : 4 * preds.size() + 8;
 
   // Demotes one rung; false if already at the bottom.
   auto demote = [&](const PredId& pred, const std::string& why) -> bool {
@@ -224,6 +238,13 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
           o.level = levels[p];
           o.attempts = attempts[p];
           o.triggers = triggers[p];
+          auto rit = retries_used.find(p);
+          if (rit != retries_used.end()) o.retries = rit->second;
+          auto fit = fault_classes.find(p);
+          if (fit != fault_classes.end() &&
+              fit->second != prore::FaultClass::kNone) {
+            o.fault_class = prore::FaultClassName(fit->second);
+          }
           if (final_reports != nullptr) {
             for (const PredModeReport& r : *final_reports) {
               if (r.pred == p) {
@@ -249,6 +270,13 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
 
   for (size_t run = 1; run <= max_runs; ++run) {
     report.runs = static_cast<int>(run);
+
+    // A cancelled or past-deadline context stops starting new attempts;
+    // what has been decided so far is discarded in favor of the always-
+    // correct identity program, with the reason on record.
+    if (prore::Status ctx = options_.exec.Check(); !ctx.ok()) {
+      return identity_fallback(ctx.ToString());
+    }
 
     analysis::PredSet no_unfold;
     analysis::PredSet clause_only;
@@ -317,6 +345,7 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
     ro.inference.watchdog = options_.inference_watchdog;
     ro.absint = absint_enabled;
     ro.absint_watchdog = options_.absint_watchdog;
+    ro.exec = options_.exec;
     if (options_.fault != nullptr) ro.fault = options_.fault;
     PredId blamed{};
     bool have_blame = false;
@@ -347,9 +376,35 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
         report.absint_trigger = rr.status().ToString();
         continue;
       }
-      if (have_blame && levels.count(blamed) > 0 &&
-          demote(blamed, rr.status().ToString())) {
-        continue;
+      const prore::FaultClass fc =
+          prore::ClassifyFaultStatus(rr.status());
+      // Cancellation and an expired global deadline are not predicate
+      // faults — retrying or demoting cannot outrun them. Land on the
+      // identity program immediately.
+      if (fc == prore::FaultClass::kCancelled ||
+          rr.status().error_term() == "resource_error(deadline_exceeded)") {
+        return identity_fallback(rr.status().ToString());
+      }
+      if (have_blame && levels.count(blamed) > 0) {
+        fault_classes[blamed] = fc;
+        // Transient faults (watchdog trips, OOM) get one retry with
+        // backoff at the same ladder rung before demotion: the failure
+        // may have been scheduling noise or a contended sibling shard.
+        if (fc == prore::FaultClass::kTransient && options_.retry_transient &&
+            retries_used[blamed] < options_.backoff.max_retries &&
+            levels[blamed] != LadderLevel::kIdentity) {
+          ++retries_used[blamed];
+          ++attempts[blamed];
+          triggers[blamed].push_back("retry (transient): " +
+                                     rr.status().ToString());
+          if (!prore::BackoffSleep(options_.backoff, retries_used[blamed],
+                                   options_.exec)
+                   .ok()) {
+            return identity_fallback(options_.exec.Check().ToString());
+          }
+          continue;
+        }
+        if (demote(blamed, rr.status().ToString())) continue;
       }
       // Unattributable (setup/analysis failure, e.g. a mode-inference
       // watchdog trip) or an identity build failed (which must not
@@ -372,6 +427,11 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
       if (d.severity != lint::Severity::kError) continue;
       auto it = owner.find(d.pred);
       std::string why = d.code + ": " + d.message;
+      // Validator findings reproduce on identical input: deterministic,
+      // never retried.
+      if (it != owner.end()) {
+        fault_classes[it->second] = prore::FaultClass::kDeterministic;
+      }
       if (it == owner.end() || levels.count(it->second) == 0 ||
           !demote(it->second, why)) {
         // No predicate to blame (or it is already at identity, which
@@ -423,7 +483,12 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
 
   struct GroupRun {
     term::TermStore store;  ///< private arena; symbols adopted from main
-    prore::Result<PipelineResult> result = PipelineResult{};
+    /// Non-ok until the task actually runs: a task dropped by
+    /// cancellation (or lost to a worker exception) must land its group
+    /// on the identity merge path, not silently contribute an empty
+    /// program.
+    prore::Result<PipelineResult> result =
+        prore::Status::Cancelled("group task never ran");
     analysis::PredSet members;
     size_t min_pos = 0;  ///< earliest source position of a member
   };
@@ -437,6 +502,18 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
     }
   }
 
+  std::string out_of_band_failure;
+
+  // Sibling-shard interruption: every group task runs under a child
+  // cancellation scope of the pipeline's own context, so (a) a caller's
+  // cancel propagates into every in-flight group's analyses, and (b)
+  // stop_on_degrade can cancel the siblings from inside a task the
+  // moment one group degrades (prore --strict: the exit code is already
+  // decided, finishing the other shards buys nothing).
+  prore::CancellationSource group_cancel(options_.exec.token);
+  const prore::ExecContext group_exec =
+      options_.exec.WithToken(group_cancel.token());
+
   // One task per group. Each task owns a private TermStore whose symbol
   // table is a copy of the main one (so PredIds carry over), copies its
   // dependency cone in, and runs the complete whole-program pipeline over
@@ -445,6 +522,7 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
   // ladder all live inside the task.
   auto run_group = [&](size_t gi) {
     GroupRun& gr = runs[gi];
+    if (group_cancel.Cancelled()) return;  // keep the never-ran status
     try {
       gr.store.AdoptSymbols(*store_);
       analysis::PredSet cone;
@@ -471,12 +549,18 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
       PipelineOptions po = options_;
       po.jobs = 0;
       po.pinned_identity = std::move(cone);
+      po.exec = group_exec;
       // Cut-freezing flows caller -> callee, so a subprogram cannot see
       // that an outside caller guards a member with a cut; inject the
       // whole-program answer. Version names must be free program-wide.
       po.reorder.extra_frozen = *frozen;
       po.reorder.reserved_preds = all_preds;
       gr.result = GuardedPipeline(&gr.store, std::move(po)).Run(sub);
+      if (options_.stop_on_degrade && gr.result.ok() &&
+          gr.result->report.degraded()) {
+        group_cancel.RequestCancel(prore::StrFormat(
+            "sibling group %zu degraded under stop_on_degrade", gi));
+      }
     } catch (const std::exception& e) {
       gr.result = prore::Status::Internal(prore::StrFormat(
           "uncaught exception in pipeline group: %s", e.what()));
@@ -485,12 +569,26 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
 
   // jobs == 1 uses the inline pool: same code path, same task order, no
   // threads — which is what makes --jobs=N bit-identical to --jobs=1.
+  // The pool shares the group cancellation scope: once it fires, queued
+  // group tasks are dropped without starting (their groups merge as
+  // identity via the never-ran status).
   {
-    prore::ThreadPool pool(options_.jobs <= 1 ? 0 : options_.jobs);
+    prore::ThreadPool pool(options_.jobs <= 1 ? 0 : options_.jobs,
+                           group_cancel.token());
     for (size_t gi = 0; gi < dg.size(); ++gi) {
       pool.Submit([&run_group, gi] { run_group(gi); });
     }
-    pool.Wait();
+    try {
+      pool.Wait();
+    } catch (const std::exception& e) {
+      // A non-std exception escaped run_group's own boundary. The groups
+      // it killed keep their never-ran status and merge as identity;
+      // record the first cause globally.
+      out_of_band_failure = prore::StrFormat(
+          "pipeline worker exception: %s", e.what());
+    } catch (...) {
+      out_of_band_failure = "pipeline worker exception (non-std)";
+    }
   }
 
   // Deterministic merge: groups ordered by their earliest member's source
@@ -587,6 +685,9 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
     }
   }
 
+  if (!out_of_band_failure.empty() && rep.global_trigger.empty()) {
+    rep.global_trigger = out_of_band_failure;
+  }
   for (term::TermRef d : original.directives()) out.program.AddDirective(d);
   for (const PredId& p : preds) {
     auto it = outcomes.find(p);

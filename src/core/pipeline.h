@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/watchdog.h"
 #include "core/disjunction.h"
 #include "core/fault.h"
@@ -70,6 +72,26 @@ struct PipelineOptions {
   size_t max_runs = 0;
   /// Transform-stage fault injection (tests only).
   const TransformFaultPlan* fault = nullptr;
+  /// Cancellation/deadline scope for the whole run: checked before every
+  /// pipeline attempt and threaded into every analysis watchdog. A cancel
+  /// or an expired deadline lands the remaining work on the identity
+  /// program (recorded in PipelineReport::global_trigger) — the output
+  /// stays complete and correct, just unoptimized.
+  prore::ExecContext exec;
+  /// Retry a predicate once with bounded exponential backoff before
+  /// demoting it, when its fault classifies as transient (watchdog trip,
+  /// deadline brush, OOM). Deterministic faults (validator findings,
+  /// crashes) skip straight to demotion. One retry per predicate for the
+  /// whole run, so a genuinely broken predicate still descends.
+  bool retry_transient = true;
+  prore::BackoffPolicy backoff;
+  /// Sharded runs only: as soon as one group degrades, cancel the sibling
+  /// groups (pending tasks dropped, running ones interrupted through
+  /// their ExecContext) instead of burning them to completion. Used by
+  /// `prore --strict`, where any degradation already means exit 3 — so
+  /// sibling results cannot change the outcome. Off by default because
+  /// early-stopping makes jobs=N output depend on completion timing.
+  bool stop_on_degrade = false;
 };
 
 /// Per-predicate outcome in the PipelineReport.
@@ -82,6 +104,13 @@ struct PredOutcome {
   /// Why each demotion happened, in ladder order (status or diagnostic
   /// text, e.g. "PL101: transformed aunt/2 dropped a clause").
   std::vector<std::string> triggers;
+  /// Transient-fault retries burned before the outcome settled (0 or 1
+  /// under the default BackoffPolicy). Retries also appear in `attempts`
+  /// and leave a "retry (transient): ..." trigger.
+  int retries = 0;
+  /// Classification of the predicate's last fault — "transient",
+  /// "deterministic", or "" when it never faulted.
+  std::string fault_class;
   bool clauses_changed = false;
   bool goals_changed = false;
 };

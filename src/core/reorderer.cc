@@ -144,12 +144,15 @@ prore::Status Pipeline::Setup() {
   PRORE_ASSIGN_OR_RETURN(frozen_,
                          FrozenDescendants(*store_, original_, graph_));
   frozen_.insert(options_.extra_frozen.begin(), options_.extra_frozen.end());
+  analysis::InferenceOptions inference_opts = options_.inference;
+  inference_opts.exec = options_.exec;
   PRORE_ASSIGN_OR_RETURN(
       modes_, analysis::InferModes(*store_, original_, graph_, decls_,
-                                   options_.inference));
+                                   inference_opts));
   if (options_.absint) {
     analysis::absint::AbsintOptions ao;
     ao.watchdog = options_.absint_watchdog;
+    ao.exec = options_.exec;
     PRORE_ASSIGN_OR_RETURN(
         auto absint, analysis::absint::RunAbsint(*store_, original_, graph_,
                                                  decls_, &modes_, ao));
@@ -170,7 +173,7 @@ prore::Status Pipeline::Setup() {
   costs_ = std::make_unique<cost::CostModel>(store_, &original_, &graph_,
                                              &decls_, oracle_.get());
   if (absint_ != nullptr) costs_->SetDeterminism(&absint_->determinism);
-  costs_->ArmWatchdog(options_.cost_watchdog);
+  costs_->ArmWatchdog(options_.cost_watchdog, options_.exec);
   search_ = std::make_unique<GoalOrderSearch>(store_, costs_.get(), &fixity_,
                                               options_.goal_search);
   size_t rank = 0;
@@ -1100,6 +1103,9 @@ prore::Result<ReorderResult> Pipeline::Run() {
 }  // namespace
 
 prore::Result<ReorderResult> Reorderer::Run(const reader::Program& original) {
+  // A cancelled or past-deadline context never starts new work; mid-run
+  // interruption happens inside the analyses via their watchdogs.
+  PRORE_RETURN_IF_ERROR(options_.exec.Check());
   Pipeline pipeline(store_, original, options_);
   return pipeline.Run();
 }

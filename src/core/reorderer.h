@@ -99,6 +99,11 @@ struct ReorderOptions {
   prore::WatchdogBudget cost_watchdog;
   /// Transform-stage fault injection (tests only); null = disabled.
   const TransformFaultPlan* fault = nullptr;
+  /// Cancellation/deadline scope for the whole Run: threaded into every
+  /// analysis watchdog (mode inference, absint, cost model) and checked
+  /// at Run entry, so a cancelled or past-deadline context aborts with
+  /// kCancelled / kResourceExhausted instead of starting new work.
+  prore::ExecContext exec;
 };
 
 /// Per-(predicate, mode) account of what the reorderer did.

@@ -122,8 +122,9 @@ class CostModel {
   /// and clause ordering propagate — so a pathologically expensive cost
   /// query degrades instead of hanging. The goal-order search is covered
   /// transitively: every candidate it scores goes through here.
-  void ArmWatchdog(const prore::WatchdogBudget& budget) {
-    watchdog_.Arm(budget, "cost_model");
+  void ArmWatchdog(const prore::WatchdogBudget& budget,
+                   const prore::ExecContext& exec = {}) {
+    watchdog_.Arm(budget, "cost_model", exec);
   }
   const prore::Watchdog& watchdog() const { return watchdog_; }
 

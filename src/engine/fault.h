@@ -1,7 +1,10 @@
 #ifndef PRORE_ENGINE_FAULT_H_
 #define PRORE_ENGINE_FAULT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <thread>
 
 namespace prore::engine {
 
@@ -32,12 +35,25 @@ class FaultInjector {
     kNone,
     kThrow,    ///< throw error(fault_injected(N), fault)
     kExhaust,  ///< throw error(resource_error(fault), fault)
+    kCancel,   ///< on_cancel fired; engine proceeds and the next budget
+               ///< check observes the cancelled token (the real path)
   };
 
   // ---- Plan (set before solving; 0 disables a channel) -------------------
   uint64_t throw_at_call = 0;        ///< Throw on the Nth counted call.
   uint64_t exhaust_at_call = 0;      ///< Budget-style fault on the Nth call.
   uint64_t fail_unification_at = 0;  ///< Nth head unification fails.
+  /// Invoke on_cancel at the Nth counted call — the deterministic
+  /// mid-solve cancellation channel: the callback cancels the solve's own
+  /// CancellationSource, so replay is bit-identical (no cross-thread
+  /// timing in the outcome).
+  uint64_t cancel_at_call = 0;
+  std::function<void()> on_cancel;
+  /// Sleep for delay_micros at the Nth counted call. Pure wall-clock
+  /// perturbation (widens cross-thread interleavings under TSan); never
+  /// affects answers, so it is exempt from replay comparisons.
+  uint64_t delay_at_call = 0;
+  uint64_t delay_micros = 0;
 
   /// Rewinds the counters so a plan can be replayed on a fresh query.
   void Reset() {
@@ -56,6 +72,16 @@ class FaultInjector {
     if (exhaust_at_call != 0 && calls_seen_ == exhaust_at_call) {
       ++fired_;
       return CallAction::kExhaust;
+    }
+    if (cancel_at_call != 0 && calls_seen_ == cancel_at_call) {
+      ++fired_;
+      if (on_cancel) on_cancel();
+      return CallAction::kCancel;
+    }
+    if (delay_at_call != 0 && calls_seen_ == delay_at_call &&
+        delay_micros != 0) {
+      ++fired_;
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
     }
     return CallAction::kNone;
   }
@@ -81,6 +107,70 @@ class FaultInjector {
   uint64_t calls_seen_ = 0;
   uint64_t unifications_seen_ = 0;
   uint64_t fired_ = 0;
+};
+
+/// Seeded, deterministic cross-thread injection plan for the chaos harness
+/// (tests/chaos_test.cc): from one seed it derives an independent per-job
+/// fault mix — allocation failures, mid-solve cancellations, budget trips,
+/// worker delays, pre-expired deadlines — via splitmix64, so the same seed
+/// always produces the same scenario on every thread of a jobs=N run.
+/// Only the delay channel touches the wall clock; every other channel is
+/// counted work, which is what makes per-seed replay bit-identical.
+struct ChaosPlan {
+  uint64_t seed = 0;
+
+  /// One job's (worker's/query's) derived injection plan. At most one
+  /// error channel is armed per job so the expected outcome is
+  /// unambiguous; the delay channel may combine with any of them.
+  struct JobPlan {
+    uint64_t fail_alloc_at = 0;    ///< TermStore::FailAllocAfter operand.
+    uint64_t cancel_at_call = 0;   ///< FaultInjector cancel channel.
+    uint64_t exhaust_at_call = 0;  ///< FaultInjector budget-trip channel.
+    uint64_t throw_at_call = 0;    ///< FaultInjector throw channel.
+    uint64_t delay_at_call = 0;    ///< FaultInjector delay channel.
+    uint64_t delay_micros = 0;
+    bool pre_expired_deadline = false;  ///< ExecContext deadline AfterMs(0).
+    bool pre_cancelled = false;         ///< Token cancelled before Solve.
+
+    bool injects_error() const {
+      return fail_alloc_at != 0 || cancel_at_call != 0 ||
+             exhaust_at_call != 0 || throw_at_call != 0 ||
+             pre_expired_deadline || pre_cancelled;
+    }
+  };
+
+  static uint64_t SplitMix64(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Deterministic plan for job `job` of this seed. Injection points are
+  /// kept small (< 64) so they land inside short test queries; roughly one
+  /// job in eight runs clean (control group), and the channels cycle so
+  /// every seed exercises several of them across its jobs.
+  JobPlan ForJob(uint64_t job) const {
+    uint64_t r = SplitMix64(seed ^ SplitMix64(job + 1));
+    JobPlan plan;
+    uint64_t channel = r % 8;
+    uint64_t point = 1 + (SplitMix64(r) % 48);
+    switch (channel) {
+      case 0: plan.fail_alloc_at = 1 + (point * 7) % 200; break;
+      case 1: plan.cancel_at_call = point; break;
+      case 2: plan.exhaust_at_call = point; break;
+      case 3: plan.throw_at_call = point; break;
+      case 4: plan.pre_expired_deadline = true; break;
+      case 5: plan.pre_cancelled = true; break;
+      case 6:
+        plan.cancel_at_call = point;
+        plan.delay_at_call = 1 + point / 2;
+        plan.delay_micros = 1 + (SplitMix64(r ^ 0xdeull) % 200);
+        break;
+      default: break;  // clean control job
+    }
+    return plan;
+  }
 };
 
 }  // namespace prore::engine

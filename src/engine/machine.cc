@@ -45,6 +45,7 @@ prore::StatusCode ClassifyBall(const term::TermStore& s, TermRef ball,
   if (name == "existence_error") return prore::StatusCode::kExistenceError;
   if (name == "evaluation_error") return prore::StatusCode::kEvaluationError;
   if (name == "resource_error") return prore::StatusCode::kResourceExhausted;
+  if (name == "canceled") return prore::StatusCode::kCancelled;
   return prore::StatusCode::kPrologThrow;
 }
 
@@ -58,6 +59,7 @@ bool IsPrologLevel(prore::StatusCode code) {
     case prore::StatusCode::kEvaluationError:
     case prore::StatusCode::kResourceExhausted:
     case prore::StatusCode::kPrologThrow:
+    case prore::StatusCode::kCancelled:
       return true;
     default:
       return false;
@@ -206,6 +208,14 @@ prore::Status Machine::RaiseResource(const char* what,
       prore::StrFormat("%s limit exceeded", limit_name));
 }
 
+prore::Status Machine::RaiseCancelled() {
+  const TermRef args[] = {store_->MakeAtom("canceled"),
+                          store_->MakeAtom("cancel")};
+  ball_ = store_->MakeStruct(sym_error_, args);
+  std::string why = opts_.exec.token.reason();
+  return prore::Status::Cancelled(why.empty() ? "canceled" : why);
+}
+
 prore::Status Machine::ApplyCallFault() {
   switch (opts_.fault->OnCall()) {
     case FaultInjector::CallAction::kNone:
@@ -218,11 +228,20 @@ prore::Status Machine::ApplyCallFault() {
     }
     case FaultInjector::CallAction::kExhaust:
       return RaiseResource("fault", "fault");
+    case FaultInjector::CallAction::kCancel:
+      // The injector's callback typically cancels this solve's own token;
+      // returning OK lets the next budget check observe it through the
+      // real cancellation path rather than a synthetic shortcut.
+      return prore::Status::OK();
   }
   return prore::Status::OK();
 }
 
 prore::Status Machine::CheckBudgets() {
+  // Cancellation is one acquire load and is checked every step, so a
+  // cancel lands within one resolution step plus catch-frame unwinding —
+  // the bounded-work guarantee mt_cancel_test asserts.
+  if (opts_.exec.token.Cancelled()) return RaiseCancelled();
   if (opts_.max_depth != 0 && node_pool_.size() > opts_.max_depth) {
     return RaiseResource("depth", "max_depth");
   }
@@ -232,9 +251,16 @@ prore::Status Machine::CheckBudgets() {
   // The clock is sampled every 256 steps: cheap enough to leave budgeted
   // runs comparable with unbudgeted ones, precise enough for a wall-clock
   // guard.
-  if (has_deadline_ && (++budget_tick_ & 0xFFu) == 0 &&
+  // Post-increment: tick 0 samples too, so an already-expired deadline
+  // trips on the very first check instead of only after a full stride —
+  // short queries must not slip under an expired deadline.
+  if (has_deadline_ && (budget_tick_++ & 0xFFu) == 0 &&
       std::chrono::steady_clock::now() > deadline_) {
-    return RaiseResource("time", "timeout");
+    // The ball distinguishes the per-solve timeout_ms budget from an
+    // ExecContext deadline that arrived from the outside.
+    return deadline_from_exec_
+               ? RaiseResource("deadline_exceeded", "deadline")
+               : RaiseResource("time", "timeout");
   }
   return prore::Status::OK();
 }
@@ -861,17 +887,28 @@ prore::Result<Metrics> Machine::Solve(TermRef goal,
   // pays a single branch per step.
   budget_tick_ = 0;
   call_limit_ = opts_.max_calls;
-  has_deadline_ = opts_.timeout_ms != 0;
-  if (has_deadline_) {
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::milliseconds(opts_.timeout_ms);
+  // The effective deadline is the earlier of the per-solve timeout_ms
+  // budget and the ExecContext deadline; which one won decides the error
+  // term (resource_error(time) vs resource_error(deadline_exceeded)).
+  prore::Deadline effective = opts_.exec.deadline;
+  deadline_from_exec_ = !effective.infinite();
+  if (opts_.timeout_ms != 0) {
+    prore::Deadline budget = prore::Deadline::AfterMs(opts_.timeout_ms);
+    if (effective.infinite() ||
+        budget.time_point() <= effective.time_point()) {
+      deadline_from_exec_ = false;
+    }
+    effective = prore::Deadline::Earlier(effective, budget);
   }
+  has_deadline_ = !effective.infinite();
+  if (has_deadline_) deadline_ = effective.time_point();
   has_heap_limit_ = opts_.max_heap_cells != 0;
   if (has_heap_limit_) {
     heap_cell_limit_ = store_->NumCells() + opts_.max_heap_cells;
   }
-  const bool budgets_active =
-      opts_.max_depth != 0 || has_heap_limit_ || has_deadline_;
+  const bool budgets_active = opts_.max_depth != 0 || has_heap_limit_ ||
+                              has_deadline_ ||
+                              opts_.exec.token.CanBeCancelled();
 
   goals_ = NewGoalNode(goal, 0, kNilGoal);
   prore::Status status = prore::Status::OK();
@@ -884,11 +921,21 @@ prore::Result<Metrics> Machine::Solve(TermRef goal,
       continue;
     }
     bool failed = false;
-    if (budgets_active) {
-      status = CheckBudgets();
-      if (status.ok()) status = Step(&failed);
-    } else {
-      status = Step(&failed);
+    try {
+      if (budgets_active) {
+        status = CheckBudgets();
+        if (status.ok()) status = Step(&failed);
+      } else {
+        status = Step(&failed);
+      }
+    } catch (const std::bad_alloc&) {
+      // Heap exhaustion — a real bad_alloc, the TermStore cell limit, or
+      // an injected allocation failure — must not escape the solve loop
+      // (it would tear down a pipeline worker thread). Raise headroom
+      // first so building the ball and running a handler cannot re-trip,
+      // then surface it as a catchable resource_error(memory) ball.
+      store_->AddCellHeadroom(4096);
+      status = RaiseResource("memory", "heap");
     }
     if (!status.ok()) {
       // ISO exception propagation: unwind to the nearest active catch/3

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "engine/builtins.h"
 #include "engine/database.h"
@@ -67,6 +68,13 @@ struct SolveOptions {
   /// Optional per-call mode observation hook (slows solving; off by
   /// default).
   ModeObserver mode_observer;
+  /// Cancellation + deadline scope for this solve. Value semantics: nested
+  /// findall machines copy these options, so the scope propagates to inner
+  /// solves automatically. Cancellation raises a catchable
+  /// error(canceled, cancel) ball; an expired deadline raises
+  /// error(resource_error(deadline_exceeded), deadline). When both the
+  /// context deadline and timeout_ms are set, the earlier one wins.
+  ExecContext exec;
 };
 
 /// Typed view of an uncaught Prolog exception carried by a non-OK Status
@@ -156,6 +164,11 @@ class Machine {
   /// Next input term, or the atom end_of_file when input is exhausted.
   term::TermRef NextInputTerm();
   const SolveOptions& options() const { return opts_; }
+  /// Rescopes cancellation/deadline for subsequent queries — a worker
+  /// machine returning to a pool gets a fresh scope instead of staying
+  /// poisoned by its last job's cancelled token. Must not be called while
+  /// a Solve is in flight on this machine.
+  void set_exec_context(const ExecContext& exec) { opts_.exec = exec; }
 
   /// Unifies a and b, trailing bindings; false if they do not unify.
   bool Unify(term::TermRef a, term::TermRef b);
@@ -307,6 +320,9 @@ class Machine {
   prore::Status HandleException(prore::Status status);
   /// Raises a catchable error(resource_error(what), limit_name) ball.
   prore::Status RaiseResource(const char* what, const char* limit_name);
+  /// Raises a catchable error(canceled, cancel) ball for a cancelled
+  /// ExecContext token.
+  prore::Status RaiseCancelled();
   /// Consults the armed FaultInjector at a counted call; OK (and no side
   /// effect) unless this call is the planned fault point.
   prore::Status ApplyCallFault();
@@ -382,6 +398,9 @@ class Machine {
   // ---- Budget state (recomputed per Solve) -------------------------------
   std::chrono::steady_clock::time_point deadline_;
   bool has_deadline_ = false;
+  /// True when the armed deadline came from opts_.exec rather than
+  /// timeout_ms — decides which resource_error the trip raises.
+  bool deadline_from_exec_ = false;
   /// Absolute cell count above which the heap budget is exhausted.
   size_t heap_cell_limit_ = 0;
   bool has_heap_limit_ = false;

@@ -6,8 +6,20 @@
 namespace prore::term {
 
 TermRef TermStore::NewCell(const Cell& c) {
+  if (fail_alloc_countdown_ != 0 && --fail_alloc_countdown_ == 0) {
+    throw AllocError("injected term allocation failure");
+  }
+  if (cell_limit_ != 0 && cells_.size() >= cell_limit_) {
+    throw AllocError("term store cell limit reached");
+  }
   cells_.push_back(c);
   return static_cast<TermRef>(cells_.size() - 1);
+}
+
+void TermStore::AddCellHeadroom(size_t extra) {
+  if (cell_limit_ == 0) return;
+  size_t want = cells_.size() + extra;
+  if (cell_limit_ < want) cell_limit_ = want;
 }
 
 TermRef TermStore::MakeVar(std::string_view name_hint) {

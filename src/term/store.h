@@ -2,6 +2,7 @@
 #define PRORE_TERM_STORE_H_
 
 #include <cstdint>
+#include <new>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -46,6 +47,22 @@ struct PredIdHash {
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
     return static_cast<size_t>(x ^ (x >> 31));
   }
+};
+
+/// Thrown by TermStore when cell allocation fails — either the configured
+/// cell limit (SetCellLimit) was reached or an injected failure fired
+/// (FailAllocAfter). Derives from std::bad_alloc so generic OOM handlers
+/// catch it, but carries a message distinguishing the cause. The engine
+/// catches it at the solve loop and re-raises it as a catchable
+/// `resource_error(memory)` ball instead of letting it escape a worker
+/// thread.
+class AllocError : public std::bad_alloc {
+ public:
+  explicit AllocError(const char* what) : what_(what) {}
+  const char* what() const noexcept override { return what_; }
+
+ private:
+  const char* what_;
 };
 
 /// Arena of term cells. Terms are immutable once created, except that an
@@ -214,6 +231,26 @@ class TermStore {
 
   size_t NumCells() const { return cells_.size(); }
 
+  /// Caps the arena at `limit` cells; the allocation that would grow past
+  /// it throws AllocError. 0 disables the cap (default). The limit is a
+  /// robustness hook, not an accounting tool — the engine's
+  /// max_heap_cells budget trips first on the cooperative path; this
+  /// backstop catches allocations between budget checks.
+  void SetCellLimit(size_t limit) { cell_limit_ = limit; }
+  size_t cell_limit() const { return cell_limit_; }
+
+  /// Raises a configured limit so at least `extra` more cells fit. The
+  /// engine calls this before building a resource_error(memory) ball —
+  /// the same re-arm-with-headroom idiom the call budget uses so the
+  /// error handler itself has room to run. No-op when no limit is set.
+  void AddCellHeadroom(size_t extra);
+
+  /// Arms a single-shot injected failure: the `nth` NewCell from now
+  /// (1-based) throws AllocError, then the trigger disarms itself —
+  /// error handling after the trip allocates freely. 0 disarms. The chaos
+  /// harness uses this as its deterministic OOM channel.
+  void FailAllocAfter(uint64_t nth) { fail_alloc_countdown_ = nth; }
+
   /// Largest cell count seen since the last ResetHighWater (Truncate keeps
   /// it alive across reclamation). The engine reports per-query peak heap
   /// usage from this.
@@ -241,6 +278,8 @@ class TermStore {
   /// per-struct argument buffer costs no allocation after warm-up).
   std::vector<TermRef> skel_scratch_;
   size_t high_water_cells_ = 0;
+  size_t cell_limit_ = 0;            ///< 0 = uncapped
+  uint64_t fail_alloc_countdown_ = 0;  ///< 0 = disarmed; 1 = next throws
   uint32_t next_var_id_ = 0;
   std::unordered_map<uint32_t, std::string> var_names_;
   std::string empty_name_;

@@ -84,7 +84,8 @@ class Minimizer {
   /// True iff the candidate still fails. Counts calls; once the budget is
   /// gone every probe reports "does not fail" so the loops unwind.
   bool Probe(const std::vector<std::string>& candidate) {
-    if (calls_ >= options_.max_oracle_calls) {
+    if (calls_ >= options_.max_oracle_calls ||
+        (options_.exec.active() && !options_.exec.Check().ok())) {
       budget_out_ = true;
       return false;
     }

@@ -26,6 +26,11 @@ struct ShrinkOptions {
   /// After clause-level minimization, also try deleting top-level body
   /// goals one at a time.
   bool shrink_goals = true;
+  /// Cancellation/deadline scope, checked between oracle probes. When it
+  /// fires, minimization stops gracefully: the best (still-failing)
+  /// candidate so far is returned with one_minimal = false — same
+  /// contract as running out of max_oracle_calls.
+  prore::ExecContext exec;
 };
 
 struct ShrinkResult {

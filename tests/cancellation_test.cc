@@ -1,0 +1,330 @@
+// Tests of the unified cancellation substrate (common/cancellation.h,
+// common/retry.h): monotonic deadlines, the token/source hierarchy with
+// parent->child propagation, ExecContext checks, fault classification and
+// interruptible backoff, and the watchdog's context integration — the
+// funnel through which every analysis becomes cancellable.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/cancellation.h"
+#include "common/retry.h"
+#include "common/watchdog.h"
+
+namespace prore {
+namespace {
+
+// ---------------------------------------------------------------- Deadline
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingMs(), INT64_MAX);
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+}
+
+TEST(DeadlineTest, AfterZeroMsIsAlreadyExpired) {
+  Deadline d = Deadline::AfterMs(0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMs(), 0);
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  Deadline d = Deadline::AfterMs(60'000);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMs(), 0);
+  EXPECT_LE(d.RemainingMs(), 60'000);
+}
+
+TEST(DeadlineTest, EarlierPicksTheSoonerAndHandlesInfinite) {
+  Deadline inf;
+  Deadline soon = Deadline::AfterMs(10);
+  Deadline late = Deadline::AfterMs(60'000);
+  EXPECT_TRUE(Deadline::Earlier(inf, inf).infinite());
+  EXPECT_EQ(Deadline::Earlier(inf, soon).time_point(), soon.time_point());
+  EXPECT_EQ(Deadline::Earlier(soon, inf).time_point(), soon.time_point());
+  EXPECT_EQ(Deadline::Earlier(soon, late).time_point(), soon.time_point());
+  EXPECT_EQ(Deadline::Earlier(late, soon).time_point(), soon.time_point());
+}
+
+// ------------------------------------------------------------------ Tokens
+
+TEST(CancellationTest, NullTokenCanNeverBeCancelled) {
+  CancellationToken t;
+  EXPECT_FALSE(t.CanBeCancelled());
+  EXPECT_FALSE(t.Cancelled());
+  EXPECT_EQ(t.reason(), "");
+  // WaitForMs on a null token is a plain bounded sleep.
+  EXPECT_FALSE(t.WaitForMs(1));
+}
+
+TEST(CancellationTest, RequestCancelIsIdempotentAndFirstReasonWins) {
+  CancellationSource src;
+  CancellationToken t = src.token();
+  EXPECT_TRUE(t.CanBeCancelled());
+  EXPECT_FALSE(t.Cancelled());
+  src.RequestCancel("first");
+  src.RequestCancel("second");
+  EXPECT_TRUE(t.Cancelled());
+  EXPECT_EQ(t.reason(), "first");
+}
+
+TEST(CancellationTest, ParentCancelPropagatesToChildNotViceVersa) {
+  CancellationSource parent;
+  CancellationSource child(parent.token());
+  CancellationSource sibling(parent.token());
+
+  child.RequestCancel("child only");
+  EXPECT_TRUE(child.Cancelled());
+  EXPECT_FALSE(parent.Cancelled());
+  EXPECT_FALSE(sibling.Cancelled());
+
+  parent.RequestCancel("parent down");
+  EXPECT_TRUE(sibling.Cancelled());
+  EXPECT_EQ(sibling.token().reason(), "parent down");
+  // The child was cancelled first; its reason is not overwritten.
+  EXPECT_EQ(child.token().reason(), "child only");
+}
+
+TEST(CancellationTest, GrandchildSeesRootCancel) {
+  CancellationSource root;
+  CancellationSource mid(root.token());
+  CancellationSource leaf(mid.token());
+  root.RequestCancel("root");
+  EXPECT_TRUE(leaf.Cancelled());
+  EXPECT_EQ(leaf.token().reason(), "root");
+}
+
+TEST(CancellationTest, ChildOfCancelledParentStartsCancelled) {
+  CancellationSource parent;
+  parent.RequestCancel("gone");
+  CancellationSource child(parent.token());
+  EXPECT_TRUE(child.Cancelled());
+  EXPECT_EQ(child.token().reason(), "gone");
+}
+
+TEST(CancellationTest, ChildOfNullTokenIsIndependentRoot) {
+  CancellationSource child{CancellationToken()};
+  EXPECT_FALSE(child.Cancelled());
+  child.RequestCancel();
+  EXPECT_TRUE(child.Cancelled());
+  EXPECT_EQ(child.token().reason(), "canceled");
+}
+
+TEST(CancellationTest, WaitForMsWakesOnCrossThreadCancel) {
+  CancellationSource src;
+  CancellationToken t = src.token();
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    src.RequestCancel("wake up");
+  });
+  // Far below the 10s bound: the wait returns as soon as the cancel lands.
+  EXPECT_TRUE(t.WaitForMs(10'000));
+  canceller.join();
+  EXPECT_EQ(t.reason(), "wake up");
+}
+
+TEST(CancellationTest, WaitForMsTimesOutWhenNotCancelled) {
+  CancellationSource src;
+  EXPECT_FALSE(src.token().WaitForMs(5));
+}
+
+// ------------------------------------------------------------- ExecContext
+
+TEST(ExecContextTest, DefaultIsInertAndChecksOk) {
+  ExecContext ctx;
+  EXPECT_FALSE(ctx.active());
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(ExecContextTest, ExpiredDeadlineIsResourceExhausted) {
+  ExecContext ctx;
+  ctx.deadline = Deadline::AfterMs(0);
+  EXPECT_TRUE(ctx.active());
+  Status s = ctx.Check();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, CancelledTokenIsCancelledAndCarriesReason) {
+  CancellationSource src;
+  ExecContext ctx;
+  ctx.token = src.token();
+  EXPECT_TRUE(ctx.active());
+  EXPECT_TRUE(ctx.Check().ok());
+  src.RequestCancel("user hit ^C");
+  Status s = ctx.Check();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_NE(s.message().find("user hit ^C"), std::string::npos);
+}
+
+TEST(ExecContextTest, CancellationWinsOverExpiredDeadline) {
+  CancellationSource src;
+  src.RequestCancel();
+  ExecContext ctx;
+  ctx.token = src.token();
+  ctx.deadline = Deadline::AfterMs(0);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, WithDeadlineKeepsTheSooner) {
+  ExecContext ctx;
+  ctx.deadline = Deadline::AfterMs(10);
+  Deadline orig = ctx.deadline;
+  ExecContext later = ctx.WithDeadline(Deadline::AfterMs(60'000));
+  EXPECT_EQ(later.deadline.time_point(), orig.time_point());
+  ExecContext sooner = ctx.WithDeadline(Deadline::AfterMs(0));
+  EXPECT_TRUE(sooner.deadline.Expired());
+  // The original context is unchanged (value semantics).
+  EXPECT_EQ(ctx.deadline.time_point(), orig.time_point());
+}
+
+TEST(ExecContextTest, WithTokenSwapsScopeOnly) {
+  CancellationSource src;
+  ExecContext ctx;
+  ctx.deadline = Deadline::AfterMs(60'000);
+  ExecContext scoped = ctx.WithToken(src.token());
+  EXPECT_TRUE(scoped.token.CanBeCancelled());
+  EXPECT_FALSE(ctx.token.CanBeCancelled());
+  EXPECT_EQ(scoped.deadline.time_point(), ctx.deadline.time_point());
+}
+
+// ------------------------------------------------------ Fault class / retry
+
+TEST(RetryTest, ClassifiesStatusesIntoFaultClasses) {
+  EXPECT_EQ(ClassifyFaultStatus(Status::OK()), FaultClass::kNone);
+  EXPECT_EQ(ClassifyFaultStatus(Status::Cancelled("stop")),
+            FaultClass::kCancelled);
+  EXPECT_EQ(ClassifyFaultStatus(Status::ResourceExhausted("watchdog")),
+            FaultClass::kTransient);
+  EXPECT_EQ(ClassifyFaultStatus(Status::Internal("boom")),
+            FaultClass::kDeterministic);
+  EXPECT_EQ(ClassifyFaultStatus(Status::InvalidArgument("bad")),
+            FaultClass::kDeterministic);
+}
+
+TEST(RetryTest, FaultClassNamesAreStable) {
+  EXPECT_STREQ(FaultClassName(FaultClass::kNone), "none");
+  EXPECT_STREQ(FaultClassName(FaultClass::kTransient), "transient");
+  EXPECT_STREQ(FaultClassName(FaultClass::kDeterministic), "deterministic");
+  EXPECT_STREQ(FaultClassName(FaultClass::kCancelled), "canceled");
+}
+
+TEST(RetryTest, BackoffDelaysGrowAndClamp) {
+  BackoffPolicy p;
+  p.initial_delay_ms = 4;
+  p.multiplier = 2.0;
+  p.max_delay_ms = 10;
+  EXPECT_EQ(p.DelayForAttemptMs(1), 4u);
+  EXPECT_EQ(p.DelayForAttemptMs(2), 8u);
+  EXPECT_EQ(p.DelayForAttemptMs(3), 10u);  // clamped
+  EXPECT_EQ(p.DelayForAttemptMs(9), 10u);
+}
+
+TEST(RetryTest, BackoffSleepCompletesOnInertContext) {
+  BackoffPolicy p;
+  p.initial_delay_ms = 1;
+  EXPECT_TRUE(BackoffSleep(p, 1, ExecContext{}).ok());
+}
+
+TEST(RetryTest, BackoffSleepShortCircuitsWhenAlreadyCancelled) {
+  CancellationSource src;
+  src.RequestCancel("no point waiting");
+  ExecContext ctx;
+  ctx.token = src.token();
+  BackoffPolicy p;
+  p.initial_delay_ms = 60'000;  // would hang if the check were missing
+  p.max_delay_ms = 60'000;
+  Status s = BackoffSleep(p, 1, ctx);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+}
+
+TEST(RetryTest, BackoffSleepShortCircuitsOnExpiredDeadline) {
+  ExecContext ctx;
+  ctx.deadline = Deadline::AfterMs(0);
+  BackoffPolicy p;
+  p.initial_delay_ms = 60'000;
+  p.max_delay_ms = 60'000;
+  Status s = BackoffSleep(p, 1, ctx);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RetryTest, BackoffSleepInterruptedByCrossThreadCancel) {
+  CancellationSource src;
+  ExecContext ctx;
+  ctx.token = src.token();
+  BackoffPolicy p;
+  p.initial_delay_ms = 60'000;
+  p.max_delay_ms = 60'000;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    src.RequestCancel();
+  });
+  Status s = BackoffSleep(p, 1, ctx);
+  canceller.join();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+}
+
+// ------------------------------------------------- Watchdog + ExecContext
+
+TEST(WatchdogContextTest, UnbudgetedWatchdogStillObservesCancellation) {
+  CancellationSource src;
+  ExecContext ctx;
+  ctx.token = src.token();
+  Watchdog dog;
+  dog.Arm(WatchdogBudget{}, "test_analysis", ctx);  // no budget at all
+  EXPECT_TRUE(dog.Step().ok());
+  src.RequestCancel("stop the fixpoint");
+  Status s = dog.Step();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(s.error_term(), "canceled");
+  EXPECT_TRUE(dog.tripped());
+  // The trip is sticky.
+  EXPECT_EQ(dog.Step().code(), StatusCode::kCancelled);
+  EXPECT_EQ(dog.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(WatchdogContextTest, ContextDeadlineTripsWithItsOwnErrorTerm) {
+  ExecContext ctx;
+  ctx.deadline = Deadline::AfterMs(0);
+  Watchdog dog;
+  dog.Arm(WatchdogBudget{}, "test_analysis", ctx);
+  // The context deadline is sampled on the clock stride; step enough.
+  Status s = Status::OK();
+  for (int i = 0; i < 3000 && s.ok(); ++i) s = dog.Step();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.error_term(), "resource_error(deadline_exceeded)");
+}
+
+TEST(WatchdogContextTest, BudgetTripKeepsWatchdogIdentity) {
+  Watchdog dog;
+  WatchdogBudget budget;
+  budget.max_steps = 10;
+  dog.Arm(budget, "test_analysis", ExecContext{});
+  Status s = Status::OK();
+  for (int i = 0; i < 20 && s.ok(); ++i) s = dog.Step();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.error_term(), "resource_error(watchdog(test_analysis))");
+}
+
+TEST(WatchdogContextTest, RearmClearsContextTrip) {
+  CancellationSource src;
+  src.RequestCancel();
+  ExecContext ctx;
+  ctx.token = src.token();
+  Watchdog dog;
+  dog.Arm(WatchdogBudget{}, "w", ctx);
+  EXPECT_FALSE(dog.Step().ok());
+  dog.Arm(WatchdogBudget{}, "w", ExecContext{});
+  EXPECT_TRUE(dog.Step().ok());
+  EXPECT_FALSE(dog.tripped());
+}
+
+}  // namespace
+}  // namespace prore

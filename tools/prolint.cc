@@ -18,13 +18,24 @@
 //                       the validator codes PL100-PL103 and the reorderer
 //                       notes PL210/PL211 (selecting any of those runs the
 //                       reorder check and filters its findings). Repeatable.
+//   --deadline-ms=N     wall-clock deadline for the whole invocation
+//                       (0 = off), covering every input file. The lint
+//                       passes themselves are cheap and always finish; the
+//                       deadline bounds the reorder + validate step, which
+//                       runs real analyses. When it expires, the remaining
+//                       reorder checks degrade to a "reorder check
+//                       skipped" PL000 note — lint findings are still
+//                       reported and the exit code is unchanged (skipped
+//                       self-checks are not failures).
 //   --list-passes       list the registered passes and exit
 //
 // Exit codes: 0 clean (or warnings without --werror), 1 diagnostics at the
 // gating severity or a file error, 2 usage error.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -42,8 +53,27 @@ int Usage() {
   std::fprintf(stderr,
                "usage: prolint [--format=text|json|sarif] [--werror]\n"
                "               [--no-check-reorder] [--only=PASS,PASS,...]\n"
-               "               [--list-passes] file.pl...\n");
+               "               [--deadline-ms=N] [--list-passes] file.pl...\n");
   return 2;
+}
+
+/// Parses the numeric tail of --flag=N; false on malformed or
+/// out-of-range input (never throws, unlike std::stoull).
+bool ParseBudget(const std::string& arg, const char* prefix, uint64_t* out) {
+  const size_t n = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(n);
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  uint64_t parsed = 0;
+  for (char c : value) {
+    if (parsed > (UINT64_MAX - (c - '0')) / 10) return false;  // overflow
+    parsed = parsed * 10 + (c - '0');
+  }
+  *out = parsed;
+  return true;
 }
 
 /// Codes emitted by the reorder + validate step rather than by a
@@ -70,12 +100,18 @@ int main(int argc, char** argv) {
   Format format = Format::kText;
   bool werror = false;
   bool check_reorder = true;
+  uint64_t deadline_ms = 0;
   std::vector<std::string> only_selected;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--format=text") {
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseBudget(arg, "--deadline-ms=", &deadline_ms)) {
+        std::fprintf(stderr, "prolint: malformed option %s\n", arg.c_str());
+        return Usage();
+      }
+    } else if (arg == "--format=text") {
       format = Format::kText;
     } else if (arg == "--format=json") {
       format = Format::kJson;
@@ -131,6 +167,14 @@ int main(int argc, char** argv) {
                only_selected.end();
   };
 
+  // One deadline over the whole invocation: the reorder self-check of every
+  // file shares it, so a pathological early file cannot starve the plain
+  // lint findings of later ones (those always run to completion).
+  prore::ExecContext exec;
+  if (deadline_ms != 0) {
+    exec = exec.WithDeadline(prore::Deadline::AfterMs(deadline_ms));
+  }
+
   const prore::lint::Severity gate = werror
                                          ? prore::lint::Severity::kWarning
                                          : prore::lint::Severity::kError;
@@ -185,6 +229,7 @@ int main(int argc, char** argv) {
         // a lint finding — the reorderer covers a subset of Prolog — so
         // that failure is reported as a plain note.
         prore::core::ReorderOptions options;
+        options.exec = exec;
         prore::core::Reorderer reorderer(&store, options);
         auto reordered = reorderer.Run(program);
         if (reordered.ok()) {

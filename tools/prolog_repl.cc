@@ -10,6 +10,14 @@
 // queries are read from stdin, one clause-terminated goal per line.
 //
 // Options (resource budgets; 0 = unlimited):
+//   --deadline-ms=N      wall-clock deadline for the whole session, shared
+//                        by every query. Composes with --timeout-ms: each
+//                        query is bounded by the earlier of the remaining
+//                        session deadline and its own per-query budget.
+//                        Expiry raises a catchable
+//                        error(resource_error(deadline_exceeded), deadline)
+//                        (vs resource_error(time) for --timeout-ms), and
+//                        uncaught maps to exit code 4 like any budget.
 //   --timeout-ms=N       wall-clock deadline per query
 //   --max-depth=N        maximum resolution depth (pending goal nodes)
 //   --max-heap-cells=N   heap growth budget per query, in term cells
@@ -51,7 +59,7 @@ constexpr int kExitResource = 4;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: prolog [--timeout-ms=N] [--max-depth=N]\n"
+               "usage: prolog [--deadline-ms=N] [--timeout-ms=N] [--max-depth=N]\n"
                "              [--max-heap-cells=N] [--max-calls=N]\n"
                "              files... [-q 'goal']...\n");
   return kExitUsage;
@@ -129,11 +137,19 @@ int main(int argc, char** argv) {
   std::string source;
   std::vector<std::string> queries;
   prore::engine::SolveOptions solve_options;
+  uint64_t deadline_ms = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "-q") {
       if (++i >= argc) return Usage();
       queries.push_back(argv[i]);
+      continue;
+    }
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseBudget(arg, "--deadline-ms=", &deadline_ms)) {
+        std::fprintf(stderr, "prolog: malformed option %s\n", arg.c_str());
+        return Usage();
+      }
       continue;
     }
     if (arg.rfind("--timeout-ms=", 0) == 0 ||
@@ -164,6 +180,14 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     source += buffer.str();
     source += "\n";
+  }
+
+  // The session deadline is one fixed point in time shared by every query
+  // (unlike --timeout-ms, which restarts per query); the engine takes the
+  // earlier of the two for each solve.
+  if (deadline_ms != 0) {
+    solve_options.exec = solve_options.exec.WithDeadline(
+        prore::Deadline::AfterMs(deadline_ms));
   }
 
   prore::term::TermStore store;

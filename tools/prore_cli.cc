@@ -32,7 +32,10 @@
 //   --report=text       print the pipeline quarantine report to stderr
 //   --report=json       same, as one line of JSON (stable field order)
 //   --strict            exit 3 if any predicate was quarantined (default:
-//                       graceful — ship the degraded program, exit 5)
+//                       graceful — ship the degraded program, exit 5).
+//                       With --jobs=N, also cancels sibling shards as soon
+//                       as one group degrades (the exit code is already
+//                       decided, so their results cannot matter)
 //   --compare QUERY     run QUERY on both programs and report call counts
 //   --emit-original     also echo the parsed original (normalization check)
 //   --cost-steps=N        cost-model watchdog step budget (0 = off)
@@ -44,6 +47,14 @@
 //                           its summaries when it ran.
 //   --absint-steps=N        absint watchdog step budget (0 = off); a trip
 //   --absint-timeout-ms=N   disables the stage, not the pipeline
+//   --deadline-ms=N     whole-run wall-clock deadline (0 = off). Covers
+//                       the transform pipeline and every --compare query.
+//                       Expiry mid-pipeline ships the remaining work as
+//                       identity (degraded, never partial); expiry during
+//                       a compare query raises resource_error(
+//                       deadline_exceeded) and exits 4. Composes with the
+//                       per-query --timeout-ms: each query gets the
+//                       earlier of the two budgets.
 //   --timeout-ms=N      wall-clock deadline per --compare query (0 = off)
 //   --max-depth=N       resolution-depth budget per --compare query
 //   --max-heap-cells=N  heap growth budget per --compare query
@@ -91,7 +102,7 @@ int Usage() {
                "             [--compare QUERY] [--emit-original]\n"
                "             [--cost-steps=N] [--cost-timeout-ms=N]\n"
                "             [--infer-steps=N] [--infer-timeout-ms=N]\n"
-               "             [--timeout-ms=N] [--max-depth=N]\n"
+               "             [--deadline-ms=N] [--timeout-ms=N] [--max-depth=N]\n"
                "             [--max-heap-cells=N] [--max-calls=N]\n"
                "             input.pl [output.pl]\n");
   return 2;
@@ -134,6 +145,7 @@ int main(int argc, char** argv) {
   prore::engine::SolveOptions solve_options;
   std::vector<std::string> compare_queries;
   std::string input_path, output_path;
+  uint64_t deadline_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -189,6 +201,11 @@ int main(int argc, char** argv) {
         ParseBudget(arg, "--absint-timeout-ms=",
                     &pipeline_options.absint_watchdog.timeout_ms)) {
       // value stored by ParseBudget
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseBudget(arg, "--deadline-ms=", &deadline_ms)) {
+        std::fprintf(stderr, "prore: malformed option %s\n", arg.c_str());
+        return Usage();
+      }
     } else if (arg.rfind("--timeout-ms=", 0) == 0 ||
                arg.rfind("--max-depth=", 0) == 0 ||
                arg.rfind("--max-heap-cells=", 0) == 0 ||
@@ -215,6 +232,15 @@ int main(int argc, char** argv) {
     }
   }
   if (input_path.empty()) return Usage();
+
+  // The whole-run deadline starts ticking here, before I/O and parsing, so
+  // --deadline-ms bounds the entire invocation — not just the pipeline.
+  if (deadline_ms != 0) {
+    const prore::Deadline run_deadline = prore::Deadline::AfterMs(deadline_ms);
+    pipeline_options.exec = pipeline_options.exec.WithDeadline(run_deadline);
+    solve_options.exec = solve_options.exec.WithDeadline(run_deadline);
+  }
+  pipeline_options.stop_on_degrade = strict;
 
   std::ifstream in(input_path);
   if (!in) {

@@ -21,6 +21,14 @@
 //   --dump                also write a repro_<oracle>_<hash>.pl artifact to
 //                         $PRORE_ARTIFACT_DIR (default ./repro_artifacts)
 //   --max-oracle-calls=N  probe budget (default 2000)
+//   --deadline-ms=N       wall-clock deadline for the whole minimization
+//                         (0 = off). Expiry is graceful: the best
+//                         still-failing candidate found so far is written
+//                         and the exit code stays 0, with 1-minimal
+//                         reported as "no" — same contract as running out
+//                         of --max-oracle-calls. Per-probe solve budgets
+//                         (OracleOptions' timeout_ms) still apply inside
+//                         each oracle call; the earlier budget wins.
 //   --cost-steps=N        cost-model watchdog step budget (watchdog oracle)
 //   --cost-timeout-ms=N   cost-model watchdog wall-clock budget
 //   --infer-steps=N       mode-inference watchdog step budget
@@ -49,7 +57,7 @@ int Usage() {
       stderr,
       "usage: proshrink --oracle=validator|crash|differential|watchdog\n"
       "                 [--query Q]... [--unfold] [--factor] [--out=FILE]\n"
-      "                 [--dump] [--max-oracle-calls=N]\n"
+      "                 [--dump] [--max-oracle-calls=N] [--deadline-ms=N]\n"
       "                 [--cost-steps=N] [--cost-timeout-ms=N]\n"
       "                 [--infer-steps=N] [--infer-timeout-ms=N]\n"
       "                 input.pl\n");
@@ -83,6 +91,7 @@ int main(int argc, char** argv) {
   prore::testing::OracleOptions oracle_options;
   prore::testing::ShrinkOptions shrink_options;
   uint64_t max_probes = 0;
+  uint64_t deadline_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -101,6 +110,8 @@ int main(int argc, char** argv) {
       output_path = arg.substr(6);
     } else if (ParseBudget(arg, "--max-oracle-calls=", &max_probes)) {
       shrink_options.max_oracle_calls = static_cast<size_t>(max_probes);
+    } else if (ParseBudget(arg, "--deadline-ms=", &deadline_ms)) {
+      // deadline armed after argument parsing, below
     } else if (ParseBudget(arg, "--cost-steps=",
                            &oracle_options.reorder.cost_watchdog.max_steps) ||
                ParseBudget(arg, "--cost-timeout-ms=",
@@ -122,6 +133,10 @@ int main(int argc, char** argv) {
     }
   }
   if (input_path.empty() || oracle_kind.empty()) return Usage();
+  if (deadline_ms != 0) {
+    shrink_options.exec = shrink_options.exec.WithDeadline(
+        prore::Deadline::AfterMs(deadline_ms));
+  }
 
   prore::testing::Oracle oracle;
   if (oracle_kind == "validator") {
@@ -160,7 +175,9 @@ int main(int argc, char** argv) {
                result->final_clauses == 1 ? "" : "s", result->removed_goals,
                result->removed_goals == 1 ? "" : "s", result->oracle_calls,
                result->oracle_calls == 1 ? "" : "s",
-               result->one_minimal ? "yes" : "no (probe budget ran out)");
+               result->one_minimal
+                   ? "yes"
+                   : "no (probe budget or deadline ran out)");
 
   if (output_path.empty()) {
     std::fputs(result->source.c_str(), stdout);
