@@ -1,0 +1,256 @@
+// server_stress — drives an in-process prored server with N concurrent
+// framed-protocol clients and records the latency distribution (p50/p99)
+// and shed rate into BENCH_server.json. The point under measurement is the
+// admission queue: with a bounded queue the server sheds excess load with
+// structured `overloaded` replies and the admitted requests keep a flat
+// latency profile, instead of every client's latency growing without
+// bound.
+//
+// Usage: server_stress [out.json] [clients] [requests_per_client]
+//   defaults: BENCH_server.json 64 40
+
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/frame_io.h"
+#include "common/str_util.h"
+#include "server/json.h"
+#include "server/server.h"
+
+namespace {
+
+using prore::FrameEvent;
+using prore::FrameIoOptions;
+using prore::FrameReadResult;
+using prore::server::JsonValue;
+using prore::server::Server;
+using prore::server::ServerOptions;
+
+constexpr const char* kProgram =
+    "app([],L,L).\n"
+    "app([H|T],L,[H|R]) :- app(T,L,R).\n"
+    "nrev([],[]).\n"
+    "nrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).\n"
+    "data([a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p,q,r,s,t]).\n"
+    "work(R) :- data(L), nrev(L,R).\n";
+
+int ConnectUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_un addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  ::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct ClientTally {
+  std::vector<double> latencies_ms;  ///< admitted requests only
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+};
+
+/// One client: a private connection issuing `requests` serial requests —
+/// mostly solves, every 8th a reorder — against the shared session.
+void RunClient(const std::string& socket_path, int requests,
+               ClientTally* tally) {
+  int fd = ConnectUnix(socket_path);
+  if (fd < 0) {
+    tally->errors += static_cast<uint64_t>(requests);
+    return;
+  }
+  FrameIoOptions io;
+  io.idle_timeout_ms = 30'000;
+  io.frame_timeout_ms = 30'000;
+  tally->latencies_ms.reserve(static_cast<size_t>(requests));
+
+  for (int i = 0; i < requests; ++i) {
+    const char* req =
+        (i % 8 == 0)
+            ? R"x({"op":"reorder","session":"bench"})x"
+            : R"x({"op":"solve","session":"bench","query":"work(R)"})x";
+    auto start = std::chrono::steady_clock::now();
+    if (!prore::WriteFrame(fd, req, io).ok()) {
+      ++tally->errors;
+      break;
+    }
+    // Drain answer frames until the final reply.
+    std::string status;
+    for (;;) {
+      FrameReadResult r = prore::ReadFrame(fd, io);
+      if (r.event != FrameEvent::kFrame) {
+        status = "io_error";
+        break;
+      }
+      auto parsed = JsonValue::Parse(r.payload);
+      if (!parsed.ok()) {
+        status = "io_error";
+        break;
+      }
+      status = parsed->GetString("status");
+      if (status != "answer") break;
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    if (status == "ok" || status == "failed") {
+      ++tally->ok;
+      tally->latencies_ms.push_back(ms);
+    } else if (status == "overloaded") {
+      // Shed replies come back fast by design; they are the pressure
+      // valve, not part of the admitted-latency distribution.
+      ++tally->shed;
+    } else {
+      ++tally->errors;
+      if (status == "io_error") break;
+    }
+  }
+  ::close(fd);
+}
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0.0;
+  std::sort(v->begin(), v->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  return (*v)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_server.json";
+  int clients = argc > 2 ? std::atoi(argv[2]) : 64;
+  int per_client = argc > 3 ? std::atoi(argv[3]) : 40;
+  if (clients <= 0) clients = 64;
+  if (per_client <= 0) per_client = 40;
+
+  ServerOptions opts;
+  opts.socket_path =
+      prore::StrFormat("/tmp/prored_stress_%d.sock", ::getpid());
+  opts.workers = 4;
+  opts.max_queue = 8;  // bounded on purpose: shedding is the subject
+  opts.max_connections = static_cast<size_t>(clients) + 8;
+  opts.default_deadline_ms = 30'000;
+  opts.pipeline.jobs = 1;
+  Server server(opts);
+  if (auto st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Load the shared session before the clock starts.
+  {
+    int fd = ConnectUnix(opts.socket_path);
+    if (fd < 0) {
+      std::fprintf(stderr, "connect failed\n");
+      return 1;
+    }
+    FrameIoOptions io;
+    io.idle_timeout_ms = 30'000;
+    io.frame_timeout_ms = 30'000;
+    JsonValue req = JsonValue::Object();
+    req.Set("op", JsonValue::String("load"));
+    req.Set("session", JsonValue::String("bench"));
+    req.Set("program", JsonValue::String(kProgram));
+    if (!prore::WriteFrame(fd, req.Dump(), io).ok()) return 1;
+    FrameReadResult r = prore::ReadFrame(fd, io);
+    if (r.event != FrameEvent::kFrame ||
+        r.payload.find("\"ok\"") == std::string::npos) {
+      std::fprintf(stderr, "load failed: %s\n", r.payload.c_str());
+      return 1;
+    }
+    ::close(fd);
+  }
+
+  std::vector<ClientTally> tallies(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  auto wall_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(RunClient, opts.socket_path, per_client,
+                         &tallies[static_cast<size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+
+  server.Shutdown("stress done");
+  server.Wait();
+
+  std::vector<double> lat;
+  uint64_t ok = 0, shed = 0, errors = 0;
+  for (auto& t : tallies) {
+    lat.insert(lat.end(), t.latencies_ms.begin(), t.latencies_ms.end());
+    ok += t.ok;
+    shed += t.shed;
+    errors += t.errors;
+  }
+  uint64_t total = ok + shed + errors;
+  double p50 = Percentile(&lat, 0.50);
+  double p90 = Percentile(&lat, 0.90);
+  double p99 = Percentile(&lat, 0.99);
+  double max = lat.empty() ? 0.0 : lat.back();
+  double shed_rate =
+      total == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(total);
+  double rps = wall_ms == 0.0
+                   ? 0.0
+                   : static_cast<double>(ok) * 1000.0 / wall_ms;
+
+  std::string json = prore::StrFormat(
+      "{\n"
+      "  \"benchmark\": \"server_stress\",\n"
+      "  \"clients\": %d,\n"
+      "  \"requests_per_client\": %d,\n"
+      "  \"workers\": %d,\n"
+      "  \"max_queue\": %d,\n"
+      "  \"requests\": %llu,\n"
+      "  \"admitted_ok\": %llu,\n"
+      "  \"shed\": %llu,\n"
+      "  \"errors\": %llu,\n"
+      "  \"shed_rate\": %.4f,\n"
+      "  \"p50_ms\": %.3f,\n"
+      "  \"p90_ms\": %.3f,\n"
+      "  \"p99_ms\": %.3f,\n"
+      "  \"max_ms\": %.3f,\n"
+      "  \"throughput_rps\": %.1f,\n"
+      "  \"wall_ms\": %.1f\n"
+      "}\n",
+      clients, per_client, static_cast<int>(opts.workers),
+      static_cast<int>(opts.max_queue),
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(errors), shed_rate, p50, p90, p99, max,
+      rps, wall_ms);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  out << json;
+  std::fputs(json.c_str(), stdout);
+
+  // Errors mean broken connections or malformed replies — a stress run
+  // that loses frames is a failed run, shedding is not.
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+#ifndef PRORE_ANALYSIS_CONTENT_HASH_H_
+#define PRORE_ANALYSIS_CONTENT_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+namespace prore::analysis {
+
+/// 64-bit content hashes over the SCC condensation, the key of the
+/// incremental analysis/transform cache (core/analysis_cache.h): a
+/// predicate's hash covers its clauses (canonically rendered, so it is
+/// independent of TermRef numbering), and a dependency group's hash covers
+/// its members' clause hashes plus the hashes of its callee groups.
+/// Editing one predicate therefore changes exactly the hashes of its own
+/// group and of every group that (transitively) calls into it — the dirty
+/// cone — while the callee-side groups keep their hashes and stay
+/// cacheable.
+///
+/// Two whole-program inputs are deliberately folded into every group hash,
+/// trading incrementality for soundness:
+///  - the directive list and the full defined-predicate name set: legal-
+///    mode declarations change analysis results anywhere, and the set of
+///    program names feeds version-name collision avoidance
+///    (ReorderOptions::reserved_preds);
+///  - per group, the frozen predicates among its members and cone: the
+///    cut-freezing property flows caller -> callee, so a caller edit can
+///    change a callee group's output without touching its clauses.
+struct ContentHashes {
+  std::unordered_map<term::PredId, uint64_t, term::PredIdHash> pred_hash;
+  /// Parallel to DependencyGroups::groups.
+  std::vector<uint64_t> group_hash;
+};
+
+/// splitmix64-style mixing primitives, exposed for tests and for callers
+/// that fold extra context (an options fingerprint) into a salt.
+uint64_t HashMix(uint64_t seed, uint64_t value);
+uint64_t HashBytes(uint64_t seed, std::string_view bytes);
+
+/// Computes the per-predicate and per-group hashes for `program` under
+/// `groups` (its SCC condensation). `frozen` is the whole-program
+/// cut-frozen set (core/restrictions.h FrozenDescendants), may be null.
+/// `salt` is folded into every hash — callers use it to fingerprint the
+/// transform options, so cache entries produced under different options
+/// never collide.
+ContentHashes ComputeContentHashes(const term::TermStore& store,
+                                   const reader::Program& program,
+                                   const DependencyGroups& groups,
+                                   const PredSet* frozen, uint64_t salt);
+
+}  // namespace prore::analysis
+
+#endif  // PRORE_ANALYSIS_CONTENT_HASH_H_

@@ -82,10 +82,12 @@ void CancellationSource::RequestCancel(std::string reason) {
 Status ExecContext::Check() const {
   if (token.Cancelled()) {
     std::string why = token.reason();
-    return Status::Cancelled(why.empty() ? "canceled" : why);
+    return Status::Cancelled(why.empty() ? "canceled" : why)
+        .WithErrorTerm("canceled");
   }
   if (deadline.Expired()) {
-    return Status::ResourceExhausted("deadline exceeded");
+    return Status::ResourceExhausted("deadline exceeded")
+        .WithErrorTerm("resource_error(deadline_exceeded)");
   }
   return Status::OK();
 }

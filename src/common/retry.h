@@ -40,6 +40,25 @@ struct BackoffPolicy {
   uint64_t DelayForAttemptMs(int attempt) const;
 };
 
+/// User-facing retry configuration: the total attempt budget and the
+/// backoff bounds, threaded from the CLIs (`--retry-attempts=N` on prore
+/// and prored) through PipelineOptions down to the per-predicate fault
+/// boundary. `max_attempts` counts the first try, so 1 disables retries
+/// entirely and 2 is the historical "one retry" behavior. Delays grow
+/// exponentially (x2) from base_ms, clamped to max_ms.
+struct RetryPolicy {
+  int max_attempts = 2;
+  uint64_t base_ms = 1;
+  uint64_t max_ms = 50;
+
+  bool enabled() const { return max_attempts > 1; }
+  /// Retries on top of the first attempt (never negative).
+  int max_retries() const { return max_attempts > 1 ? max_attempts - 1 : 0; }
+  BackoffPolicy ToBackoff() const {
+    return BackoffPolicy{max_retries(), base_ms, 2.0, max_ms};
+  }
+};
+
 /// Sleeps for the attempt's backoff delay, interruptibly: returns early
 /// (with the context's failure status) if the token is cancelled or the
 /// deadline expires first — a cancelled pipeline must not sit in a sleep

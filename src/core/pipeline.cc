@@ -4,9 +4,12 @@
 #include <exception>
 #include <utility>
 
+#include "analysis/content_hash.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "core/restrictions.h"
+#include "lint/validate.h"
+#include "reader/parser.h"
 #include "reader/writer.h"
 
 namespace prore::core {
@@ -157,6 +160,48 @@ std::string PipelineReport::ToJson() const {
   return out;
 }
 
+bool GuardedPipeline::TryAdoptCachedGroup(
+    const GroupCacheEntry& entry, const std::vector<PredId>& members,
+    const reader::Program& original, reader::Program* out_frag) {
+  auto frag = reader::ParseProgramText(store_, entry.program_text);
+  if (!frag.ok()) return false;
+
+  // Self-verification on every hit: hold the cached output to the same
+  // structural standard the reorderer used when producing it. The original
+  // side is just the owned members' clauses (the cone was pinned identity
+  // and is emitted by its own groups). Mode/oracle checks need the
+  // producing run's analyses and are skipped; PL101 (clause preservation),
+  // PL102 (dispatcher shape) and PL103 (coverage) catch any torn,
+  // truncated, or cross-wired entry.
+  reader::Program orig_sub;
+  for (const PredId& p : members) {
+    for (const reader::Clause& c : original.ClausesOf(p)) {
+      orig_sub.AddClause(*store_, c);
+    }
+  }
+  lint::ReorderCheckInput check;
+  check.original = &orig_sub;
+  check.transformed = &*frag;
+  for (const GroupCacheEntry::Report& r : entry.reports) {
+    auto mode = analysis::ModeFromString(r.mode);
+    if (!mode.ok()) return false;
+    check.versions.push_back(lint::VersionInfo{
+        PredId{store_->symbols().Intern(r.pred_name), r.arity},
+        std::move(*mode), r.version_name});
+  }
+  std::vector<lint::Diagnostic> findings;
+  try {
+    findings = lint::ValidateReorder(store_, check);
+  } catch (const std::exception&) {
+    return false;
+  }
+  for (const lint::Diagnostic& d : findings) {
+    if (d.severity == lint::Severity::kError) return false;
+  }
+  *out_frag = std::move(*frag);
+  return true;
+}
+
 reader::Program GuardedPipeline::CopyProgram(
     const reader::Program& original) const {
   reader::Program out;
@@ -171,7 +216,12 @@ reader::Program GuardedPipeline::CopyProgram(
 
 prore::Result<PipelineResult> GuardedPipeline::Run(
     const reader::Program& original) {
-  return options_.jobs == 0 ? RunWhole(original) : RunSharded(original);
+  // A cache implies the sharded (group-decomposed) path: the classic
+  // whole-program pipeline prices callers against their already-reordered
+  // callees, which per-group cache entries cannot reproduce.
+  return (options_.jobs == 0 && options_.cache == nullptr)
+             ? RunWhole(original)
+             : RunSharded(original);
 }
 
 prore::Result<PipelineResult> GuardedPipeline::RunWhole(
@@ -390,15 +440,15 @@ prore::Result<PipelineResult> GuardedPipeline::RunWhole(
         // Transient faults (watchdog trips, OOM) get one retry with
         // backoff at the same ladder rung before demotion: the failure
         // may have been scheduling noise or a contended sibling shard.
-        if (fc == prore::FaultClass::kTransient && options_.retry_transient &&
-            retries_used[blamed] < options_.backoff.max_retries &&
+        if (fc == prore::FaultClass::kTransient && options_.retry.enabled() &&
+            retries_used[blamed] < options_.retry.max_retries() &&
             levels[blamed] != LadderLevel::kIdentity) {
           ++retries_used[blamed];
           ++attempts[blamed];
           triggers[blamed].push_back("retry (transient): " +
                                      rr.status().ToString());
-          if (!prore::BackoffSleep(options_.backoff, retries_used[blamed],
-                                   options_.exec)
+          if (!prore::BackoffSleep(options_.retry.ToBackoff(),
+                                   retries_used[blamed], options_.exec)
                    .ok()) {
             return identity_fallback(options_.exec.Check().ToString());
           }
@@ -502,6 +552,36 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
     }
   }
 
+  // ---- Cache lookup --------------------------------------------------
+  // Runs before any worker starts: adopting a hit parses its rendered
+  // clauses into the main store, which is single-threaded. A hit that
+  // fails the PL100-PL103 re-validation is invalidated and recomputed —
+  // corruption costs a recompute, never correctness.
+  analysis::ContentHashes hashes;
+  std::vector<std::shared_ptr<const GroupCacheEntry>> hits(dg.size());
+  std::vector<reader::Program> hit_programs(dg.size());
+  size_t cache_hits = 0, cache_misses = 0, cache_rejected = 0;
+  if (options_.cache != nullptr) {
+    hashes = analysis::ComputeContentHashes(*store_, original, dg, &*frozen,
+                                            options_.cache_salt);
+    for (size_t gi = 0; gi < dg.size(); ++gi) {
+      auto entry = options_.cache->Lookup(hashes.group_hash[gi]);
+      if (entry == nullptr) {
+        ++cache_misses;
+        continue;
+      }
+      if (TryAdoptCachedGroup(*entry, dg.groups[gi], original,
+                              &hit_programs[gi])) {
+        hits[gi] = std::move(entry);
+        ++cache_hits;
+      } else {
+        options_.cache->Invalidate(hashes.group_hash[gi]);
+        ++cache_rejected;
+        ++cache_misses;
+      }
+    }
+  }
+
   std::string out_of_band_failure;
 
   // Sibling-shard interruption: every group task runs under a child
@@ -548,6 +628,10 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
 
       PipelineOptions po = options_;
       po.jobs = 0;
+      // The cache is a property of the sharded orchestration, not of the
+      // per-group transform: an inner pipeline that inherited it would
+      // route back into RunSharded and recurse without end.
+      po.cache = nullptr;
       po.pinned_identity = std::move(cone);
       po.exec = group_exec;
       // Cut-freezing flows caller -> callee, so a subprogram cannot see
@@ -576,6 +660,7 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
     prore::ThreadPool pool(options_.jobs <= 1 ? 0 : options_.jobs,
                            group_cancel.token());
     for (size_t gi = 0; gi < dg.size(); ++gi) {
+      if (hits[gi] != nullptr) continue;  // replayed from cache at merge
       pool.Submit([&run_group, gi] { run_group(gi); });
     }
     try {
@@ -612,6 +697,53 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
 
   for (size_t gi : order) {
     GroupRun& gr = runs[gi];
+    if (hits[gi] != nullptr) {
+      // Replay the validated cache entry. Its clauses were parsed into the
+      // main store during adoption, so they splice in directly; everything
+      // else is rebuilt from the entry's name/arity serialization. The
+      // writer/parser round-trip is a fixed point for parsed variable
+      // names, so this merge renders bit-identical to the cold run that
+      // produced the entry.
+      const GroupCacheEntry& e = *hits[gi];
+      rep.runs = std::max(rep.runs, e.runs);
+      for (const PredId& p : hit_programs[gi].pred_order()) {
+        for (const reader::Clause& c : hit_programs[gi].ClausesOf(p)) {
+          out.program.AddClause(*store_, c);
+        }
+      }
+      for (const GroupCacheEntry::Report& r : e.reports) {
+        PredModeReport pmr;
+        pmr.pred = PredId{store_->symbols().Intern(r.pred_name), r.arity};
+        pmr.mode = std::move(analysis::ModeFromString(r.mode)).value();
+        pmr.version_name = r.version_name;
+        pmr.clauses_changed = r.clauses_changed;
+        pmr.goals_changed = r.goals_changed;
+        pmr.predicted_original_cost = r.predicted_original_cost;
+        pmr.predicted_new_cost = r.predicted_new_cost;
+        out.reports.push_back(std::move(pmr));
+      }
+      for (const lint::Diagnostic& d : e.diagnostics) {
+        out.diagnostics.push_back(d);
+      }
+      if (!e.absint_report.empty()) {
+        out.absint_report +=
+            prore::StrFormat("== group %zu ==\n", gi) + e.absint_report;
+      }
+      for (const GroupCacheEntry::Outcome& oe : e.outcomes) {
+        PredOutcome o;
+        o.pred = PredId{store_->symbols().Intern(oe.pred_name), oe.arity};
+        o.name = prore::StrFormat("%s/%u", oe.pred_name.c_str(), oe.arity);
+        o.level = static_cast<LadderLevel>(oe.level);
+        o.attempts = oe.attempts;
+        o.retries = oe.retries;
+        o.fault_class = oe.fault_class;
+        o.triggers = oe.triggers;
+        o.clauses_changed = oe.clauses_changed;
+        o.goals_changed = oe.goals_changed;
+        outcomes.emplace(o.pred, std::move(o));
+      }
+      continue;
+    }
     if (!gr.result.ok()) {
       // The inner pipeline only errors on malformed input, which a
       // well-formed subprogram rules out — but if it happens, land the
@@ -656,6 +788,24 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
           "group %zu: %s", gi, pr.report.global_trigger.c_str());
     }
 
+    // Only clean groups are worth caching: every owned member must have
+    // settled at kFull with no stage disables and no global fallback. The
+    // pinned cone members sit at kIdentity by design; they are emitted by
+    // their own groups and don't count against this group's cleanliness.
+    bool cacheable = options_.cache != nullptr && !pr.report.unfold_disabled &&
+                     !pr.report.factor_disabled &&
+                     !pr.report.absint_disabled &&
+                     pr.report.global_trigger.empty();
+    if (cacheable) {
+      for (const PredOutcome& o : pr.report.preds) {
+        if (gr.members.count(o.pred) > 0 && o.level != LadderLevel::kFull) {
+          cacheable = false;
+          break;
+        }
+      }
+    }
+    GroupCacheEntry entry;
+
     for (const PredId& p : pr.program.pred_order()) {
       if (!owned_by(p, gi)) continue;  // pinned cone copy — owner emits it
       for (const reader::Clause& c : pr.program.ClausesOf(p)) {
@@ -664,30 +814,72 @@ prore::Result<PipelineResult> GuardedPipeline::RunSharded(
         copy.head = store_->CopyFrom(gr.store, c.head, &vars);
         copy.body = store_->CopyFrom(gr.store, c.body, &vars);
         out.program.AddClause(*store_, copy);
+        if (cacheable) {
+          // Rendered from the MAIN-store copy, after the same CopyFrom the
+          // cold merge output went through — so replaying the entry
+          // reproduces the cold run's text exactly.
+          entry.program_text += reader::WriteClause(*store_, copy);
+          entry.program_text += '\n';
+        }
       }
     }
     for (const PredModeReport& r : pr.reports) {
-      if (owned_by(r.pred, gi)) out.reports.push_back(r);
+      if (!owned_by(r.pred, gi)) continue;
+      out.reports.push_back(r);
+      if (cacheable) {
+        GroupCacheEntry::Report cr;
+        cr.pred_name = store_->symbols().Name(r.pred.name);
+        cr.arity = r.pred.arity;
+        cr.mode = analysis::ModeString(r.mode);
+        cr.version_name = r.version_name;
+        cr.clauses_changed = r.clauses_changed;
+        cr.goals_changed = r.goals_changed;
+        cr.predicted_original_cost = r.predicted_original_cost;
+        cr.predicted_new_cost = r.predicted_new_cost;
+        entry.reports.push_back(std::move(cr));
+      }
     }
     for (const lint::Diagnostic& d : pr.diagnostics) {
       auto it = owner_group.find(d.pred);
       if (it != owner_group.end() && it->second != gi) continue;
       out.diagnostics.push_back(d);
+      if (cacheable) entry.diagnostics.push_back(d);
     }
     if (!pr.absint_report.empty()) {
       out.absint_report +=
           prore::StrFormat("== group %zu ==\n", gi) + pr.absint_report;
+      if (cacheable) entry.absint_report = pr.absint_report;
     }
     for (const PredOutcome& o : pr.report.preds) {
       if (dg.group_of.count(o.pred) > 0 && dg.group_of.at(o.pred) == gi) {
         outcomes.emplace(o.pred, o);
+        if (cacheable) {
+          GroupCacheEntry::Outcome oe;
+          oe.pred_name = store_->symbols().Name(o.pred.name);
+          oe.arity = o.pred.arity;
+          oe.level = static_cast<int>(o.level);
+          oe.attempts = o.attempts;
+          oe.retries = o.retries;
+          oe.fault_class = o.fault_class;
+          oe.triggers = o.triggers;
+          oe.clauses_changed = o.clauses_changed;
+          oe.goals_changed = o.goals_changed;
+          entry.outcomes.push_back(std::move(oe));
+        }
       }
+    }
+    if (cacheable) {
+      entry.runs = pr.report.runs;
+      options_.cache->Insert(hashes.group_hash[gi], std::move(entry));
     }
   }
 
   if (!out_of_band_failure.empty() && rep.global_trigger.empty()) {
     rep.global_trigger = out_of_band_failure;
   }
+  rep.cache_hits = cache_hits;
+  rep.cache_misses = cache_misses;
+  rep.cache_rejected = cache_rejected;
   for (term::TermRef d : original.directives()) out.program.AddDirective(d);
   for (const PredId& p : preds) {
     auto it = outcomes.find(p);

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/watchdog.h"
+#include "core/analysis_cache.h"
 #include "core/disjunction.h"
 #include "core/fault.h"
 #include "core/reorderer.h"
@@ -78,13 +79,27 @@ struct PipelineOptions {
   /// program (recorded in PipelineReport::global_trigger) — the output
   /// stays complete and correct, just unoptimized.
   prore::ExecContext exec;
-  /// Retry a predicate once with bounded exponential backoff before
-  /// demoting it, when its fault classifies as transient (watchdog trip,
-  /// deadline brush, OOM). Deterministic faults (validator findings,
-  /// crashes) skip straight to demotion. One retry per predicate for the
-  /// whole run, so a genuinely broken predicate still descends.
-  bool retry_transient = true;
-  prore::BackoffPolicy backoff;
+  /// Transient-fault retry policy: a predicate whose fault classifies as
+  /// transient (watchdog trip, deadline brush, OOM) is retried with
+  /// bounded exponential backoff up to retry.max_retries() times before
+  /// being demoted a ladder rung. Deterministic faults (validator
+  /// findings, crashes) skip straight to demotion. max_attempts = 1
+  /// disables retries. Configurable via --retry-attempts on prore/prored.
+  prore::RetryPolicy retry;
+  /// Content-addressed reuse of per-group transform results, keyed by the
+  /// group's content hash over the SCC condensation (clause hashes plus
+  /// callee-group hashes; analysis/content_hash.h). Null = no caching.
+  /// Setting a cache forces the sharded path even when jobs == 0 (the
+  /// classic whole-program pipeline prices callers against reordered
+  /// callees and is not group-decomposable). Hits are re-validated with
+  /// the PL100-PL103 checks before being trusted; a failed validation
+  /// invalidates the entry and recomputes. Only clean (non-degraded)
+  /// groups are inserted.
+  AnalysisCache* cache = nullptr;
+  /// Salt folded into every content hash; callers fingerprint the
+  /// transform options here so entries produced under different options
+  /// never collide. (prored derives it from the request's option set.)
+  uint64_t cache_salt = 0;
   /// Sharded runs only: as soon as one group degrades, cancel the sibling
   /// groups (pending tasks dropped, running ones interrupted through
   /// their ExecContext) instead of burning them to completion. Used by
@@ -105,7 +120,7 @@ struct PredOutcome {
   /// text, e.g. "PL101: transformed aunt/2 dropped a clause").
   std::vector<std::string> triggers;
   /// Transient-fault retries burned before the outcome settled (0 or 1
-  /// under the default BackoffPolicy). Retries also appear in `attempts`
+  /// under the default RetryPolicy). Retries also appear in `attempts`
   /// and leave a "retry (transient): ..." trigger.
   int retries = 0;
   /// Classification of the predicate's last fault — "transient",
@@ -136,6 +151,17 @@ struct PipelineReport {
   std::string factor_trigger;
   bool absint_disabled = false;
   std::string absint_trigger;
+
+  /// Analysis-cache accounting for this run (sharded path with a cache
+  /// only; all zero otherwise). Deliberately NOT part of ToText/ToJson:
+  /// the rendered report describes the transformation, which is identical
+  /// whether a group was recomputed or replayed from cache — keeping the
+  /// counters out is what makes cache-hit responses bit-identical to cold
+  /// ones. Consumers that want them (tests, prored stats) read the fields.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  /// Hits whose validation failed (corrupt entry); also counted as misses.
+  size_t cache_rejected = 0;
 
   /// True if any predicate ended below kFull (or a stage was disabled).
   bool degraded() const;
@@ -184,6 +210,15 @@ class GuardedPipeline {
 
   /// The guaranteed bottom: a verbatim copy of the program.
   reader::Program CopyProgram(const reader::Program& original) const;
+
+  /// Parses and self-verifies one cached group entry against the owned
+  /// members' original clauses (PL100-PL103 validator, minus the checks
+  /// that need the producing run's analyses). On success the parsed
+  /// fragment (terms interned in the main store) lands in *out_frag.
+  bool TryAdoptCachedGroup(const GroupCacheEntry& entry,
+                           const std::vector<term::PredId>& members,
+                           const reader::Program& original,
+                           reader::Program* out_frag);
 
   term::TermStore* store_;
   PipelineOptions options_;

@@ -349,11 +349,17 @@ class Validator {
       auto body = analysis::ParseBody(*store_, clause.body);
       if (body.ok()) NotePinned(*body.value());
     }
+    // Written (not ref-identity) keys, like GoalKey: emitted heads reuse
+    // the original argument TermRefs so both render equally, and a
+    // re-parsed program (the analysis cache re-validating an adopted
+    // entry) still matches as long as variables keep their source names.
+    // Colliding keys are fine — the shape check below disambiguates.
     auto head_key = [this](TermRef head) {
       TermRef h = store_->Deref(head);
       std::string key;
       for (uint32_t i = 0; i < store_->arity(h); ++i) {
-        key += prore::StrFormat("%u,", store_->Deref(store_->arg(h, i)));
+        key += reader::WriteTerm(*store_, store_->arg(h, i));
+        key += ',';
       }
       return key;
     };

@@ -1,0 +1,285 @@
+#include "server/chaos.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/frame_io.h"
+#include "common/str_util.h"
+#include "server/json.h"
+
+namespace prore::server {
+
+namespace {
+
+/// SplitMix64: deterministic, seedable, no global state — the whole
+/// point is that a CI failure replays from the printed seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+int Connect(const ChaosOptions& options) {
+  if (!options.socket_path.empty()) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    struct sockaddr_un addr;
+    ::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return -1;
+    }
+    ::memcpy(addr.sun_path, options.socket_path.c_str(),
+             options.socket_path.size());
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.tcp_port));
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void SendRaw(int fd, const char* buf, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer closed on us — acceptable in every scenario
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void SendFramed(int fd, std::string_view payload) {
+  char prefix[4];
+  prefix[0] = static_cast<char>((payload.size() >> 24) & 0xff);
+  prefix[1] = static_cast<char>((payload.size() >> 16) & 0xff);
+  prefix[2] = static_cast<char>((payload.size() >> 8) & 0xff);
+  prefix[3] = static_cast<char>(payload.size() & 0xff);
+  SendRaw(fd, prefix, 4);
+  SendRaw(fd, payload.data(), payload.size());
+}
+
+/// Reads one reply frame with a bounded wait; empty on anything else.
+std::string ReadReply(int fd, uint64_t timeout_ms) {
+  FrameIoOptions io;
+  io.idle_timeout_ms = timeout_ms;
+  io.frame_timeout_ms = timeout_ms;
+  FrameReadResult r = ReadFrame(fd, io);
+  return r.event == FrameEvent::kFrame ? std::move(r.payload) : std::string();
+}
+
+/// The liveness check after every scenario: a fresh, polite connection
+/// must still get {"status":"ok"} for a ping.
+bool ProbeAlive(const ChaosOptions& options, ChaosReport* report) {
+  int fd = Connect(options);
+  if (fd < 0) return false;
+  SendFramed(fd, R"({"op":"ping","id":"probe"})");
+  std::string reply = ReadReply(fd, options.probe_timeout_ms);
+  ::close(fd);
+  if (reply.empty()) return false;
+  ++report->replies_received;
+  auto parsed = JsonValue::Parse(reply);
+  return parsed.ok() && parsed->GetString("status") == "ok";
+}
+
+struct Scenario {
+  const char* name;
+  void (*run)(int fd, Rng& rng, const ChaosOptions& options);
+};
+
+void GarbageBytes(int fd, Rng& rng, const ChaosOptions&) {
+  size_t len = 1 + rng.Below(512);
+  std::string junk(len, '\0');
+  for (char& c : junk) c = static_cast<char>(rng.Next() & 0xff);
+  // Avoid accidentally declaring a small valid frame: force the first
+  // byte high so the prefix decodes to an absurd (oversized) length.
+  junk[0] = static_cast<char>(0x80 | (rng.Next() & 0x7f));
+  SendRaw(fd, junk.data(), junk.size());
+}
+
+void OversizedFrame(int fd, Rng& rng, const ChaosOptions&) {
+  char prefix[4] = {0x7f, static_cast<char>(rng.Next() & 0xff),
+                    static_cast<char>(rng.Next() & 0xff), 0x01};
+  SendRaw(fd, prefix, 4);
+}
+
+void TruncatedFrame(int fd, Rng& rng, const ChaosOptions&) {
+  std::string payload = R"({"op":"ping"})";
+  char prefix[4] = {0, 0, 0, static_cast<char>(payload.size() + 64)};
+  SendRaw(fd, prefix, 4);
+  // Send a strict prefix of the declared payload, then vanish.
+  SendRaw(fd, payload.data(), 1 + rng.Below(payload.size() - 1));
+}
+
+void PartialPrefix(int fd, Rng& rng, const ChaosOptions&) {
+  char prefix[3] = {0, 0, 0};
+  SendRaw(fd, prefix, 1 + rng.Below(3));
+}
+
+void SlowDribble(int fd, Rng& rng, const ChaosOptions& options) {
+  // A byte at a time with pauses — the slowloris shape, bounded so the
+  // harness's wall-clock stays sane. Either the server's frame timeout
+  // fires or we hang up first; both must leave the server healthy.
+  std::string payload = R"({"op":"ping","id":"slow"})";
+  char prefix[4] = {0, 0, 0, static_cast<char>(payload.size())};
+  SendRaw(fd, prefix, 4);
+  uint64_t budget_ms = options.max_stall_ms;
+  uint64_t step_ms = 1 + rng.Below(20);
+  for (size_t i = 0; i < payload.size() && budget_ms >= step_ms; ++i) {
+    SendRaw(fd, payload.data() + i, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(step_ms));
+    budget_ms -= step_ms;
+  }
+}
+
+void BadJson(int fd, Rng& rng, const ChaosOptions& options) {
+  static const char* kPayloads[] = {
+      "{",
+      "]",
+      "{\"op\":",
+      "nullnull",
+      "{\"op\":\"ping\"",
+      "\xff\xfe\xfd",
+      "42",               // valid JSON, not an object
+      "[1,2,3]",          // ditto
+      "{\"op\":1e999}",   // non-finite number
+  };
+  SendFramed(fd, kPayloads[rng.Below(sizeof(kPayloads) / sizeof(char*))]);
+  // Framing stayed intact, so the connection must survive: a follow-up
+  // ping on the SAME connection has to work.
+  SendFramed(fd, R"({"op":"ping"})");
+  (void)ReadReply(fd, options.probe_timeout_ms);  // the bad_request
+  (void)ReadReply(fd, options.probe_timeout_ms);  // the pong
+}
+
+void DisconnectMidRequest(int fd, Rng& rng, const ChaosOptions&) {
+  // A real, heavy request — then hang up without reading the reply.
+  std::string req = StrFormat(
+      R"x({"op":"solve","id":"gone-%llu","query":"between(1,100,X)"})x",
+      static_cast<unsigned long long>(rng.Next()));
+  SendFramed(fd, req);
+}
+
+void Flood(int fd, Rng& rng, const ChaosOptions& options) {
+  size_t n = 8 + rng.Below(24);
+  for (size_t i = 0; i < n; ++i) {
+    SendFramed(fd, StrFormat(R"({"op":"ping","id":%zu})", i));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (ReadReply(fd, options.probe_timeout_ms).empty()) break;
+  }
+}
+
+void CancelUnknown(int fd, Rng& rng, const ChaosOptions& options) {
+  SendFramed(fd, StrFormat(R"({"op":"cancel","target":"ghost-%llu"})",
+                           static_cast<unsigned long long>(rng.Next())));
+  (void)ReadReply(fd, options.probe_timeout_ms);
+}
+
+void UnknownOp(int fd, Rng& rng, const ChaosOptions& options) {
+  std::string op(1 + rng.Below(12), '\0');
+  for (char& c : op) c = static_cast<char>('a' + rng.Below(26));
+  std::string req = "{\"op\":";
+  AppendJsonEscaped(&req, op);
+  req += "}";
+  SendFramed(fd, req);
+  (void)ReadReply(fd, options.probe_timeout_ms);
+}
+
+void EmptyFrame(int fd, Rng&, const ChaosOptions& options) {
+  SendFramed(fd, "");
+  (void)ReadReply(fd, options.probe_timeout_ms);
+}
+
+constexpr Scenario kScenarios[] = {
+    {"garbage_bytes", GarbageBytes},
+    {"oversized_frame", OversizedFrame},
+    {"truncated_frame", TruncatedFrame},
+    {"partial_prefix", PartialPrefix},
+    {"slow_dribble", SlowDribble},
+    {"bad_json", BadJson},
+    {"disconnect_mid_request", DisconnectMidRequest},
+    {"flood", Flood},
+    {"cancel_unknown", CancelUnknown},
+    {"unknown_op", UnknownOp},
+    {"empty_frame", EmptyFrame},
+};
+
+}  // namespace
+
+std::string ChaosReport::ToString() const {
+  std::string out = StrFormat(
+      "chaos: %zu scenarios, %zu replies, %zu connect failures, "
+      "%zu probe failures\n",
+      scenarios_run, replies_received, connect_failures, probe_failures);
+  for (const auto& [kind, count] : by_kind) {
+    out += StrFormat("  %-24s %zu\n", kind.c_str(), count);
+  }
+  return out;
+}
+
+prore::Result<ChaosReport> RunChaos(const ChaosOptions& options) {
+  ChaosReport report;
+  if (!ProbeAlive(options, &report)) {
+    return prore::Status::Internal(
+        "chaos: server unreachable before any scenario ran");
+  }
+  Rng rng(options.seed);
+  for (size_t i = 0; i < options.scenarios; ++i) {
+    const Scenario& s =
+        kScenarios[rng.Below(sizeof(kScenarios) / sizeof(Scenario))];
+    int fd = Connect(options);
+    if (fd < 0) {
+      // The server may briefly be at its connection cap during floods;
+      // the probe below is the real health check.
+      ++report.connect_failures;
+    } else {
+      s.run(fd, rng, options);
+      ::close(fd);
+    }
+    ++report.by_kind[s.name];
+    ++report.scenarios_run;
+    if (!ProbeAlive(options, &report)) {
+      ++report.probe_failures;
+    }
+  }
+  return report;
+}
+
+}  // namespace prore::server

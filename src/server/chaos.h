@@ -1,0 +1,54 @@
+#ifndef PRORE_SERVER_CHAOS_H_
+#define PRORE_SERVER_CHAOS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace prore::server {
+
+/// Protocol-level chaos harness for prored. Each scenario opens a
+/// connection and misbehaves in one seeded-random way — garbage bytes,
+/// truncated or oversized frames, partial length prefixes, slow dribbles,
+/// floods, disconnects mid-request, cancels for unknown ids — then a
+/// liveness probe (fresh connection, ping, well-formed reply required)
+/// verifies the server shrugged it off. The server never sees the seed;
+/// the same seed replays the same byte stream, so a failure in CI is
+/// reproducible locally with one number.
+struct ChaosOptions {
+  /// Unix socket to attack (preferred), or TCP port on 127.0.0.1.
+  std::string socket_path;
+  int tcp_port = -1;
+  uint64_t seed = 1;
+  size_t scenarios = 100;
+  /// Upper bound for the slow-sender scenario's stall, so a run's
+  /// wall-clock stays proportional to `scenarios` regardless of the
+  /// server's patience.
+  uint64_t max_stall_ms = 100;
+  /// Reply-read timeout per probe. Generous: a probe timing out is a
+  /// finding (server wedged), not a flake.
+  uint64_t probe_timeout_ms = 5000;
+};
+
+struct ChaosReport {
+  size_t scenarios_run = 0;
+  size_t connect_failures = 0;
+  /// Liveness probes that failed — the server stopped answering
+  /// well-formed requests after a scenario. Any nonzero value is a bug.
+  size_t probe_failures = 0;
+  size_t replies_received = 0;
+  std::map<std::string, size_t> by_kind;
+
+  std::string ToString() const;
+};
+
+/// Runs `options.scenarios` seeded scenarios; returns the tally. Fails
+/// only when the server is unreachable from the start — per-scenario
+/// outcomes (including probe failures) are data in the report.
+prore::Result<ChaosReport> RunChaos(const ChaosOptions& options);
+
+}  // namespace prore::server
+
+#endif  // PRORE_SERVER_CHAOS_H_

@@ -1,0 +1,114 @@
+#ifndef PRORE_SERVER_JSON_H_
+#define PRORE_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prore::server {
+
+/// A deliberately small JSON value for the prored wire protocol: parse
+/// whole frames from untrusted peers without ever throwing or recursing
+/// unboundedly, and dump replies with a stable field order (objects keep
+/// insertion order — byte-stable replies are part of the cache
+/// bit-identity contract).
+///
+/// Scope: UTF-8 passthrough (no validation beyond \uXXXX escapes, which
+/// are decoded to UTF-8), numbers as double (wire values are counts and
+/// millisecond budgets, all well inside the 2^53 exact-integer range),
+/// bounded nesting depth, duplicate keys kept (first wins on lookup).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double n) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = n;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  void push_back(JsonValue v) { array_.push_back(std::move(v)); }
+  /// Appends; does not replace an existing key (Find returns the first).
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// First member named `key`, or null. Valid only while this value lives.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Typed lookups with defaults, for tolerant request decoding.
+  std::string GetString(std::string_view key,
+                        std::string default_value = "") const;
+  double GetNumber(std::string_view key, double default_value = 0) const;
+  bool GetBool(std::string_view key, bool default_value = false) const;
+
+  /// Parses one complete JSON document (trailing garbage is an error).
+  /// `max_depth` bounds array/object nesting — the parser is iterative on
+  /// input but recursive on structure, so depth is the resource to cap.
+  static prore::Result<JsonValue> Parse(std::string_view text,
+                                        size_t max_depth = 64);
+
+  /// Compact rendering (no whitespace), members in insertion order.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> members_;
+};
+
+/// Escapes `s` as a JSON string literal (with quotes) into `out`.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+}  // namespace prore::server
+
+#endif  // PRORE_SERVER_JSON_H_

@@ -185,6 +185,53 @@ TEST(ExecContextTest, WithDeadlineKeepsTheSooner) {
   EXPECT_EQ(ctx.deadline.time_point(), orig.time_point());
 }
 
+// The CLI composition: `--deadline-ms` seeds ctx.deadline, then
+// `--timeout-ms` (or a server client's budget_ms) composes via
+// WithDeadline. Whichever flag is smaller must win, in either order.
+TEST(ExecContextTest, CliFlagCompositionIsEarliestWinsEitherOrder) {
+  Deadline flag_deadline = Deadline::AfterMs(10);
+  Deadline flag_timeout = Deadline::AfterMs(60'000);
+
+  ExecContext a;
+  a.deadline = flag_deadline;
+  a = a.WithDeadline(flag_timeout);
+  EXPECT_EQ(a.deadline.time_point(), flag_deadline.time_point());
+
+  ExecContext b;
+  b.deadline = flag_timeout;
+  b = b.WithDeadline(flag_deadline);
+  EXPECT_EQ(b.deadline.time_point(), flag_deadline.time_point());
+}
+
+TEST(ExecContextTest, WithDeadlineChainOnlyEverTightens) {
+  ExecContext ctx;
+  ctx.deadline = Deadline::AfterMs(50);
+  Deadline tightest = ctx.deadline;
+  // Re-applying looser bounds (including infinite) must never loosen.
+  ctx = ctx.WithDeadline(Deadline::AfterMs(60'000));
+  ctx = ctx.WithDeadline(Deadline::Infinite());
+  ctx = ctx.WithDeadline(Deadline::AfterMs(40'000));
+  EXPECT_EQ(ctx.deadline.time_point(), tightest.time_point());
+  // A tighter bound still applies.
+  ctx = ctx.WithDeadline(Deadline::AfterMs(1));
+  EXPECT_LT(ctx.deadline.time_point(), tightest.time_point());
+}
+
+// The tick-0 path: a budget of 0 composes to an already-expired deadline,
+// and the very first Check() fails with the deadline error term — callers
+// must not get one free tick of work before the budget is noticed.
+TEST(ExecContextTest, PreExpiredBudgetFailsAtTickZero) {
+  ExecContext ctx;
+  ctx.deadline = Deadline::AfterMs(60'000);
+  ExecContext zero = ctx.WithDeadline(Deadline::AfterMs(0));
+  EXPECT_TRUE(zero.deadline.Expired());
+  Status s = zero.Check();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.error_term(), "resource_error(deadline_exceeded)");
+  // The base context (the server's default) is untouched.
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
 TEST(ExecContextTest, WithTokenSwapsScopeOnly) {
   CancellationSource src;
   ExecContext ctx;

@@ -1,0 +1,103 @@
+#!/bin/sh
+# Pins the documented exit-code contracts of the CLIs so the server's
+# wire-status taxonomy (ok/failed/bad_request/parse_error/
+# deadline_exceeded/degraded) can rely on them:
+#
+#   prolog:    0 solved, 1 failed, 2 usage, 3 error, 4 resource
+#   prore:     0 ok, 1 compare-failed, 2 usage, 3 error, 4 resource,
+#              5 degraded (quarantine, graceful default)
+#   proshrink: 0 shrunk, 1 oracle-not-failing, 2 usage, 3 I/O error
+#
+# Run by CTest with the three binary paths as $1 $2 $3.
+set -u
+
+PROLOG="$1"
+PRORE="$2"
+PROSHRINK="$3"
+TMP="${TMPDIR:-/tmp}/cli_exit_codes_test.$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# rc CMD...: runs the command with output discarded, echoes its exit code.
+rc() {
+  "$@" > /dev/null 2>&1
+  echo $?
+}
+
+cat > "$TMP/facts.pl" <<'EOF'
+a(1).
+n(z).
+n(s(X)) :- n(X).
+EOF
+
+cat > "$TMP/broken.pl" <<'EOF'
+a( .
+EOF
+
+# ----------------------------------------------------------------- prolog
+
+[ "$(rc "$PROLOG" "$TMP/facts.pl" -q 'a(X)')" -eq 0 ] \
+  || fail "prolog solved query should exit 0"
+[ "$(rc "$PROLOG" "$TMP/facts.pl" -q 'a(2)')" -eq 1 ] \
+  || fail "prolog failed query should exit 1"
+[ "$(rc "$PROLOG" --no-such-flag "$TMP/facts.pl")" -eq 2 ] \
+  || fail "prolog unknown flag should exit 2 (usage)"
+[ "$(rc "$PROLOG" "$TMP/broken.pl" -q 'a(X)')" -eq 3 ] \
+  || fail "prolog syntax error should exit 3"
+[ "$(rc "$PROLOG" "$TMP/facts.pl" -q 'missing(X)')" -eq 3 ] \
+  || fail "prolog uncaught existence_error should exit 3"
+[ "$(rc "$PROLOG" --max-calls=2 "$TMP/facts.pl" \
+      -q 'n(s(s(s(s(z)))))')" -eq 4 ] \
+  || fail "prolog exhausted --max-calls should exit 4"
+# n(X) enumerates solutions forever; the session deadline must cut the
+# exhaustive solve short and poison the follow-up query too.
+[ "$(rc "$PROLOG" --deadline-ms=20 "$TMP/facts.pl" \
+      -q 'n(X)' -q 'a(X)')" -eq 4 ] \
+  || fail "prolog expired --deadline-ms should exit 4"
+
+# ------------------------------------------------------------------ prore
+
+[ "$(rc "$PRORE" "$TMP/facts.pl")" -eq 0 ] \
+  || fail "prore clean reorder should exit 0"
+[ "$(rc "$PRORE" --no-such-flag "$TMP/facts.pl")" -eq 2 ] \
+  || fail "prore unknown flag should exit 2 (usage)"
+[ "$(rc "$PRORE" "$TMP/does_not_exist.pl")" -eq 3 ] \
+  || fail "prore missing input should exit 3"
+[ "$(rc "$PRORE" "$TMP/broken.pl")" -eq 3 ] \
+  || fail "prore syntax error should exit 3"
+[ "$(rc "$PRORE" --compare 'a(2)' "$TMP/facts.pl")" -eq 1 ] \
+  || fail "prore --compare with failing query should exit 1"
+[ "$(rc "$PRORE" --max-calls=2 --compare 'n(s(s(s(s(z)))))' \
+      "$TMP/facts.pl")" -eq 4 ] \
+  || fail "prore --compare past --max-calls should exit 4"
+[ "$(rc "$PRORE" --deadline-ms=20 --compare 'n(X)' \
+      "$TMP/facts.pl")" -eq 4 ] \
+  || fail "prore --compare past --deadline-ms should exit 4"
+# A 2-step cost-model watchdog quarantines every predicate; the graceful
+# default ships the identity program and reports degraded.
+[ "$(rc "$PRORE" --cost-steps=2 "$TMP/facts.pl")" -eq 5 ] \
+  || fail "prore quarantined pipeline should exit 5 (degraded)"
+[ "$(rc "$PRORE" --cost-steps=2 --strict "$TMP/facts.pl")" -eq 3 ] \
+  || fail "prore quarantined pipeline under --strict should exit 3"
+
+# -------------------------------------------------------------- proshrink
+
+# A 2-step cost watchdog budget makes any input fail the watchdog oracle,
+# so the shrinker has something real to minimize.
+[ "$(rc "$PROSHRINK" --oracle=watchdog --cost-steps=2 \
+      --out="$TMP/shrunk.pl" "$TMP/facts.pl")" -eq 0 ] \
+  || fail "proshrink with failing oracle should exit 0"
+[ -s "$TMP/shrunk.pl" ] || fail "proshrink exit 0 without writing output"
+[ "$(rc "$PROSHRINK" --oracle=crash "$TMP/facts.pl")" -eq 1 ] \
+  || fail "proshrink non-failing oracle should exit 1"
+[ "$(rc "$PROSHRINK" --no-such-flag "$TMP/facts.pl")" -eq 2 ] \
+  || fail "proshrink unknown flag should exit 2 (usage)"
+[ "$(rc "$PROSHRINK" --oracle=crash "$TMP/does_not_exist.pl")" -eq 3 ] \
+  || fail "proshrink missing input should exit 3"
+
+echo "PASS"

@@ -1,0 +1,147 @@
+// Protocol-level chaos against a live in-process server: hundreds of
+// seeded adversarial connections (garbage prefixes, oversized and
+// truncated frames, slow dribbles, floods, mid-request disconnects), each
+// followed by a liveness probe on a fresh connection. The invariant under
+// test is the server's whole contract: misbehavior never costs anyone but
+// the misbehaving connection.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/str_util.h"
+#include "server/chaos.h"
+#include "server/server.h"
+
+namespace prore::server {
+namespace {
+
+std::string UniqueSocketPath() {
+  static std::atomic<int> counter{0};
+  return StrFormat("/tmp/prored_chaos_%d_%d.sock", ::getpid(),
+                   counter.fetch_add(1));
+}
+
+/// CI shrinks the sweep via PRORE_CHAOS_SCENARIOS (same convention as the
+/// engine-level chaos_test); the default is the ISSUE's >= 500 floor.
+int ScenarioBudget() {
+  const char* env = std::getenv("PRORE_CHAOS_SCENARIOS");
+  if (env == nullptr) return 500;
+  int n = std::atoi(env);
+  return n > 0 ? n : 500;
+}
+
+ServerOptions ChaosServerOptions() {
+  ServerOptions o;
+  o.socket_path = UniqueSocketPath();
+  o.workers = 2;
+  o.max_queue = 8;
+  o.max_connections = 64;
+  o.default_deadline_ms = 5'000;
+  // Tight I/O budgets so slow-dribble scenarios resolve quickly; the
+  // chaos client's stalls are bounded below these on purpose — a dribble
+  // should usually complete, exercising the resync path, not just the
+  // timeout path.
+  o.idle_timeout_ms = 2'000;
+  o.io_timeout_ms = 1'000;
+  o.pipeline.jobs = 1;
+  return o;
+}
+
+TEST(ServerChaosTest, SeededSweepNeverKillsAnInnocentBystander) {
+  Server server(ChaosServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  ChaosOptions chaos;
+  chaos.socket_path = server.socket_path();
+  chaos.seed = 0x5eed5eed;
+  chaos.scenarios = ScenarioBudget();
+  chaos.max_stall_ms = 120;
+
+  auto report = RunChaos(chaos);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  std::fprintf(stderr, "%s", report->ToString().c_str());
+
+  EXPECT_EQ(report->scenarios_run, chaos.scenarios);
+  // THE invariant: after every adversarial scenario, a fresh connection's
+  // ping succeeded. One failure means a scenario wedged or crashed the
+  // server for everyone else.
+  EXPECT_EQ(report->probe_failures, 0u);
+  EXPECT_EQ(report->connect_failures, 0u);
+
+  // The server survived; its own accounting should show the abuse.
+  ServerStatsSnapshot stats = server.Stats();
+  EXPECT_GT(stats.protocol_errors, 0u);
+  EXPECT_GT(stats.connections, static_cast<uint64_t>(chaos.scenarios));
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerChaosTest, DistinctSeedsDistinctSchedules) {
+  // A short sweep under a different seed: chaos coverage must not be an
+  // artifact of one lucky schedule. (Scenario kinds are drawn from the
+  // seed, so the two runs take different paths through the table.)
+  Server server(ChaosServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  for (uint64_t seed : {1ull, 0xdeadbeefull}) {
+    ChaosOptions chaos;
+    chaos.socket_path = server.socket_path();
+    chaos.seed = seed;
+    chaos.scenarios = std::min(60, ScenarioBudget());
+    chaos.max_stall_ms = 80;
+    auto report = RunChaos(chaos);
+    ASSERT_TRUE(report.ok()) << report.status().message();
+    EXPECT_EQ(report->probe_failures, 0u) << "seed " << seed;
+  }
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerChaosTest, DrainUnderActiveChaosStillJoins) {
+  // Shutdown while adversarial connections are mid-flight: drain must not
+  // deadlock on a half-written frame or a stalled reader.
+  Server server(ChaosServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread storm([&] {
+    ChaosOptions chaos;
+    chaos.socket_path = server.socket_path();
+    chaos.seed = 7;
+    chaos.scenarios = 1;
+    chaos.max_stall_ms = 50;
+    chaos.probe_timeout_ms = 500;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Probe failures are expected once the listener closes; the test
+      // only cares that RunChaos keeps returning (no wedge) and the
+      // server drains underneath it.
+      chaos.seed += 1;
+      (void)RunChaos(chaos);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  auto start = std::chrono::steady_clock::now();
+  server.Shutdown("chaos drain");
+  server.Wait();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  stop.store(true, std::memory_order_relaxed);
+  storm.join();
+
+  EXPECT_LT(elapsed, 15'000);
+}
+
+}  // namespace
+}  // namespace prore::server

@@ -25,6 +25,12 @@
 //                       worker threads (0 = classic whole-program pipeline,
 //                       the default). Output is bit-identical for every
 //                       N >= 1; N only changes wall-clock time.
+//                       --jobs=auto maps to hardware_concurrency() (with a
+//                       documented fallback to 1 when it reports 0).
+//   --retry-attempts=N  total attempts per predicate on a transient fault
+//                       (watchdog trip, deadline brush, OOM) before it is
+//                       demoted a ladder rung; 1 disables retries
+//                       (default 2 — the first try plus one retry)
 //   --warren            order by Warren's heuristic instead of the chains
 //   --lint              run the lint passes over the input program and
 //                       print their diagnostics to stderr
@@ -84,6 +90,7 @@
 #include <vector>
 
 #include "analysis/modes.h"
+#include "common/thread_pool.h"
 #include "core/evaluation.h"
 #include "core/pipeline.h"
 #include "lint/lint.h"
@@ -95,7 +102,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: prore [--unfold] [--factor] [--guards] [--jobs=N]\n"
+               "usage: prore [--unfold] [--factor] [--guards] [--jobs=N|auto]\n"
+               "             [--retry-attempts=N]\n"
                "             [--no-specialize] [--no-clauses] [--no-goals]\n"
                "             [--warren] [--lint] [--report]\n"
                "             [--report=text|json] [--strict]\n"
@@ -181,12 +189,26 @@ int main(int argc, char** argv) {
       if (++i >= argc) return Usage();
       compare_queries.push_back(argv[i]);
     } else if (arg.rfind("--jobs=", 0) == 0) {
-      uint64_t jobs = 0;
-      if (!ParseBudget(arg, "--jobs=", &jobs) || jobs > 1024) {
+      if (arg == "--jobs=auto") {
+        // hardware_concurrency() with a floor of 1 (the standard allows 0
+        // for "unknown"); the floor lives in HardwareConcurrency().
+        pipeline_options.jobs = prore::ThreadPool::HardwareConcurrency();
+      } else {
+        uint64_t jobs = 0;
+        if (!ParseBudget(arg, "--jobs=", &jobs) || jobs > 1024) {
+          std::fprintf(stderr, "prore: malformed option %s\n", arg.c_str());
+          return Usage();
+        }
+        pipeline_options.jobs = static_cast<size_t>(jobs);
+      }
+    } else if (arg.rfind("--retry-attempts=", 0) == 0) {
+      uint64_t attempts = 0;
+      if (!ParseBudget(arg, "--retry-attempts=", &attempts) ||
+          attempts < 1 || attempts > 100) {
         std::fprintf(stderr, "prore: malformed option %s\n", arg.c_str());
         return Usage();
       }
-      pipeline_options.jobs = static_cast<size_t>(jobs);
+      pipeline_options.retry.max_attempts = static_cast<int>(attempts);
     } else if (
         ParseBudget(arg, "--cost-steps=",
                     &pipeline_options.cost_watchdog.max_steps) ||

@@ -1,0 +1,166 @@
+// prored — the persistent reorder/lint/query daemon.
+//
+// Speaks the length-prefixed JSON protocol of src/common/frame_io.h on a
+// Unix-domain socket (and optionally TCP on 127.0.0.1). Clients load
+// programs into named sessions, then reorder, lint, and solve against
+// them; analysis results are cached across requests by content hash, so
+// an edit to one predicate re-runs only its dependency cone.
+//
+// Usage:
+//   prored --socket=PATH [--tcp-port=N] [--workers=N|auto]
+//          [--max-queue=N] [--max-connections=N] [--deadline-ms=N]
+//          [--session-cells=N] [--max-frame-bytes=N] [--idle-timeout-ms=N]
+//          [--io-timeout-ms=N] [--cache-entries=N] [--retry-attempts=N]
+//          [--jobs=N|auto]
+//
+// Exit codes (the subset of the prore contract a daemon can meet):
+//   0  clean shutdown (SIGTERM/SIGINT drain, or {"op":"shutdown"})
+//   2  usage error
+//   3  bind/listen failure
+//
+// SIGTERM and SIGINT drain gracefully: stop accepting, fail new requests
+// with {"status":"shutting_down"}, cancel in-flight work through the root
+// CancellationSource, finish every reply frame in progress, then exit.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "server/server.h"
+
+namespace {
+
+// The signal handler can only poke something async-signal-safe; the
+// server exposes exactly one such method.
+prore::server::Server* g_server = nullptr;
+
+void OnTermSignal(int) {
+  if (g_server != nullptr) g_server->NotifyShutdownAsync();
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: prored --socket=PATH [--tcp-port=N] [--workers=N|auto]\n"
+      "              [--max-queue=N] [--max-connections=N]\n"
+      "              [--deadline-ms=N] [--session-cells=N]\n"
+      "              [--max-frame-bytes=N] [--idle-timeout-ms=N]\n"
+      "              [--io-timeout-ms=N] [--cache-entries=N]\n"
+      "              [--retry-attempts=N] [--jobs=N|auto]\n");
+  return 2;
+}
+
+/// Parses the numeric tail of --flag=N; false on malformed or
+/// out-of-range input (never throws, unlike std::stoull).
+bool ParseNum(const std::string& arg, const char* prefix, uint64_t* out) {
+  const size_t n = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(n);
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  uint64_t parsed = 0;
+  for (char c : value) {
+    if (parsed > (UINT64_MAX - (c - '0')) / 10) return false;  // overflow
+    parsed = parsed * 10 + (c - '0');
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  prore::server::ServerOptions options;
+  // A daemon defaults to using the machine; --workers=N pins it.
+  options.workers = prore::ThreadPool::HardwareConcurrency();
+  options.pipeline.jobs = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t n = 0;
+    if (arg.rfind("--socket=", 0) == 0) {
+      options.socket_path = arg.substr(std::strlen("--socket="));
+    } else if (ParseNum(arg, "--tcp-port=", &n) && n <= 65535) {
+      options.tcp_port = static_cast<int>(n);
+    } else if (arg == "--workers=auto") {
+      options.workers = prore::ThreadPool::HardwareConcurrency();
+    } else if (ParseNum(arg, "--workers=", &n) && n <= 1024) {
+      options.workers = static_cast<size_t>(n);
+    } else if (ParseNum(arg, "--max-queue=", &n) && n >= 1 && n <= 100000) {
+      options.max_queue = static_cast<size_t>(n);
+    } else if (ParseNum(arg, "--max-connections=", &n) && n >= 1 &&
+               n <= 100000) {
+      options.max_connections = static_cast<size_t>(n);
+    } else if (ParseNum(arg, "--deadline-ms=", &n)) {
+      options.default_deadline_ms = n;
+    } else if (ParseNum(arg, "--session-cells=", &n)) {
+      options.session_cell_limit = static_cast<size_t>(n);
+    } else if (ParseNum(arg, "--max-frame-bytes=", &n) && n >= 16) {
+      options.max_frame_bytes = static_cast<size_t>(n);
+    } else if (ParseNum(arg, "--idle-timeout-ms=", &n)) {
+      options.idle_timeout_ms = n;
+    } else if (ParseNum(arg, "--io-timeout-ms=", &n)) {
+      options.io_timeout_ms = n;
+    } else if (ParseNum(arg, "--cache-entries=", &n) && n >= 1 &&
+               n <= 1000000) {
+      options.cache_entries = static_cast<size_t>(n);
+    } else if (ParseNum(arg, "--retry-attempts=", &n) && n >= 1 && n <= 100) {
+      options.pipeline.retry.max_attempts = static_cast<int>(n);
+    } else if (arg == "--jobs=auto") {
+      options.pipeline.jobs = prore::ThreadPool::HardwareConcurrency();
+    } else if (ParseNum(arg, "--jobs=", &n) && n <= 1024) {
+      options.pipeline.jobs = static_cast<size_t>(n);
+    } else {
+      std::fprintf(stderr, "prored: unknown or malformed option %s\n",
+                   arg.c_str());
+      return Usage();
+    }
+  }
+  if (options.socket_path.empty() && options.tcp_port < 0) {
+    std::fprintf(stderr, "prored: need --socket=PATH and/or --tcp-port=N\n");
+    return Usage();
+  }
+
+  prore::server::Server server(std::move(options));
+  if (prore::Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "prored: %s\n", st.ToString().c_str());
+    return 3;
+  }
+  g_server = &server;
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnTermSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // A client that disappears mid-write must cost us an errno, not the
+  // process; writes already use MSG_NOSIGNAL, this covers stray paths.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (!server.socket_path().empty()) {
+    std::fprintf(stderr, "prored: listening on %s\n",
+                 server.socket_path().c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::fprintf(stderr, "prored: listening on 127.0.0.1:%d\n",
+                 server.tcp_port());
+  }
+
+  server.Wait();
+  g_server = nullptr;
+
+  prore::server::ServerStatsSnapshot stats = server.Stats();
+  std::fprintf(stderr,
+               "prored: drained (%llu requests, %llu completed, %llu shed, "
+               "%llu protocol errors)\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}
