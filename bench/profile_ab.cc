@@ -1,0 +1,406 @@
+// profile_ab — A/B harness for profile-guided reordering: for each
+// benchmark program, record an execution profile of its workload, reorder
+// once with the static cost model and once with the profile feeding the
+// Markov chain, and measure both against the original (resolution calls,
+// the paper's metric).
+//
+// Beyond the Table II–IV programs (where the static model is already
+// well-informed, so the profile should roughly tie), two synthetic
+// workloads are built so the static model's assumptions are deliberately
+// wrong and only measurement can recover the right order:
+//
+//   filter_skew   accept(X) :- src(X), f1(X), f2(X).  f1 is the smaller,
+//                 statically more attractive filter but passes almost
+//                 every workload value; f2 looks expensive (more clauses)
+//                 but rejects almost everything. The profile moves f2
+//                 forward; the static order tests f1 first.
+//   fallback_skew lookup(K) :- small(K). / lookup(K) :- big(K).  The
+//                 static model keeps the cheap 2-fact clause first; the
+//                 workload only ever finds keys in big/1, so the profile
+//                 swaps the clauses. Measured to the FIRST solution,
+//                 where clause order is what matters.
+//
+// The harness also asserts the no-profile contract: reordering with an
+// empty profile is byte-identical to the static reorder (the feature is
+// inert unless fed), and it measures the engine-side cost of running
+// with instrumentation armed vs off on the family-tree workload.
+//
+// Usage: profile_ab [OUT.json]   (default BENCH_profile.json)
+// Exit codes: 0 ok, 1 a check failed (non-equivalent answers, profile
+// slower than static on a skewed workload, or no-profile divergence),
+// 3 internal error.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "core/evaluation.h"
+#include "core/reorderer.h"
+#include "engine/database.h"
+#include "engine/machine.h"
+#include "engine/profile.h"
+#include "profile/profile.h"
+#include "programs/programs.h"
+#include "programs/workload_runner.h"
+#include "reader/parser.h"
+#include "reader/writer.h"
+#include "term/store.h"
+
+namespace {
+
+using prore::JsonValue;
+
+struct AbRow {
+  std::string label;
+  uint64_t original_calls = 0;
+  uint64_t static_calls = 0;
+  uint64_t profiled_calls = 0;
+  bool equivalent = true;
+};
+
+struct ProgramResult {
+  std::string name;
+  std::vector<AbRow> rows;
+  bool no_profile_identical = true;
+  size_t profile_applied = 0;
+  size_t profile_stale = 0;
+};
+
+/// Runs `queries` against `program` with the collector armed and returns
+/// the recorded profile, round-tripped through its JSON serialization so
+/// the harness exercises the same bytes a file-based workflow would.
+prore::Result<prore::profile::ProfileData> TrainProfile(
+    prore::term::TermStore* store, const prore::reader::Program& program,
+    const std::vector<std::string>& queries, bool first_solution) {
+  PRORE_ASSIGN_OR_RETURN(prore::engine::Database db,
+                         prore::engine::Database::Build(store, program));
+  prore::engine::ProfileCollector collector;
+  prore::engine::SolveOptions opts;
+  opts.profile = &collector;
+  prore::engine::Machine machine(store, &db, opts);
+  for (const std::string& text : queries) {
+    PRORE_ASSIGN_OR_RETURN(prore::reader::ReadTerm q,
+                           prore::reader::ParseQueryText(store, text + "."));
+    auto metrics = first_solution
+                       ? machine.Solve(q.term, [] { return false; })
+                       : machine.Solve(q.term);
+    if (!metrics.ok()) return metrics.status();
+  }
+  PRORE_ASSIGN_OR_RETURN(prore::profile::PredHashMap hashes,
+                         prore::profile::ComputeProfileHashes(*store, program));
+  prore::profile::ProfileData data =
+      prore::profile::FromCollector(*store, program, collector, hashes);
+  return prore::profile::FromJson(prore::profile::ToJson(data));
+}
+
+/// First-solution comparison (clause order only pays off before the first
+/// answer): total resolved calls and answer count across `queries`.
+prore::Result<AbRow> CompareFirstSolution(
+    prore::term::TermStore* store, const prore::reader::Program& original,
+    const prore::reader::Program& static_p,
+    const prore::reader::Program& profiled_p,
+    const std::vector<std::string>& queries, const std::string& label) {
+  AbRow row;
+  row.label = label;
+  uint64_t answer_counts[3] = {0, 0, 0};
+  uint64_t call_counts[3] = {0, 0, 0};
+  const prore::reader::Program* progs[3] = {&original, &static_p,
+                                            &profiled_p};
+  for (int v = 0; v < 3; ++v) {
+    PRORE_ASSIGN_OR_RETURN(prore::engine::Database db,
+                           prore::engine::Database::Build(store, *progs[v]));
+    prore::engine::Machine machine(store, &db, prore::engine::SolveOptions());
+    for (const std::string& text : queries) {
+      PRORE_ASSIGN_OR_RETURN(
+          prore::reader::ReadTerm q,
+          prore::reader::ParseQueryText(store, text + "."));
+      PRORE_ASSIGN_OR_RETURN(prore::engine::Metrics m,
+                             machine.Solve(q.term, [] { return false; }));
+      call_counts[v] += m.TotalCalls();
+      answer_counts[v] += m.solutions;
+    }
+  }
+  row.original_calls = call_counts[0];
+  row.static_calls = call_counts[1];
+  row.profiled_calls = call_counts[2];
+  row.equivalent = answer_counts[0] == answer_counts[1] &&
+                   answer_counts[0] == answer_counts[2];
+  return row;
+}
+
+/// The full A/B for one program: train on `train_queries`, reorder with
+/// and without the profile, measure `eval_queries` on both.
+prore::Result<ProgramResult> RunAb(const std::string& name,
+                                   const std::string& source,
+                                   const std::vector<std::string>& train,
+                                   const std::vector<std::string>& eval,
+                                   bool first_solution) {
+  ProgramResult out;
+  out.name = name;
+
+  prore::term::TermStore store;
+  PRORE_ASSIGN_OR_RETURN(prore::reader::Program original,
+                         prore::reader::ParseProgramText(&store, source));
+  PRORE_ASSIGN_OR_RETURN(
+      prore::profile::ProfileData data,
+      TrainProfile(&store, original, train, first_solution));
+
+  prore::cost::EmpiricalProfile empirical;
+  PRORE_ASSIGN_OR_RETURN(
+      prore::profile::ApplyReport report,
+      prore::profile::BuildEmpirical(&store, original, data,
+                                     prore::profile::ApplyOptions(),
+                                     &empirical));
+  out.profile_applied = report.applied;
+  out.profile_stale = report.stale;
+
+  prore::core::ReorderOptions static_opts;
+  prore::core::Reorderer static_reorderer(&store, static_opts);
+  PRORE_ASSIGN_OR_RETURN(prore::core::ReorderResult static_result,
+                         static_reorderer.Run(original));
+
+  prore::core::ReorderOptions prof_opts;
+  prof_opts.profile = &empirical;
+  prore::core::Reorderer prof_reorderer(&store, prof_opts);
+  PRORE_ASSIGN_OR_RETURN(prore::core::ReorderResult prof_result,
+                         prof_reorderer.Run(original));
+
+  // The no-profile contract: an empty profile must leave the reorderer
+  // byte-identical to the static run — measurements can only replace
+  // estimates where measurements exist.
+  prore::cost::EmpiricalProfile empty_empirical;
+  prore::profile::ProfileData empty_data;
+  PRORE_ASSIGN_OR_RETURN(
+      prore::profile::ApplyReport empty_report,
+      prore::profile::BuildEmpirical(&store, original, empty_data,
+                                     prore::profile::ApplyOptions(),
+                                     &empty_empirical));
+  (void)empty_report;
+  prore::core::ReorderOptions empty_opts;
+  empty_opts.profile = &empty_empirical;
+  prore::core::Reorderer empty_reorderer(&store, empty_opts);
+  PRORE_ASSIGN_OR_RETURN(prore::core::ReorderResult empty_result,
+                         empty_reorderer.Run(original));
+  out.no_profile_identical =
+      prore::reader::WriteProgram(store, static_result.program) ==
+      prore::reader::WriteProgram(store, empty_result.program);
+
+  if (first_solution) {
+    PRORE_ASSIGN_OR_RETURN(
+        AbRow row,
+        CompareFirstSolution(&store, original, static_result.program,
+                             prof_result.program, eval, "first-solution"));
+    out.rows.push_back(row);
+    return out;
+  }
+
+  prore::core::Evaluator static_eval(&store, original, static_result.program);
+  PRORE_ASSIGN_OR_RETURN(prore::core::ComparisonResult sc,
+                         static_eval.CompareQueries(eval));
+  prore::core::Evaluator prof_eval(&store, original, prof_result.program);
+  PRORE_ASSIGN_OR_RETURN(prore::core::ComparisonResult pc,
+                         prof_eval.CompareQueries(eval));
+  AbRow row;
+  row.label = "workload";
+  row.original_calls = sc.original_calls;
+  row.static_calls = sc.reordered_calls;
+  row.profiled_calls = pc.reordered_calls;
+  row.equivalent = sc.set_equivalent && pc.set_equivalent;
+  out.rows.push_back(row);
+  return out;
+}
+
+/// accept/1 over src/1 with two filters whose static signatures point the
+/// wrong way: f1 (fewer clauses, statically preferred) passes 36/40 of
+/// the workload; f2 (more clauses, statically shunned) passes 2/40.
+std::string FilterSkewSource() {
+  std::string s;
+  s += "accept(X) :- src(X), f1(X), f2(X).\n";
+  for (int i = 1; i <= 40; ++i) s += "src(s" + std::to_string(i) + ").\n";
+  for (int i = 1; i <= 36; ++i) s += "f1(s" + std::to_string(i) + ").\n";
+  s += "f2(s35).\nf2(s36).\n";
+  for (int i = 1; i <= 58; ++i) s += "f2(j" + std::to_string(i) + ").\n";
+  return s;
+}
+
+/// lookup/1 with a cheap primary clause the workload never satisfies: the
+/// static model keeps 2-fact small/1 first; every workload key lives in
+/// 30-fact big/1.
+std::string FallbackSkewSource() {
+  std::string s;
+  s += "lookup(K) :- small(K).\n";
+  s += "lookup(K) :- big(K).\n";
+  s += "small(a1).\nsmall(a2).\n";
+  for (int i = 1; i <= 30; ++i) s += "big(b" + std::to_string(i) + ").\n";
+  return s;
+}
+
+JsonValue RowJson(const AbRow& row) {
+  JsonValue r = JsonValue::Object();
+  r.Set("label", JsonValue::String(row.label));
+  r.Set("original_calls",
+        JsonValue::Number(static_cast<double>(row.original_calls)));
+  r.Set("static_calls",
+        JsonValue::Number(static_cast<double>(row.static_calls)));
+  r.Set("profiled_calls",
+        JsonValue::Number(static_cast<double>(row.profiled_calls)));
+  r.Set("equivalent", JsonValue::Bool(row.equivalent));
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_profile.json";
+
+  std::vector<ProgramResult> results;
+  bool failed = false;
+
+  // The paper's programs: the static model is designed for exactly these,
+  // so the profile should neither help much nor hurt.
+  for (const prore::programs::BenchmarkProgram* p :
+       prore::programs::AllPrograms()) {
+    std::vector<std::string> queries = prore::programs::WorkloadQueries(*p);
+    if (queries.empty()) continue;
+    auto r = RunAb(p->name, p->source, queries, queries, false);
+    if (!r.ok()) {
+      std::fprintf(stderr, "profile_ab: %s: %s\n", p->name.c_str(),
+                   r.status().ToString().c_str());
+      return 3;
+    }
+    results.push_back(std::move(*r));
+  }
+
+  // The adversarial workloads: static assumptions deliberately wrong.
+  {
+    std::vector<std::string> train;
+    for (int i = 0; i < 8; ++i) train.push_back("accept(X)");
+    auto r = RunAb("filter_skew", FilterSkewSource(), train,
+                   {"accept(X)"}, false);
+    if (!r.ok()) {
+      std::fprintf(stderr, "profile_ab: filter_skew: %s\n",
+                   r.status().ToString().c_str());
+      return 3;
+    }
+    results.push_back(std::move(*r));
+  }
+  {
+    std::vector<std::string> queries;
+    for (int i = 1; i <= 30; ++i) {
+      queries.push_back("lookup(b" + std::to_string(i) + ")");
+    }
+    auto r = RunAb("fallback_skew", FallbackSkewSource(), queries, queries,
+                   true);
+    if (!r.ok()) {
+      std::fprintf(stderr, "profile_ab: fallback_skew: %s\n",
+                   r.status().ToString().c_str());
+      return 3;
+    }
+    results.push_back(std::move(*r));
+  }
+
+  // Instrumentation overhead: the same workload with the collector armed
+  // vs off. Reported for the record; single-core CI wall clocks are too
+  // noisy to gate on.
+  uint64_t off_ns = UINT64_MAX, on_ns = UINT64_MAX;
+  {
+    const prore::programs::BenchmarkProgram& fam =
+        prore::programs::FamilyTree();
+    for (int rep = 0; rep < 3; ++rep) {
+      auto off = prore::programs::RunWorkload(fam,
+                                              prore::engine::SolveOptions());
+      prore::engine::ProfileCollector collector;
+      prore::engine::SolveOptions on_opts;
+      on_opts.profile = &collector;
+      auto on = prore::programs::RunWorkload(fam, on_opts);
+      if (!off.ok() || !on.ok()) {
+        std::fprintf(stderr, "profile_ab: overhead run failed\n");
+        return 3;
+      }
+      off_ns = std::min(off_ns, off->wall_ns);
+      on_ns = std::min(on_ns, on->wall_ns);
+      if (off->answers != on->answers) {
+        std::fprintf(stderr,
+                     "profile_ab: instrumentation changed answers "
+                     "(%llu vs %llu)\n",
+                     static_cast<unsigned long long>(off->answers),
+                     static_cast<unsigned long long>(on->answers));
+        failed = true;
+      }
+    }
+  }
+
+  std::printf("%-16s %-16s %12s %12s %12s %8s %s\n", "program", "workload",
+              "original", "static", "profiled", "gain", "equivalent");
+  bool any_skew_win = false;
+  for (const ProgramResult& pr : results) {
+    for (const AbRow& row : pr.rows) {
+      const double gain =
+          row.profiled_calls == 0
+              ? 1.0
+              : static_cast<double>(row.static_calls) / row.profiled_calls;
+      std::printf("%-16s %-16s %12llu %12llu %12llu %8.2f %s\n",
+                  pr.name.c_str(), row.label.c_str(),
+                  static_cast<unsigned long long>(row.original_calls),
+                  static_cast<unsigned long long>(row.static_calls),
+                  static_cast<unsigned long long>(row.profiled_calls), gain,
+                  row.equivalent ? "yes" : "NO");
+      if (!row.equivalent) failed = true;
+      const bool skew =
+          pr.name == "filter_skew" || pr.name == "fallback_skew";
+      if (skew && row.profiled_calls < row.static_calls) any_skew_win = true;
+    }
+    if (!pr.no_profile_identical) {
+      std::fprintf(stderr,
+                   "profile_ab: %s: empty profile changed the output\n",
+                   pr.name.c_str());
+      failed = true;
+    }
+  }
+  if (!any_skew_win) {
+    std::fprintf(stderr,
+                 "profile_ab: profile beat static on no skewed workload\n");
+    failed = true;
+  }
+  std::printf("instrumentation: off %.3f ms, armed %.3f ms (ratio %.2f)\n",
+              off_ns / 1e6, on_ns / 1e6,
+              off_ns == 0 ? 0.0 : static_cast<double>(on_ns) / off_ns);
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("format", JsonValue::String("prore-bench-profile"));
+  doc.Set("version", JsonValue::Number(1));
+  JsonValue progs = JsonValue::Array();
+  for (const ProgramResult& pr : results) {
+    JsonValue p = JsonValue::Object();
+    p.Set("name", JsonValue::String(pr.name));
+    JsonValue rows = JsonValue::Array();
+    for (const AbRow& row : pr.rows) rows.push_back(RowJson(row));
+    p.Set("workloads", std::move(rows));
+    p.Set("no_profile_bit_identical",
+          JsonValue::Bool(pr.no_profile_identical));
+    p.Set("profile_applied",
+          JsonValue::Number(static_cast<double>(pr.profile_applied)));
+    p.Set("profile_stale",
+          JsonValue::Number(static_cast<double>(pr.profile_stale)));
+    progs.push_back(std::move(p));
+  }
+  doc.Set("programs", std::move(progs));
+  JsonValue overhead = JsonValue::Object();
+  overhead.Set("workload", JsonValue::String("family"));
+  overhead.Set("off_ns", JsonValue::Number(static_cast<double>(off_ns)));
+  overhead.Set("armed_ns", JsonValue::Number(static_cast<double>(on_ns)));
+  doc.Set("instrumentation", std::move(overhead));
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "profile_ab: cannot write %s\n", out_path.c_str());
+    return 3;
+  }
+  out << doc.Dump() << "\n";
+  return failed ? 1 : 0;
+}

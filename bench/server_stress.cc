@@ -27,7 +27,7 @@
 
 #include "common/frame_io.h"
 #include "common/str_util.h"
-#include "server/json.h"
+#include "common/json.h"
 #include "server/server.h"
 
 namespace {
@@ -35,7 +35,7 @@ namespace {
 using prore::FrameEvent;
 using prore::FrameIoOptions;
 using prore::FrameReadResult;
-using prore::server::JsonValue;
+using prore::JsonValue;
 using prore::server::Server;
 using prore::server::ServerOptions;
 

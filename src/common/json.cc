@@ -1,4 +1,4 @@
-#include "server/json.h"
+#include "common/json.h"
 
 #include <cctype>
 #include <cmath>
@@ -7,7 +7,7 @@
 
 #include "common/str_util.h"
 
-namespace prore::server {
+namespace prore {
 
 namespace {
 
@@ -381,4 +381,4 @@ std::string JsonValue::Dump() const {
   return out;
 }
 
-}  // namespace prore::server
+}  // namespace prore

@@ -1,5 +1,5 @@
-#ifndef PRORE_SERVER_JSON_H_
-#define PRORE_SERVER_JSON_H_
+#ifndef PRORE_COMMON_JSON_H_
+#define PRORE_COMMON_JSON_H_
 
 #include <cstdint>
 #include <string>
@@ -9,7 +9,7 @@
 
 #include "common/result.h"
 
-namespace prore::server {
+namespace prore {
 
 /// A deliberately small JSON value for the prored wire protocol: parse
 /// whole frames from untrusted peers without ever throwing or recursing
@@ -109,6 +109,6 @@ class JsonValue {
 /// Escapes `s` as a JSON string literal (with quotes) into `out`.
 void AppendJsonEscaped(std::string* out, std::string_view s);
 
-}  // namespace prore::server
+}  // namespace prore
 
-#endif  // PRORE_SERVER_JSON_H_
+#endif  // PRORE_COMMON_JSON_H_

@@ -24,6 +24,13 @@ prore::Result<ClauseOrderResult> OrderClauses(
   for (size_t i = 0; i < clauses.size(); ++i) result.order[i] = i;
   if (clauses.size() < 2) return result;
 
+  // Recorded profile, if armed: measured per-clause success rates replace
+  // the Warren-style head-match estimate (the cost model guards index
+  // alignment — clauses.size() must match what was recorded).
+  const cost::EmpiricalPredStats* emp = costs->EmpiricalFor(id);
+  const bool emp_clauses =
+      emp != nullptr && emp->clauses.size() == clauses.size();
+
   std::vector<double> p(clauses.size()), c(clauses.size());
   std::vector<bool> barrier(clauses.size(), false);
   for (size_t i = 0; i < clauses.size(); ++i) {
@@ -62,6 +69,10 @@ prore::Result<ClauseOrderResult> OrderClauses(
     p[i] = std::min(1.0, match * p_body);
     // Small floor so a zero-cost fact still sorts by probability.
     c[i] = std::max(0.01, match * c_body + 0.01);
+    if (emp_clauses && emp->clauses[i].tries > 0) {
+      p[i] = std::min(1.0, emp->clauses[i].success_prob);
+      c[i] = std::max(0.01, emp->clauses[i].match_prob * c_body + 0.01);
+    }
   }
 
   result.original_cost = markov::FirstSuccessCost(p, c);

@@ -173,6 +173,7 @@ prore::Status Pipeline::Setup() {
   costs_ = std::make_unique<cost::CostModel>(store_, &original_, &graph_,
                                              &decls_, oracle_.get());
   if (absint_ != nullptr) costs_->SetDeterminism(&absint_->determinism);
+  if (options_.profile != nullptr) costs_->SetEmpirical(options_.profile);
   costs_->ArmWatchdog(options_.cost_watchdog, options_.exec);
   search_ = std::make_unique<GoalOrderSearch>(store_, costs_.get(), &fixity_,
                                               options_.goal_search);

@@ -97,6 +97,12 @@ struct ReorderOptions {
   /// trip aborts the run with kResourceExhausted attributed to the
   /// predicate being built. Covers the goal-order search transitively.
   prore::WatchdogBudget cost_watchdog;
+  /// Recorded execution profile to feed the cost model (not owned; must
+  /// outlive the Run). Null = pure static model. Build one from a profile
+  /// file with profile::BuildEmpirical, which performs the content-hash
+  /// staleness check — predicates whose clauses changed since recording
+  /// are dropped there, so whatever arrives here is safe to apply.
+  const cost::EmpiricalProfile* profile = nullptr;
   /// Transform-stage fault injection (tests only); null = disabled.
   const TransformFaultPlan* fault = nullptr;
   /// Cancellation/deadline scope for the whole Run: threaded into every

@@ -195,9 +195,30 @@ PredModeStats CostModel::BuiltinStats(const std::string& name, uint32_t arity,
   return s;
 }
 
+const EmpiricalPredStats* CostModel::EmpiricalFor(const PredId& id) const {
+  if (empirical_ == nullptr) return nullptr;
+  auto it = empirical_->preds.find(id);
+  return it == empirical_->preds.end() ? nullptr : &it->second;
+}
+
 PredModeStats CostModel::StatsFor(const PredId& id, const Mode& mode) {
   const std::string& name = store_->symbols().Name(id.name);
   if (!program_->Has(id)) {
+    if (empirical_ != nullptr) {
+      // Measured builtin/library success rates replace the hand-written
+      // table. Mode-blind (the profile aggregates over call modes), so
+      // the unit cost stays the table's.
+      auto bit = empirical_->builtins.find(id);
+      if (bit != empirical_->builtins.end() && bit->second.calls > 0) {
+        PredModeStats s;
+        s.success_prob = Clamp01(bit->second.success_prob);
+        s.expected_solutions =
+            std::max(0.0, bit->second.expected_solutions);
+        s.cost_single = 1.0;
+        s.cost_all = 1.0;
+        return s;
+      }
+    }
     if (engine::LookupBuiltin(name, id.arity) != nullptr) {
       return BuiltinStats(name, id.arity, mode);
     }
@@ -213,10 +234,13 @@ PredModeStats CostModel::StatsFor(const PredId& id, const Mode& mode) {
   std::string key = Key(id, mode);
   if (auto it = memo_.find(key); it != memo_.end()) return it->second;
 
-  // Declared stats take precedence (the paper's escape hatch for recursion).
+  // Declared stats take precedence (the paper's escape hatch for
+  // recursion) — unless a recorded profile covers the predicate:
+  // measurements beat assertions.
   auto pit = decls_->success_probs.find(id);
   auto cit = decls_->costs.find(id);
-  if (pit != decls_->success_probs.end() || cit != decls_->costs.end()) {
+  if ((pit != decls_->success_probs.end() || cit != decls_->costs.end()) &&
+      EmpiricalFor(id) == nullptr) {
     PredModeStats s;
     s.success_prob =
         pit != decls_->success_probs.end() ? Clamp01(pit->second) : 0.5;
@@ -260,11 +284,19 @@ PredModeStats CostModel::StatsFor(const PredId& id, const Mode& mode) {
 }
 
 PredModeStats CostModel::ComputePredStats(const PredId& id, const Mode& mode) {
+  const std::vector<reader::Clause>& clauses = program_->ClausesOf(id);
+  // A recorded profile contributes measured per-clause probabilities;
+  // body *costs* stay model-derived (the profile records counts, not
+  // costs), so the blend is: empirical "how often", static "how much".
+  const EmpiricalPredStats* emp = EmpiricalFor(id);
+  const bool emp_clauses =
+      emp != nullptr && emp->clauses.size() == clauses.size();
   std::vector<double> clause_p, clause_cost_single;
   double fail_all = 1.0;
   double sols = 0.0;
   double cost_all = 1.0;  // the call itself
-  for (const reader::Clause& clause : program_->ClausesOf(id)) {
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    const reader::Clause& clause = clauses[i];
     double match = HeadMatchProb(id, clause.head, mode);
     TermRef body = store_->Deref(clause.body);
     bool is_fact = store_->tag(body) == Tag::kAtom &&
@@ -285,15 +317,29 @@ PredModeStats CostModel::ComputePredStats(const PredId& id, const Mode& mode) {
         }
       }
     }
-    clause_p.push_back(Clamp01(match * p_body));
-    clause_cost_single.push_back(ClampCost(match * body_cost_single));
-    fail_all *= 1.0 - Clamp01(match * p_body);
-    sols += match * body_sols;
-    cost_all += match * body_cost_all;
+    double p_clause = match * p_body;
+    double sols_clause = match * body_sols;
+    double body_weight = match;  // P(the body runs at all)
+    if (emp_clauses && emp->clauses[i].tries > 0) {
+      p_clause = emp->clauses[i].success_prob;
+      sols_clause = emp->clauses[i].expected_solutions;
+      body_weight = emp->clauses[i].match_prob;
+    }
+    clause_p.push_back(Clamp01(p_clause));
+    clause_cost_single.push_back(ClampCost(body_weight * body_cost_single));
+    fail_all *= 1.0 - Clamp01(p_clause);
+    sols += sols_clause;
+    cost_all += body_weight * body_cost_all;
   }
   PredModeStats s;
   s.success_prob = Clamp01(1.0 - fail_all);
   s.expected_solutions = sols;
+  if (emp != nullptr && emp->calls > 0) {
+    // Whole-predicate rates come straight from the ports (succ/call and
+    // exit/call) rather than the independence-assuming clause product.
+    s.success_prob = Clamp01(emp->success_prob);
+    s.expected_solutions = std::max(0.0, emp->expected_solutions);
+  }
   s.cost_single = ClampCost(1.0 + ExpectedSingleCallCost(clause_p,
                                                          clause_cost_single));
   s.cost_all = ClampCost(cost_all);

@@ -34,6 +34,43 @@ struct PredModeStats {
   double cost_all = 1.0;
 };
 
+/// Empirical statistics for one clause, distilled from a recorded
+/// execution profile (src/profile/ builds these from the engine's
+/// port counts). All rates are per *try* — conditioned on the clause
+/// being reached after first-argument index filtering.
+struct EmpiricalClauseStats {
+  double match_prob = 0.0;         ///< P(head unifies | tried)
+  double success_prob = 0.0;       ///< P(>= 1 solution | tried)
+  double expected_solutions = 0.0; ///< solutions per try
+  uint64_t tries = 0;              ///< sample size behind the rates
+};
+
+/// Empirical statistics for one predicate. Aggregated over every call
+/// mode seen while recording (the profile format is mode-blind; the
+/// static model stays responsible for mode-dependent cost estimates).
+struct EmpiricalPredStats {
+  double success_prob = 0.5;       ///< P(call exits at least once)
+  double expected_solutions = 1.0; ///< exit-port crossings per call
+  uint64_t calls = 0;              ///< sample size behind the rates
+  /// Indexed by the predicate's *original* clause order. Empty, or
+  /// ignored wholesale when its length disagrees with the program's
+  /// current clause count (a staleness guard of last resort — the
+  /// content-hash check in src/profile/ should already have dropped
+  /// such predicates).
+  std::vector<EmpiricalClauseStats> clauses;
+};
+
+/// Everything a profile contributes to the cost model: measured
+/// probabilities for user predicates and builtins that appeared in a
+/// recorded run. Predicates absent here silently keep the static model —
+/// the per-predicate fallback ladder the reorderer documents.
+struct EmpiricalProfile {
+  std::unordered_map<term::PredId, EmpiricalPredStats, term::PredIdHash>
+      preds;
+  std::unordered_map<term::PredId, EmpiricalPredStats, term::PredIdHash>
+      builtins;
+};
+
 /// Expected cost of calling a predicate once, trying clauses in order until
 /// one succeeds, *including* the all-fail path:
 ///   sum_k [prod_{j<k}(1-p_j)] p_k C_k  +  [prod_j (1-p_j)] C_n,
@@ -85,6 +122,20 @@ class CostModel {
   void SetDeterminism(const analysis::absint::DeterminismAnalysis* det) {
     determinism_ = det;
   }
+
+  /// Feeds recorded frequencies into every subsequent StatsFor: predicates
+  /// (and builtins) present in `profile` get measured success
+  /// probabilities and solution counts in place of the static guesses;
+  /// everything else keeps the static model. Empirical data also takes
+  /// precedence over `:- prob` / `:- cost` declarations — measurements
+  /// beat assertions. Must be set before the first StatsFor (results are
+  /// memoized); nullptr detaches. The profile must outlive the model.
+  void SetEmpirical(const EmpiricalProfile* profile) { empirical_ = profile; }
+
+  /// The armed profile's entry for `id`, or null when no profile is armed
+  /// or it has no data for `id` — callers (clause ordering) fall back to
+  /// the static estimate per predicate.
+  const EmpiricalPredStats* EmpiricalFor(const term::PredId& id) const;
 
   /// Stats for one body element (call / negation / disjunction / ...)
   /// under `env`. For kCall this is StatsFor of the callee in the goal's
@@ -160,6 +211,7 @@ class CostModel {
   const analysis::Declarations* decls_;
   analysis::LegalityOracle* oracle_;
   const analysis::absint::DeterminismAnalysis* determinism_ = nullptr;
+  const EmpiricalProfile* empirical_ = nullptr;
 
   prore::Watchdog watchdog_;
   std::unordered_map<std::string, PredModeStats> memo_;

@@ -5,6 +5,7 @@
 
 #include "common/str_util.h"
 #include "engine/builtins.h"
+#include "engine/profile.h"
 #include "reader/parser.h"
 #include "reader/writer.h"
 
@@ -17,6 +18,21 @@ using term::TermRef;
 namespace {
 constexpr const char* kIteThenMarker = "$ite_then";
 constexpr const char* kCatchDoneMarker = "$catch_done";
+constexpr const char* kProfExitMarker = "$prof_exit";
+
+/// The profile exit marker carries its predicate as one integer so the
+/// marker term stays flat: (symbol << 32) | arity, reversible because
+/// Symbol is 32-bit. The sign bit is unreachable for real symbol tables.
+int64_t EncodePredId(const term::PredId& id) {
+  return static_cast<int64_t>((static_cast<uint64_t>(id.name) << 32) |
+                              id.arity);
+}
+
+term::PredId DecodePredId(int64_t enc) {
+  const uint64_t bits = static_cast<uint64_t>(enc);
+  return term::PredId{static_cast<term::Symbol>(bits >> 32),
+                      static_cast<uint32_t>(bits & 0xFFFFFFFFu)};
+}
 
 /// Maps a thrown ball onto the Status taxonomy: error/2 balls with a
 /// recognized ISO payload keep their library-level code (so callers that
@@ -102,6 +118,7 @@ void Machine::InternDispatchSymbols() {
   sym_throw_ = store_->symbols().Intern("throw");
   sym_catch_done_ = store_->symbols().Intern(kCatchDoneMarker);
   sym_error_ = store_->symbols().Intern("error");
+  sym_prof_exit_ = store_->symbols().Intern(kProfExitMarker);
 }
 
 Machine::GoalRef Machine::NewGoalNode(TermRef goal, uint32_t barrier,
@@ -504,6 +521,9 @@ TermRef Machine::RenameHead(const CompiledClause& clause) {
 }
 
 bool Machine::TryClauses(Choicepoint* cp) {
+  ProfileCollector* prof = opts_.profile;
+  term::PredId prof_id{};
+  if (prof != nullptr) prof_id = store_->pred_id(cp->call_goal);
   while (true) {
     uint32_t idx = cp->scan.Next();
     if (idx == kNoClause) return false;
@@ -515,6 +535,7 @@ bool Machine::TryClauses(Choicepoint* cp) {
     if (node_pool_.size() > cp->node_mark) node_pool_.resize(cp->node_mark);
     const CompiledClause& clause = cp->scan.entry->clauses[idx];
     ++metrics_.head_unifications;
+    if (prof != nullptr) prof->OnClauseTry(prof_id, idx);
     TermRef head = RenameHead(clause);
     if (opts_.fault != nullptr && opts_.fault->SabotageUnification()) {
       continue;
@@ -523,6 +544,21 @@ bool Machine::TryClauses(Choicepoint* cp) {
     TermRef body =
         store_->RenameSkeleton(clause.body, clause.var_base, regs_);
     goals_ = cp->continuation;
+    if (prof != nullptr) {
+      prof->OnClauseEnter(prof_id, idx);
+      // Exit marker: runs after the clause body succeeds, before the
+      // caller's continuation — the exit port of the Byrd box. The
+      // per-entry flag is allocated above cp->heap_mark (a clause retry
+      // reclaims it, giving a fresh first-exit bit per entry); the
+      // per-call flag in cp->prof_flag lives below the mark and spans
+      // the whole call.
+      TermRef entry_flag = store_->MakeVar();
+      const TermRef margs[] = {store_->MakeInt(EncodePredId(prof_id)),
+                               store_->MakeInt(static_cast<int64_t>(idx)),
+                               entry_flag, cp->prof_flag};
+      goals_ = NewGoalNode(store_->MakeStruct(sym_prof_exit_, margs),
+                           cp->body_barrier, goals_);
+    }
     PushConjunction(body, cp->body_barrier);
     return true;
   }
@@ -549,16 +585,22 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
     return ThrowError(store_->MakeStruct("existence_error", payload_args),
                       indicator);
   }
+  ProfileCollector* prof = opts_.profile;
+  if (prof != nullptr) prof->OnCall(id);
   ClauseScan scan = MakeScan(entry, goal);
   ClauseScan peek = scan;  // cheap value copy; scan stays at the start
   uint32_t first = peek.Next();
   if (first == kNoClause) {
+    if (prof != nullptr) prof->OnFail(id);
     *failed = true;
     return prore::Status::OK();
   }
 
   uint32_t body_barrier = static_cast<uint32_t>(cps_.size());
-  if (peek.Next() == kNoClause) {
+  // Profiling routes every call through the generic choicepoint path so
+  // all four ports are observed; the two fast paths below never cross an
+  // exit marker.
+  if (prof == nullptr && peek.Next() == kNoClause) {
     // Deterministic call: no choicepoint.
     size_t trail_mark = trail_.size();
     term::TermStore::Mark heap_mark = store_->Watermark();
@@ -579,7 +621,8 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
     return prore::Status::OK();
   }
 
-  if (opts_.use_choicepoint_elision && !entry->witnesses.empty()) {
+  if (prof == nullptr && opts_.use_choicepoint_elision &&
+      !entry->witnesses.empty()) {
     bool witness_bound = false;
     for (const Witness& w : entry->witnesses) {
       witness_bound = true;
@@ -631,6 +674,9 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
   cp.continuation = goals_;
   cp.node_mark = static_cast<uint32_t>(node_pool_.size());
   cp.trail_mark = trail_.size();
+  // The per-call exit flag must be allocated before the heap mark is
+  // taken so clause retries (which truncate to the mark) keep it alive.
+  if (prof != nullptr) cp.prof_flag = store_->MakeVar();
   cp.heap_mark = store_->Watermark();
   cp.call_goal = goal;
   cp.scan = scan;
@@ -638,6 +684,7 @@ prore::Status Machine::CallUserPredicate(TermRef goal, uint32_t barrier,
   cps_.push_back(cp);
   if (!TryClauses(&cps_.back())) {
     cps_.pop_back();
+    if (prof != nullptr) prof->OnFail(id);
     *failed = true;
   }
   return prore::Status::OK();
@@ -757,6 +804,27 @@ prore::Status Machine::Step(bool* failed) {
       }
       return prore::Status::OK();
     }
+    if (sym == sym_prof_exit_ && arity == 4) {
+      // Exit port of a profiled call (see TryClauses). The two flag
+      // arguments are bound *untrailed*: backtracking must not unbind
+      // them, or a later solution of the same call/entry would be
+      // mistaken for a first exit.
+      if (opts_.profile != nullptr) {
+        TermRef entry_flag = store_->Deref(store_->arg(g, 2));
+        TermRef call_flag = store_->Deref(store_->arg(g, 3));
+        const bool first_entry = store_->tag(entry_flag) == Tag::kVar;
+        const bool first_call = store_->tag(call_flag) == Tag::kVar;
+        if (first_entry) store_->BindVar(entry_flag, g);
+        if (first_call) store_->BindVar(call_flag, g);
+        const int64_t enc =
+            store_->int_value(store_->Deref(store_->arg(g, 0)));
+        const uint32_t clause_index = static_cast<uint32_t>(
+            store_->int_value(store_->Deref(store_->arg(g, 1))));
+        opts_.profile->OnExit(DecodePredId(enc), clause_index, first_entry,
+                              first_call);
+      }
+      return prore::Status::OK();
+    }
     if (sym == sym_ite_marker_ && arity == 2) {
       // Condition of an if-then-else succeeded: commit and run then-branch.
       CutTo(barrier);  // node.cut_barrier held the commit point
@@ -834,6 +902,9 @@ prore::Status Machine::Step(bool* failed) {
     }
     bool success = false;
     PRORE_RETURN_IF_ERROR(fn(this, g, &success));
+    if (opts_.profile != nullptr && store_->symbols().Name(sym)[0] != '$') {
+      opts_.profile->OnBuiltin(id, success);
+    }
     *failed = !success;
     return prore::Status::OK();
   }
@@ -860,6 +931,19 @@ bool Machine::Backtrack() {
       continue;
     }
     if (TryClauses(&cp)) return true;
+    if (opts_.profile != nullptr) {
+      // The choicepoint dies with no candidate left: the call's final
+      // failure. If it had exited before, this failing re-entry is also a
+      // redo (the box model's redo-then-fail tail). Intermediate failing
+      // re-entries between solutions are folded into the exit-side redo
+      // count — see docs/profile-format.md for the exact semantics.
+      term::PredId id = store_->pred_id(cp.call_goal);
+      if (cp.prof_flag != term::kNullTerm &&
+          store_->tag(store_->Deref(cp.prof_flag)) != Tag::kVar) {
+        opts_.profile->OnRedo(id);
+      }
+      opts_.profile->OnFail(id);
+    }
     cps_.pop_back();
   }
   return false;

@@ -22,6 +22,8 @@
 
 namespace prore::engine {
 
+class ProfileCollector;
+
 /// Observes every user-predicate call's instantiation pattern (one char
 /// per argument: 'i' ground, 'u' unbound, 'a' partial) — the dynamic
 /// counterpart of static mode inference (§V-E: Debray's transformed
@@ -68,6 +70,14 @@ struct SolveOptions {
   /// Optional per-call mode observation hook (slows solving; off by
   /// default).
   ModeObserver mode_observer;
+  /// Optional execution-profile collector (not owned; engine/profile.h).
+  /// Null — the default — costs one pointer test per call and leaves
+  /// metrics bit-identical. When armed, the deterministic-call and
+  /// choicepoint-elision fast paths are bypassed so every user call
+  /// crosses the generic choicepoint path and all four ports (call/exit/
+  /// redo/fail) plus per-clause try/enter/exit counts are observed.
+  /// Value semantics propagate the pointer into nested findall machines.
+  ProfileCollector* profile = nullptr;
   /// Cancellation + deadline scope for this solve. Value semantics: nested
   /// findall machines copy these options, so the scope propagates to inner
   /// solves automatically. Cancellation raises a catchable
@@ -286,6 +296,12 @@ class Machine {
     /// still running; once the goal succeeds the frame is deactivated (and
     /// re-armed if backtracking re-enters the goal).
     bool catch_active = false;
+    /// Profiling only (kClauses): an unbound cell allocated *below*
+    /// heap_mark, bound untrailed at the call's first exit. Because the
+    /// binding is untrailed and the cell sits below the mark, it survives
+    /// clause retries and backtracking into the call, and dies with the
+    /// choicepoint — a per-call "has exited" bit with no shadow stack.
+    term::TermRef prof_flag = term::kNullTerm;
   };
 
   void InternDispatchSymbols();
@@ -363,6 +379,7 @@ class Machine {
   term::Symbol sym_throw_;
   term::Symbol sym_catch_done_;
   term::Symbol sym_error_;
+  term::Symbol sym_prof_exit_;
 
   std::vector<GoalNode> node_pool_;
   GoalRef goals_ = kNilGoal;

@@ -1,0 +1,145 @@
+#ifndef PRORE_PROFILE_PROFILE_H_
+#define PRORE_PROFILE_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "engine/profile.h"
+#include "reader/program.h"
+#include "term/store.h"
+
+/// The persistent, versioned execution-profile format and its two ends:
+/// writer (engine ProfileCollector -> stable JSON) and reader (JSON ->
+/// cost::EmpiricalProfile, with schema validation, multi-run merging and
+/// a content-hash staleness check per predicate). The normative format
+/// spec lives in docs/profile-format.md; this header is its
+/// implementation.
+namespace prore::profile {
+
+/// Bumped on incompatible schema changes; readers reject other versions
+/// with an actionable error instead of guessing.
+inline constexpr int kFormatVersion = 1;
+inline constexpr const char* kFormatName = "prore-profile";
+
+/// One predicate's recorded counts. Counts have the engine's semantics
+/// (engine/profile.h): box-model ports plus per-clause try/enter/exit.
+struct PredProfile {
+  bool builtin = false;
+  /// Content hash of the predicate's clauses at record time (salt 0, no
+  /// frozen set — see ComputeProfileHashes). 0 for builtins and for
+  /// predicates that appeared only dynamically; such entries never pass
+  /// the staleness check and are reported, not applied.
+  uint64_t content_hash = 0;
+  engine::PortCounts ports;
+  /// Original clause order at record time; empty for builtins.
+  std::vector<engine::ClauseCounts> clauses;
+};
+
+/// A parsed (or freshly recorded) profile. Keyed by "name/arity"; an
+/// ordered map so ToJson output is byte-stable regardless of how the
+/// profile was built — the round-trip tests assert write(parse(j)) == j.
+struct ProfileData {
+  uint64_t runs = 1;
+  std::map<std::string, PredProfile> preds;
+};
+
+/// Per-predicate content hashes in the profile keying convention:
+/// analysis::ComputeContentHashes over the program's SCC condensation
+/// with no frozen set and salt 0 — a pure content hash, so the same
+/// clauses always key the same whether recorded by prolog, prore, or the
+/// server. Fails only if the program's call graph cannot be built.
+using PredHashMap =
+    std::unordered_map<term::PredId, uint64_t, term::PredIdHash>;
+prore::Result<PredHashMap> ComputeProfileHashes(
+    const term::TermStore& store, const reader::Program& program);
+
+/// Snapshots a collector into the persistent format. User predicates
+/// present in `program` get their content hash from `hashes` and their
+/// clause vector padded to the predicate's clause count (clauses never
+/// tried still appear, with zero counts — merge and staleness logic need
+/// the full shape); everything else (builtins, dynamically asserted
+/// predicates) is recorded with hash 0.
+ProfileData FromCollector(const term::TermStore& store,
+                          const reader::Program& program,
+                          const engine::ProfileCollector& collector,
+                          const PredHashMap& hashes);
+
+/// Renders the profile as compact JSON (docs/profile-format.md).
+/// Deterministic: equal ProfileData values produce identical bytes.
+std::string ToJson(const ProfileData& data);
+
+/// Parses and validates one profile document. Errors are actionable:
+/// they name the offending predicate/field and say what to do (re-record
+/// for version mismatches, fix the file for corrupt counts). Unknown
+/// fields are ignored for forward compatibility.
+prore::Result<ProfileData> FromJson(std::string_view text);
+
+/// Merges two profiles (e.g. several recording runs of one program):
+/// counts and run totals sum. Fails when the same predicate was recorded
+/// against different clause content (hash or clause-count mismatch) —
+/// merging those would silently blend incompatible clause indices.
+prore::Result<ProfileData> Merge(const ProfileData& a, const ProfileData& b);
+
+/// Strict check that every non-builtin predicate in `data` exists in
+/// `program` (the wire-level contract for server loads; file-based CLIs
+/// prefer the tolerant BuildEmpirical path, which skips and reports).
+prore::Status ValidateAgainstProgram(const term::TermStore& store,
+                                     const reader::Program& program,
+                                     const ProfileData& data);
+
+/// Stable fingerprint of a profile's entire content — folded into
+/// analysis-cache salts so cached reorder results keyed without (or with
+/// a different) profile can never be replayed for a profile-fed request.
+uint64_t Fingerprint(const ProfileData& data);
+
+struct ApplyOptions {
+  /// Predicates with fewer recorded calls fall back to the static model
+  /// (a 2-call sample is noise, not a probability).
+  uint64_t min_calls = 8;
+  /// Clauses with fewer tries keep the static per-clause estimate.
+  uint64_t min_tries = 4;
+};
+
+/// What happened to each profiled predicate when applying a profile.
+struct ApplyOutcome {
+  enum class Kind {
+    kApplied,     ///< empirical stats now feed the cost model
+    kStale,       ///< content hash differs from the current clauses
+    kLowSamples,  ///< below ApplyOptions::min_calls
+    kUnknown,     ///< predicate not defined in the current program
+  };
+  std::string pred;  ///< "name/arity"
+  Kind kind = Kind::kApplied;
+};
+
+struct ApplyReport {
+  std::vector<ApplyOutcome> outcomes;
+  size_t applied = 0;
+  size_t stale = 0;
+  size_t low_samples = 0;
+  size_t unknown = 0;
+  /// One line per non-applied predicate plus a summary, for CLI stderr.
+  std::string ToText() const;
+};
+
+/// Converts a profile into the cost model's empirical form against the
+/// *current* program: per predicate, the content hash must match the
+/// program's current hash (stale entries are skipped and reported — a
+/// profile recorded against edited clauses is ignored, not misapplied)
+/// and the sample floor must be met. `store` is mutable only to intern
+/// predicate names that may not appear in this store yet.
+prore::Result<ApplyReport> BuildEmpirical(term::TermStore* store,
+                                          const reader::Program& program,
+                                          const ProfileData& data,
+                                          const ApplyOptions& options,
+                                          cost::EmpiricalProfile* out);
+
+}  // namespace prore::profile
+
+#endif  // PRORE_PROFILE_PROFILE_H_

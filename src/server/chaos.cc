@@ -13,7 +13,7 @@
 
 #include "common/frame_io.h"
 #include "common/str_util.h"
-#include "server/json.h"
+#include "common/json.h"
 
 namespace prore::server {
 

@@ -553,6 +553,30 @@ JsonValue Server::DoLoad(const JsonValue& req, const prore::ExecContext& ctx) {
     s->snapshot = std::move(*snapshot);
     s->preds = parsed->NumPreds();
     s->clauses = parsed->NumClauses();
+    if (const JsonValue* prof = req.Find("profile"); prof != nullptr) {
+      if (!prof->is_string()) {
+        return ErrorReply(req, "bad_request",
+                          "\"profile\" must be a profile JSON string");
+      }
+      auto data = profile::FromJson(prof->string_value());
+      if (!data.ok()) {
+        return ErrorReply(req, "bad_request",
+                          "profile: " + data.status().ToString());
+      }
+      // Request-supplied profiles are validated strictly: a profile that
+      // names predicates this program lacks is a client mix-up worth a
+      // hard error, not a silent fallback.
+      if (prore::Status st =
+              profile::ValidateAgainstProgram(store, *parsed, *data);
+          !st.ok()) {
+        return ErrorReply(req, "bad_request",
+                          "profile: " + st.ToString());
+      }
+      s->profile =
+          std::make_shared<const profile::ProfileData>(std::move(*data));
+    } else if (options_.default_profile != nullptr) {
+      s->profile = options_.default_profile;
+    }
   } catch (const term::AllocError&) {
     return ErrorReply(
         req, "resource_exhausted",
@@ -576,6 +600,7 @@ JsonValue Server::DoLoad(const JsonValue& req, const prore::ExecContext& ctx) {
   auto loaded = FindSession(session);
   r.Set("preds", JsonValue::Number(static_cast<double>(loaded->preds)));
   r.Set("clauses", JsonValue::Number(static_cast<double>(loaded->clauses)));
+  r.Set("profile", JsonValue::Bool(loaded->profile != nullptr));
   return r;
 }
 
@@ -624,6 +649,12 @@ JsonValue Server::DoReorder(const JsonValue& req,
     fold(po.reorder.reorder_goals);
     fold(po.reorder.runtime_guards);
     fold(po.reorder.goal_search.warren_heuristic);
+    // A profile changes the cost model's inputs, hence the output: cache
+    // entries are only shareable between requests seeing the same profile
+    // bytes (or none).
+    if (session->profile != nullptr) {
+      salt = analysis::HashMix(salt, profile::Fingerprint(*session->profile));
+    }
     po.cache_salt = salt;
   }
 
@@ -632,6 +663,29 @@ JsonValue Server::DoReorder(const JsonValue& req,
   try {
     auto program = reader::ParseProgramText(&store, session->source);
     if (!program.ok()) return StatusReply(req, program.status());
+    // Symbols are per-store, so the empirical view must be rebuilt against
+    // this request's fresh store; stale/under-sampled predicates fall back
+    // to the static model inside BuildEmpirical.
+    cost::EmpiricalProfile empirical;
+    JsonValue profile_report;
+    if (session->profile != nullptr) {
+      auto applied = profile::BuildEmpirical(&store, *program,
+                                             *session->profile,
+                                             profile::ApplyOptions(),
+                                             &empirical);
+      if (!applied.ok()) return StatusReply(req, applied.status());
+      po.reorder.profile = &empirical;
+      profile_report = JsonValue::Object();
+      profile_report.Set("applied", JsonValue::Number(
+                                        static_cast<double>(applied->applied)));
+      profile_report.Set("stale", JsonValue::Number(
+                                      static_cast<double>(applied->stale)));
+      profile_report.Set(
+          "low_samples",
+          JsonValue::Number(static_cast<double>(applied->low_samples)));
+      profile_report.Set("unknown", JsonValue::Number(
+                                        static_cast<double>(applied->unknown)));
+    }
     core::GuardedPipeline pipeline(&store, std::move(po));
     auto result = pipeline.Run(*program);
     if (!result.ok()) return StatusReply(req, result.status());
@@ -644,6 +698,9 @@ JsonValue Server::DoReorder(const JsonValue& req,
     // are deliberately not part of ToJson): a warm reply is bit-identical
     // to the cold reply for the same program and options.
     r.Set("report", JsonValue::String(result->report.ToJson()));
+    if (session->profile != nullptr) {
+      r.Set("profile", std::move(profile_report));
+    }
     return r;
   } catch (const term::AllocError&) {
     return ErrorReply(

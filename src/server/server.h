@@ -18,7 +18,8 @@
 #include "core/analysis_cache.h"
 #include "core/pipeline.h"
 #include "engine/machine.h"
-#include "server/json.h"
+#include "profile/profile.h"
+#include "common/json.h"
 
 namespace prore::server {
 
@@ -63,6 +64,12 @@ struct ServerOptions {
   /// Base solve budgets; per-request fields compose (budgets only
   /// tighten: a request cannot exceed the server's max_calls et al).
   engine::SolveOptions solve;
+  /// Default execution profile (prored --profile-in). Attached to every
+  /// session loaded without its own "profile" field, WITHOUT the strict
+  /// membership validation applied to request-supplied profiles: a
+  /// shared default legitimately covers predicates a given session lacks,
+  /// and the reorder-time staleness check drops what does not match.
+  std::shared_ptr<const profile::ProfileData> default_profile;
 };
 
 /// One consistent snapshot of the server's counters ({"op":"stats"}).
@@ -135,6 +142,10 @@ class Server {
     std::shared_ptr<const engine::ProgramSnapshot> snapshot;
     size_t preds = 0;
     size_t clauses = 0;
+    /// Execution profile attached at load ("profile" field or the server
+    /// default); reorder rebuilds the empirical cost inputs from it
+    /// against each request's fresh store. Null = static model only.
+    std::shared_ptr<const profile::ProfileData> profile;
   };
 
   void AcceptLoop();

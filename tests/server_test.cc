@@ -22,7 +22,7 @@
 
 #include "common/frame_io.h"
 #include "common/str_util.h"
-#include "server/json.h"
+#include "common/json.h"
 #include "server/server.h"
 
 namespace prore::server {

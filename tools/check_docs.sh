@@ -1,0 +1,82 @@
+#!/bin/sh
+# check_docs.sh — documentation consistency checks, run by ctest and CI.
+#
+#   1. Every relative markdown link in the repo's *.md files resolves to
+#      an existing file (dead links rot silently otherwise).
+#   2. Every --flag a CLI prints in its --help output is mentioned in
+#      docs/cli.md (the consolidated reference cannot drift behind the
+#      tools).
+#
+# Usage: check_docs.sh REPO_ROOT [cli-binary...]
+# Exit: 0 clean, 1 any check failed.
+
+set -u
+
+root="${1:?usage: check_docs.sh REPO_ROOT [cli-binary...]}"
+shift
+
+fail=0
+
+# ---- 1. Dead relative links ------------------------------------------------
+
+# Top-level *.md plus docs/*.md; build output is not documentation, and
+# SNIPPETS.md is verbatim exemplar code whose casts/calls masquerade as
+# markdown links.
+md_files=$(find "$root" -maxdepth 1 -name '*.md' ! -name 'SNIPPETS.md'
+           find "$root/docs" -name '*.md' 2>/dev/null)
+
+for f in $md_files; do
+  dir=$(dirname "$f")
+  # Extract ](target) link targets; one per line.
+  grep -oE '\]\([^)]+\)' "$f" 2>/dev/null | sed 's/^](\(.*\))$/\1/' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Drop a #fragment suffix and any "title" part.
+    path=$(printf '%s' "$target" | sed 's/#.*$//; s/ .*$//')
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "check_docs: dead link in ${f#"$root"/}: $target" >&2
+      echo deadlink >> "${TMPDIR:-/tmp}/check_docs_fail.$$"
+    fi
+  done
+done
+if [ -f "${TMPDIR:-/tmp}/check_docs_fail.$$" ]; then
+  rm -f "${TMPDIR:-/tmp}/check_docs_fail.$$"
+  fail=1
+fi
+
+# ---- 2. --help flags are documented in docs/cli.md -------------------------
+
+cli_md="$root/docs/cli.md"
+if [ ! -f "$cli_md" ]; then
+  echo "check_docs: missing $cli_md" >&2
+  exit 1
+fi
+
+for bin in "$@"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_docs: not executable: $bin" >&2
+    fail=1
+    continue
+  fi
+  name=$(basename "$bin")
+  flags=$("$bin" --help 2>/dev/null | grep -oE -- '--[a-z][a-z-]*' | sort -u)
+  if [ -z "$flags" ]; then
+    echo "check_docs: $name --help printed no flags" >&2
+    fail=1
+    continue
+  fi
+  for flag in $flags; do
+    if ! grep -q -- "$flag" "$cli_md"; then
+      echo "check_docs: $name flag $flag missing from docs/cli.md" >&2
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: OK"
+fi
+exit "$fail"

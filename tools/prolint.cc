@@ -49,11 +49,18 @@
 
 namespace {
 
-int Usage() {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
                "usage: prolint [--format=text|json|sarif] [--werror]\n"
                "               [--no-check-reorder] [--only=PASS,PASS,...]\n"
-               "               [--deadline-ms=N] [--list-passes] file.pl...\n");
+               "               [--deadline-ms=N] [--list-passes] [--help]\n"
+               "               file.pl...\n"
+               "\n"
+               "Full reference: docs/cli.md\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -106,7 +113,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--deadline-ms=", 0) == 0) {
+    if (arg == "--help") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       if (!ParseBudget(arg, "--deadline-ms=", &deadline_ms)) {
         std::fprintf(stderr, "prolint: malformed option %s\n", arg.c_str());
         return Usage();

@@ -45,6 +45,8 @@
 
 #include "engine/database.h"
 #include "engine/machine.h"
+#include "engine/profile.h"
+#include "profile/profile.h"
 #include "reader/parser.h"
 #include "reader/writer.h"
 #include "term/store.h"
@@ -57,11 +59,25 @@ constexpr int kExitUsage = 2;
 constexpr int kExitError = 3;
 constexpr int kExitResource = 4;
 
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: prolog [--deadline-ms=N] [--timeout-ms=N] [--max-depth=N]\n"
+      "              [--max-heap-cells=N] [--max-calls=N]\n"
+      "              [--profile-out=FILE] [--profile-merge] [--help]\n"
+      "              files... [-q 'goal']...\n"
+      "\n"
+      "  --profile-out=FILE  record an execution profile of every query\n"
+      "                      and write it to FILE (docs/profile-format.md)\n"
+      "  --profile-merge     merge the recorded counts into an existing\n"
+      "                      FILE instead of overwriting it\n"
+      "  --help              print this help and exit 0\n"
+      "\n"
+      "Full reference: docs/cli.md\n");
+}
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: prolog [--deadline-ms=N] [--timeout-ms=N] [--max-depth=N]\n"
-               "              [--max-heap-cells=N] [--max-calls=N]\n"
-               "              files... [-q 'goal']...\n");
+  PrintUsage(stderr);
   return kExitUsage;
 }
 
@@ -138,11 +154,29 @@ int main(int argc, char** argv) {
   std::vector<std::string> queries;
   prore::engine::SolveOptions solve_options;
   uint64_t deadline_ms = 0;
+  std::string profile_out;
+  bool profile_merge = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--help") {
+      PrintUsage(stdout);
+      return kExitSolved;
+    }
     if (arg == "-q") {
       if (++i >= argc) return Usage();
       queries.push_back(argv[i]);
+      continue;
+    }
+    if (arg.rfind("--profile-out=", 0) == 0) {
+      profile_out = arg.substr(std::strlen("--profile-out="));
+      if (profile_out.empty()) {
+        std::fprintf(stderr, "prolog: --profile-out needs a file name\n");
+        return Usage();
+      }
+      continue;
+    }
+    if (arg == "--profile-merge") {
+      profile_merge = true;
       continue;
     }
     if (arg.rfind("--deadline-ms=", 0) == 0) {
@@ -201,6 +235,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "prolog: %s\n", db.status().ToString().c_str());
     return kExitError;
   }
+  prore::engine::ProfileCollector collector;
+  if (!profile_out.empty()) solve_options.profile = &collector;
   prore::engine::Machine machine(&store, &db.value(), solve_options);
 
   int worst = kExitSolved;
@@ -213,6 +249,48 @@ int main(int argc, char** argv) {
     while (std::getline(std::cin, line)) {
       if (line.empty() || line[0] == '%') continue;
       worst = std::max(worst, RunQuery(&machine, &store, line));
+    }
+  }
+
+  if (!profile_out.empty()) {
+    auto hashes = prore::profile::ComputeProfileHashes(store, *program);
+    if (!hashes.ok()) {
+      std::fprintf(stderr, "prolog: profile: %s\n",
+                   hashes.status().ToString().c_str());
+      return kExitError;
+    }
+    prore::profile::ProfileData data =
+        prore::profile::FromCollector(store, *program, collector, *hashes);
+    if (profile_merge) {
+      if (std::ifstream existing(profile_out); existing) {
+        std::ostringstream buffer;
+        buffer << existing.rdbuf();
+        auto prior = prore::profile::FromJson(buffer.str());
+        if (!prior.ok()) {
+          std::fprintf(stderr, "prolog: cannot merge into %s: %s\n",
+                       profile_out.c_str(),
+                       prior.status().ToString().c_str());
+          return kExitError;
+        }
+        auto merged = prore::profile::Merge(*prior, data);
+        if (!merged.ok()) {
+          std::fprintf(stderr, "prolog: %s\n",
+                       merged.status().ToString().c_str());
+          return kExitError;
+        }
+        data = std::move(*merged);
+      }
+    }
+    std::ofstream out(profile_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "prolog: cannot write %s\n", profile_out.c_str());
+      return kExitError;
+    }
+    out << prore::profile::ToJson(data) << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "prolog: write to %s failed\n",
+                   profile_out.c_str());
+      return kExitError;
     }
   }
   return worst;

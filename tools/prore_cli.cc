@@ -65,6 +65,13 @@
 //   --max-depth=N       resolution-depth budget per --compare query
 //   --max-heap-cells=N  heap growth budget per --compare query
 //   --max-calls=N       resolved-call budget per --compare query
+//   --profile-in=FILE   load a recorded execution profile (written by
+//                       prolog --profile-out, docs/profile-format.md) and
+//                       let its measured frequencies replace the static
+//                       probability estimates in the cost model. Stale
+//                       (source changed since recording), under-sampled,
+//                       and unknown predicates keep the static model; the
+//                       per-predicate decision is printed to stderr.
 //
 // Output goes to stdout when no output file is given.
 //
@@ -94,25 +101,42 @@
 #include "core/evaluation.h"
 #include "core/pipeline.h"
 #include "lint/lint.h"
+#include "profile/profile.h"
 #include "reader/parser.h"
 #include "reader/writer.h"
 #include "term/store.h"
 
 namespace {
 
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: prore [--unfold] [--factor] [--guards] [--jobs=N|auto]\n"
+      "             [--retry-attempts=N]\n"
+      "             [--no-specialize] [--no-clauses] [--no-goals]\n"
+      "             [--warren] [--lint] [--report]\n"
+      "             [--report=text|json] [--strict]\n"
+      "             [--compare QUERY] [--emit-original]\n"
+      "             [--profile-in=FILE]\n"
+      "             [--cost-steps=N] [--cost-timeout-ms=N]\n"
+      "             [--infer-steps=N] [--infer-timeout-ms=N]\n"
+      "             [--absint] [--no-absint]\n"
+      "             [--absint-steps=N] [--absint-timeout-ms=N]\n"
+      "             [--deadline-ms=N] [--timeout-ms=N] [--max-depth=N]\n"
+      "             [--max-heap-cells=N] [--max-calls=N] [--help]\n"
+      "             input.pl [output.pl]\n"
+      "\n"
+      "  --profile-in=FILE  feed a recorded execution profile (written by\n"
+      "                     prolog --profile-out) into the cost model;\n"
+      "                     stale or under-sampled predicates fall back to\n"
+      "                     the static model per predicate\n"
+      "  --help             print this help and exit 0\n"
+      "\n"
+      "Full reference: docs/cli.md\n");
+}
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: prore [--unfold] [--factor] [--guards] [--jobs=N|auto]\n"
-               "             [--retry-attempts=N]\n"
-               "             [--no-specialize] [--no-clauses] [--no-goals]\n"
-               "             [--warren] [--lint] [--report]\n"
-               "             [--report=text|json] [--strict]\n"
-               "             [--compare QUERY] [--emit-original]\n"
-               "             [--cost-steps=N] [--cost-timeout-ms=N]\n"
-               "             [--infer-steps=N] [--infer-timeout-ms=N]\n"
-               "             [--deadline-ms=N] [--timeout-ms=N] [--max-depth=N]\n"
-               "             [--max-heap-cells=N] [--max-calls=N]\n"
-               "             input.pl [output.pl]\n");
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -153,10 +177,23 @@ int main(int argc, char** argv) {
   prore::engine::SolveOptions solve_options;
   std::vector<std::string> compare_queries;
   std::string input_path, output_path;
+  std::string profile_path;
   uint64_t deadline_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--help") {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (arg.rfind("--profile-in=", 0) == 0) {
+      profile_path = arg.substr(std::strlen("--profile-in="));
+      if (profile_path.empty()) {
+        std::fprintf(stderr, "prore: --profile-in needs a file name\n");
+        return Usage();
+      }
+      continue;
+    }
     if (arg == "--unfold") {
       pipeline_options.unfold = true;
     } else if (arg == "--factor") {
@@ -295,6 +332,34 @@ int main(int argc, char** argv) {
     }
     std::fputs(
         prore::lint::RenderText(*diags, input_path).c_str(), stderr);
+  }
+
+  // Outlives the pipeline: the cost model keeps a pointer to it.
+  prore::cost::EmpiricalProfile empirical;
+  if (!profile_path.empty()) {
+    std::ifstream pin(profile_path);
+    if (!pin) {
+      std::fprintf(stderr, "prore: cannot open %s\n", profile_path.c_str());
+      return kExitError;
+    }
+    std::ostringstream pbuf;
+    pbuf << pin.rdbuf();
+    auto data = prore::profile::FromJson(pbuf.str());
+    if (!data.ok()) {
+      std::fprintf(stderr, "prore: %s: %s\n", profile_path.c_str(),
+                   data.status().ToString().c_str());
+      return kExitError;
+    }
+    auto applied = prore::profile::BuildEmpirical(
+        &store, *program, *data, prore::profile::ApplyOptions(), &empirical);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "prore: %s: %s\n", profile_path.c_str(),
+                   applied.status().ToString().c_str());
+      return kExitError;
+    }
+    std::fprintf(stderr, "prore: profile %s: %s", profile_path.c_str(),
+                 applied->ToText().c_str());
+    options.profile = &empirical;
   }
 
   prore::core::GuardedPipeline pipeline(&store, pipeline_options);

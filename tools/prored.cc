@@ -11,7 +11,12 @@
 //          [--max-queue=N] [--max-connections=N] [--deadline-ms=N]
 //          [--session-cells=N] [--max-frame-bytes=N] [--idle-timeout-ms=N]
 //          [--io-timeout-ms=N] [--cache-entries=N] [--retry-attempts=N]
-//          [--jobs=N|auto]
+//          [--jobs=N|auto] [--profile-in=FILE]
+//
+// --profile-in=FILE loads an execution profile (docs/profile-format.md)
+// as the server-wide default: every session loaded without its own
+// "profile" field feeds it into the reorder cost model, with per-predicate
+// staleness fallback to the static model.
 //
 // Exit codes (the subset of the prore contract a daemon can meet):
 //   0  clean shutdown (SIGTERM/SIGINT drain, or {"op":"shutdown"})
@@ -26,9 +31,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/thread_pool.h"
+#include "profile/profile.h"
 #include "server/server.h"
 
 namespace {
@@ -41,15 +51,27 @@ void OnTermSignal(int) {
   if (g_server != nullptr) g_server->NotifyShutdownAsync();
 }
 
-int Usage() {
+void PrintUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: prored --socket=PATH [--tcp-port=N] [--workers=N|auto]\n"
       "              [--max-queue=N] [--max-connections=N]\n"
       "              [--deadline-ms=N] [--session-cells=N]\n"
       "              [--max-frame-bytes=N] [--idle-timeout-ms=N]\n"
       "              [--io-timeout-ms=N] [--cache-entries=N]\n"
-      "              [--retry-attempts=N] [--jobs=N|auto]\n");
+      "              [--retry-attempts=N] [--jobs=N|auto]\n"
+      "              [--profile-in=FILE] [--help]\n"
+      "\n"
+      "  --profile-in=FILE  default execution profile for every session\n"
+      "                     loaded without its own \"profile\" field\n"
+      "                     (docs/profile-format.md)\n"
+      "  --help             print this help and exit 0\n"
+      "\n"
+      "Full reference: docs/cli.md\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -83,7 +105,28 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     uint64_t n = 0;
-    if (arg.rfind("--socket=", 0) == 0) {
+    if (arg == "--help") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (arg.rfind("--profile-in=", 0) == 0) {
+      const std::string path = arg.substr(std::strlen("--profile-in="));
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "prored: cannot open %s\n", path.c_str());
+        return Usage();
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      auto data = prore::profile::FromJson(buffer.str());
+      if (!data.ok()) {
+        std::fprintf(stderr, "prored: %s: %s\n", path.c_str(),
+                     data.status().ToString().c_str());
+        return Usage();
+      }
+      options.default_profile =
+          std::make_shared<const prore::profile::ProfileData>(
+              std::move(*data));
+    } else if (arg.rfind("--socket=", 0) == 0) {
       options.socket_path = arg.substr(std::strlen("--socket="));
     } else if (ParseNum(arg, "--tcp-port=", &n) && n <= 65535) {
       options.tcp_port = static_cast<int>(n);

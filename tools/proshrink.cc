@@ -52,15 +52,21 @@
 
 namespace {
 
-int Usage() {
+void PrintUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: proshrink --oracle=validator|crash|differential|watchdog\n"
       "                 [--query Q]... [--unfold] [--factor] [--out=FILE]\n"
       "                 [--dump] [--max-oracle-calls=N] [--deadline-ms=N]\n"
       "                 [--cost-steps=N] [--cost-timeout-ms=N]\n"
       "                 [--infer-steps=N] [--infer-timeout-ms=N]\n"
-      "                 input.pl\n");
+      "                 [--help] input.pl\n"
+      "\n"
+      "Full reference: docs/cli.md\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -95,7 +101,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--oracle=", 0) == 0) {
+    if (arg == "--help") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (arg.rfind("--oracle=", 0) == 0) {
       oracle_kind = arg.substr(9);
     } else if (arg == "--query") {
       if (++i >= argc) return Usage();
